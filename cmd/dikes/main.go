@@ -1,0 +1,229 @@
+// Command dikes runs the paper's experiments and prints the tables and
+// figures as text. Subcommands map to the paper's sections:
+//
+//	dikes caching   — §3 baseline: Tables 1-3, Figures 3/13
+//	dikes ddos      — §5/§6 attack emulations: Table 4, Figures 6-12, 14-15
+//	dikes glue      — Appendix A: Table 5
+//	dikes passive   — §4: Figures 4-5
+//	dikes retries   — §6.2 / Appendix E: Figure 16
+//	dikes all       — everything above
+//
+// Scale with -probes (the paper used ~9200; the default keeps runs quick).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	dikes "repro"
+)
+
+func main() {
+	probes := flag.Int("probes", 1500, "number of emulated Atlas probes (paper: ~9200)")
+	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	exps := flag.String("exp", "A,B,C,D,E,F,G,H,I", "comma-separated DDoS experiments for the ddos subcommand")
+	harvest := flag.Bool("harvest", true, "enable NS-record harvesting (Unbound-like population)")
+	csvDir := flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pop := dikes.PopulationConfig{}
+	if *harvest {
+		pop.Harvest = dikes.HarvestFull
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+			os.Exit(1)
+		}
+		csvOut = *csvDir
+	}
+
+	start := time.Now()
+	switch cmd {
+	case "caching":
+		runCaching(*probes, *seed)
+	case "ddos":
+		runDDoS(*probes, *seed, *exps, pop)
+	case "glue":
+		runGlue(*probes, *seed)
+	case "passive":
+		runPassive(*seed)
+	case "retries":
+		runRetries(*seed)
+	case "implications":
+		runImplications(*seed)
+	case "check":
+		runCheck(*probes, *seed)
+	case "all":
+		runCaching(*probes, *seed)
+		runDDoS(*probes, *seed, *exps, pop)
+		runGlue(*probes, *seed)
+		runPassive(*seed)
+		runRetries(*seed)
+		runImplications(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "dikes: unknown subcommand %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func header(s string) { fmt.Printf("\n================ %s ================\n", s) }
+
+// csvOut, when set, receives one CSV file per figure.
+var csvOut string
+
+func writeCSV(name, content string) {
+	if csvOut == "" {
+		return
+	}
+	path := filepath.Join(csvOut, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dikes: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func runCaching(probes int, seed int64) {
+	header("§3 caching baseline (Tables 1-3, Figures 3/13)")
+	var results []*dikes.CachingResult
+	configs := []struct {
+		ttl      uint32
+		interval time.Duration
+	}{
+		{60, 20 * time.Minute},
+		{1800, 20 * time.Minute},
+		{3600, 20 * time.Minute},
+		{86400, 20 * time.Minute},
+		{3600, 10 * time.Minute},
+	}
+	for _, c := range configs {
+		fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
+		results = append(results, dikes.RunCaching(dikes.CachingConfig{
+			Probes: probes, TTL: c.ttl, ProbeInterval: c.interval,
+			Rounds: 6, Seed: seed,
+		}))
+	}
+	fmt.Printf("\nTable 1: caching baseline\n%s", dikes.RenderTable1(results))
+	fmt.Printf("\nTable 2: answer classification\n%s", dikes.RenderTable2(results))
+	fmt.Printf("\nTable 3: AC answers by public resolver\n%s", dikes.RenderTable3(results))
+	fmt.Printf("\nFigure 13 (TTL 1800): answer types over time\n%s",
+		results[1].Fig13.Table([]string{"AA", "CC", "AC", "CA", "Warmup"}))
+}
+
+func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig) {
+	header("§5-6 DDoS emulations (Table 4, Figures 6-12, 14-15)")
+	var results []*dikes.DDoSResult
+	for _, name := range strings.Split(exps, ",") {
+		name = strings.TrimSpace(name)
+		spec, ok := dikes.SpecByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dikes: unknown experiment %q\n", name)
+			continue
+		}
+		fmt.Printf("running experiment %s (TTL %d, %.0f%% loss) ...\n",
+			spec.Name, spec.TTL, spec.Loss*100)
+		res, tb := dikes.RunDDoSWithTestbed(spec, probes, seed, pop)
+		results = append(results, res)
+
+		fmt.Printf("\nFigure 6/8/14 (exp %s): answers per round\n%s", spec.Name,
+			res.Answers.Table([]string{"OK", "SERVFAIL", "NoAnswer"}))
+		fmt.Printf("Figure 9/15 (exp %s): latency quantiles\n%s", spec.Name, dikes.RenderLatency(res))
+		fmt.Printf("Figure 7 (exp %s): answer classes\n%s", spec.Name,
+			res.Classes.Table([]string{"AA", "CC", "CA", "AC"}))
+		fmt.Printf("Figure 10 (exp %s): queries at the authoritatives\n%s", spec.Name,
+			res.AuthQueries.Table([]string{"NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"}))
+		fmt.Printf("Figure 11 (exp %s): per-probe amplification\n%s", spec.Name,
+			dikes.RenderAmplification(res))
+		fmt.Printf("Figure 12 (exp %s): unique Rn\n%s", spec.Name, dikes.RenderUniqueRn(res))
+		writeCSV("fig-answers-exp"+spec.Name+".csv",
+			dikes.SeriesCSV(res.Answers, []string{"OK", "SERVFAIL", "NoAnswer"}))
+		writeCSV("fig9-latency-exp"+spec.Name+".csv", dikes.LatencyCSV(res))
+		writeCSV("fig10-authload-exp"+spec.Name+".csv",
+			dikes.SeriesCSV(res.AuthQueries, []string{"NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"}))
+		writeCSV("fig11-amplification-exp"+spec.Name+".csv", dikes.AmplificationCSV(res))
+		writeCSV("fig12-uniquern-exp"+spec.Name+".csv", dikes.UniqueRnCSV(res))
+		if spec.Name == "I" {
+			probe := dikes.BusiestProbe(tb)
+			fmt.Printf("Table 7 (exp I): per-probe drill-down\n%s",
+				dikes.RenderTable7(dikes.PerProbe(tb, res, probe)))
+		}
+	}
+	fmt.Printf("\nTable 4: experiment matrix\n%s", dikes.RenderTable4(results))
+}
+
+func runGlue(probes int, seed int64) {
+	header("Appendix A: glue vs authoritative TTL (Table 5)")
+	res := dikes.RunGlueVsAuth(probes, seed, dikes.PopulationConfig{})
+	fmt.Print(dikes.RenderTable5(res))
+}
+
+func runPassive(seed int64) {
+	header("§4 production zones (Figures 4-5)")
+	nl := dikes.RunNl(dikes.NlConfig{Seed: seed})
+	fmt.Printf("Figure 4: ECDF of median inter-arrival at .nl (TTL 3600)\n")
+	for _, p := range nl.ECDF.Points(20) {
+		fmt.Printf("  dt<=%7.0fs  cdf=%.3f\n", p.X, p.Y)
+	}
+	fmt.Printf("closely-timed excluded: %.1f%%  at-TTL: %.1f%%  early re-query: %.1f%%\n",
+		100*nl.Analysis.ExcludedFrac, 100*nl.FracAtTTL, 100*nl.FracBelowTTL)
+	writeCSV("fig4-nl-ecdf.csv", dikes.ECDFCSV(nl.ECDF, 100))
+
+	root := dikes.RunRoot(dikes.RootConfig{Seed: seed})
+	writeCSV("fig5-root-all.csv", dikes.ECDFCSV(root.All, 100))
+	fmt.Printf("\nFigure 5: queries per recursive for the nl DS at the roots\n")
+	fmt.Printf("single-query recursives: %.1f%%  heaviest source: %d queries/day\n",
+		100*root.FracSingleObserved, root.MaxObserved)
+	for i, e := range root.PerLetter {
+		fmt.Printf("  letter %2d: P(n<=1)=%.3f P(n<=5)=%.3f P(n<=30)=%.3f\n",
+			i, e.At(1), e.At(5), e.At(30))
+	}
+}
+
+func runCheck(probes int, seed int64) {
+	header("reproduction self-test (paper claims vs this run)")
+	table, ok := dikes.RenderCheck(dikes.Check(probes, seed))
+	fmt.Print(table)
+	if !ok {
+		fmt.Println("\nself-test FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("\nall claims reproduced")
+}
+
+func runImplications(seed int64) {
+	header("§8 implications: root-like vs CDN-like under attack")
+	res := dikes.RunImplications(dikes.ImplicationsConfig{Seed: seed})
+	fmt.Print(dikes.RenderImplications(res))
+}
+
+func runRetries(seed int64) {
+	header("§6.2 / Appendix E: software retries (Figure 16)")
+	for _, profile := range []dikes.RetryProfile{dikes.BINDLike(), dikes.UnboundLike()} {
+		for _, down := range []bool{false, true} {
+			res := dikes.RunRetryTrials(profile, down, 100, seed)
+			state := "up  "
+			if down {
+				state = "down"
+			}
+			fmt.Printf("%-8s %s  root=%5.1f  net=%5.1f  cachetest.net=%5.1f  total=%5.1f  answered=%d/%d\n",
+				profile.Name, state, res.Mean.Root, res.Mean.Net, res.Mean.Target,
+				res.Mean.Total(), res.Answered, res.Trials)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command recursived runs the caching recursive resolver engine on real
+// UDP. It resolves iteratively from the configured root hints, or
+// forwards to upstream resolvers, with the same cache/retry/serve-stale
+// behavior the simulations study:
+//
+//	recursived -listen :5301 -hint 127.0.0.1:5300
+//	recursived -listen :5301 -forward 127.0.0.1:5302 -forward 127.0.0.1:5303
+//	recursived -listen :5301 -hint 127.0.0.1:5300 -serve-stale -max-ttl 1h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/recursive"
+	"repro/internal/udprun"
+)
+
+type addrFlags []string
+
+func (a *addrFlags) String() string     { return fmt.Sprint(*a) }
+func (a *addrFlags) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	var hints, forwards addrFlags
+	listen := flag.String("listen", ":5301", "UDP listen address")
+	tcp := flag.Bool("tcp", true, "also serve DNS over TCP on the same address")
+	serveStale := flag.Bool("serve-stale", false, "answer with expired data when upstreams fail")
+	maxTTL := flag.Duration("max-ttl", 0, "cap cached TTLs (0 = honor zone TTLs)")
+	minTTL := flag.Duration("min-ttl", 0, "floor for cached TTLs")
+	shards := flag.Int("shards", 1, "independent cache shards (fragmentation emulation)")
+	attempts := flag.Int("attempts", 0, "upstream tries per fetch (0 = default)")
+	harvest := flag.Bool("harvest", false, "background-fetch NS records of learned zones (Unbound-like)")
+	flag.Var(&hints, "hint", "root hint ip:port (repeatable)")
+	flag.Var(&forwards, "forward", "upstream resolver ip:port; enables forwarding mode (repeatable)")
+	flag.Parse()
+
+	if len(hints) == 0 && len(forwards) == 0 {
+		fmt.Fprintln(os.Stderr, "recursived: need -hint or -forward")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := recursive.Config{
+		Cache: cache.Config{
+			MaxTTL: *maxTTL, MinTTL: *minTTL, Shards: *shards,
+			Capacity: 1 << 20,
+		},
+		ServeStale:  *serveStale,
+		MaxAttempts: *attempts,
+		Seed:        time.Now().UnixNano(),
+	}
+	if *harvest {
+		cfg.Harvest = recursive.HarvestFull
+	}
+	for _, h := range hints {
+		cfg.RootHints = append(cfg.RootHints, recursive.ServerHint{
+			Name: "hint." + h + ".", Addr: netsim.Addr(h),
+		})
+	}
+	for _, f := range forwards {
+		cfg.Forwarders = append(cfg.Forwarders, netsim.Addr(f))
+	}
+
+	loop := udprun.NewLoop()
+	conn, err := udprun.Listen(*listen, loop)
+	if err != nil {
+		log.Fatalf("recursived: %v", err)
+	}
+	res := recursive.NewResolver(udprun.Clock{Loop: loop}, cfg)
+	res.SetConn(conn)
+
+	mode := "iterative"
+	if len(forwards) > 0 {
+		mode = "forwarding"
+	}
+	log.Printf("recursive resolver (%s) listening on %s", mode, conn.Addr())
+
+	if *tcp {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("recursived: tcp: %v", err)
+		}
+		log.Printf("also serving TCP on %s", ln.Addr())
+		go func() {
+			err := udprun.ServeTCP(ln, func(payload []byte) []byte {
+				q, err := dnswire.Unpack(payload)
+				if err != nil {
+					return nil
+				}
+				// Bridge the connection goroutine to the engine loop.
+				ch := make(chan []byte, 1)
+				loop.Post(func() {
+					res.HandleQuery(q, func(m *dnswire.Message) {
+						if wire, err := m.Pack(); err == nil {
+							ch <- wire
+						} else {
+							ch <- nil
+						}
+					})
+				})
+				return <-ch
+			})
+			if err != nil {
+				log.Printf("recursived: tcp serve ended: %v", err)
+			}
+		}()
+	}
+
+	go func() {
+		err := conn.Serve(res.Receive)
+		log.Printf("recursived: serve loop ended: %v", err)
+		loop.Close()
+	}()
+
+	// Periodic stats line.
+	go func() {
+		for {
+			time.Sleep(30 * time.Second)
+			loop.Post(func() {
+				s := res.Stats()
+				log.Printf("stats: client=%d hits=%d misses=%d upstream=%d retries=%d stale=%d servfail=%d",
+					s.ClientQueries, s.CacheHits, s.CacheMisses,
+					s.UpstreamQueries, s.UpstreamRetries, s.StaleServes, s.ServFails)
+			})
+		}
+	}()
+	loop.Run()
+}

@@ -1,0 +1,338 @@
+// Package dikes is a controlled-experiment testbed for studying DNS
+// resilience under DDoS, reproducing Moura et al., "When the Dike Breaks:
+// Dissecting DNS Defenses During DDoS" (ACM IMC 2018 / ISI-TR-725).
+//
+// The library contains a complete, from-scratch DNS ecosystem:
+//
+//   - a wire-format codec (RFC 1034/1035 with name compression),
+//   - a zone store with master-file parsing and full lookup semantics,
+//   - an authoritative server engine,
+//   - a caching recursive resolver engine with retries, negative caching,
+//     credibility ranking, serve-stale, TTL rewriting, fragmented caches,
+//     and multi-level forwarding,
+//   - a stub resolver,
+//   - a deterministic discrete-event network simulator with programmable
+//     inbound loss (the DDoS emulation dial),
+//   - an Atlas-like vantage-point fleet and the paper's AA/CC/AC/CA answer
+//     classifier,
+//   - experiment runners for every table and figure in the paper.
+//
+// Most users start from the experiment runners:
+//
+//	res := dikes.RunCaching(dikes.CachingConfig{Probes: 1000, TTL: 3600})
+//	fmt.Print(dikes.RenderTable2([]*dikes.CachingResult{res}))
+//
+// or emulate an attack:
+//
+//	spec, _ := dikes.SpecByName("H") // 90% loss, TTL 1800
+//	res := dikes.RunDDoS(spec, 1000, 42, dikes.PopulationConfig{})
+//	fmt.Printf("failure rate under attack: %.0f%%\n", 100*res.FailureRate(9))
+//
+// For custom topologies, the engine types (Resolver, Authoritative, Stub,
+// Network, virtual Clock, Zone) are exported below; see the examples/
+// directory.
+package dikes
+
+import (
+	"repro/internal/authoritative"
+	"repro/internal/cache"
+	"repro/internal/classify"
+	"repro/internal/clock"
+	"repro/internal/ddos"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/passive"
+	"repro/internal/recursive"
+	"repro/internal/retrymodel"
+	"repro/internal/stats"
+	"repro/internal/stub"
+	"repro/internal/vantage"
+	"repro/internal/zone"
+)
+
+// Wire protocol (package dnswire).
+type (
+	// Message is a DNS message.
+	Message = dnswire.Message
+	// Question is a DNS question-section entry.
+	Question = dnswire.Question
+	// RR is a resource record.
+	RR = dnswire.RR
+	// RData is typed record data.
+	RData = dnswire.RData
+	// Type is a record type.
+	Type = dnswire.Type
+	// RCode is a response code.
+	RCode = dnswire.RCode
+)
+
+// Commonly used record types and response codes.
+const (
+	TypeA     = dnswire.TypeA
+	TypeAAAA  = dnswire.TypeAAAA
+	TypeNS    = dnswire.TypeNS
+	TypeCNAME = dnswire.TypeCNAME
+	TypeSOA   = dnswire.TypeSOA
+	TypeTXT   = dnswire.TypeTXT
+	TypeDS    = dnswire.TypeDS
+
+	RCodeNoError  = dnswire.RCodeNoError
+	RCodeServFail = dnswire.RCodeServFail
+	RCodeNXDomain = dnswire.RCodeNXDomain
+)
+
+// Wire helpers.
+var (
+	// NewQuery builds a recursive query message.
+	NewQuery = dnswire.NewQuery
+	// Unpack parses a wire-format message.
+	Unpack = dnswire.Unpack
+	// CanonicalName canonicalizes a domain name (lower case, trailing
+	// dot).
+	CanonicalName = dnswire.CanonicalName
+	// MustAddr parses an IP literal or panics.
+	MustAddr = dnswire.MustAddr
+)
+
+// Simulation substrate.
+type (
+	// Clock abstracts time for the engines.
+	Clock = clock.Clock
+	// VirtualClock is the deterministic event-loop clock.
+	VirtualClock = clock.Virtual
+	// RealClock is the wall clock.
+	RealClock = clock.Real
+	// Network is the lossy message-level network simulator.
+	Network = netsim.Network
+	// Addr identifies a simulated host.
+	Addr = netsim.Addr
+	// Conn is the transport contract engines program against.
+	Conn = netsim.Conn
+	// Attack is a scheduled DDoS (inbound loss window).
+	Attack = ddos.Attack
+	// Flood is a volumetric attack expressed as offered load vs capacity.
+	Flood = ddos.Flood
+)
+
+// Substrate constructors.
+var (
+	// NewVirtualClock creates a virtual clock starting at a given time.
+	NewVirtualClock = clock.NewVirtual
+	// NewNetwork creates a simulated network on a clock with a seed.
+	NewNetwork = netsim.New
+	// ScheduleAttack arms a DDoS on a network.
+	ScheduleAttack = ddos.Schedule
+	// ScheduleFlood arms a capacity-based volumetric attack.
+	ScheduleFlood = ddos.ScheduleFlood
+)
+
+// Zone data.
+type (
+	// Zone stores one DNS zone.
+	Zone = zone.Zone
+	// ZoneResult is a zone lookup outcome.
+	ZoneResult = zone.Result
+)
+
+// Zone constructors.
+var (
+	// NewZone creates an empty zone.
+	NewZone = zone.New
+	// ParseZone reads RFC 1035 master-file format.
+	ParseZone = zone.Parse
+	// ParseZoneString is ParseZone on a string.
+	ParseZoneString = zone.ParseString
+)
+
+// Server and resolver engines.
+type (
+	// Authoritative is the authoritative server engine.
+	Authoritative = authoritative.Server
+	// Resolver is the caching recursive resolver engine.
+	Resolver = recursive.Resolver
+	// ResolverConfig tunes a Resolver.
+	ResolverConfig = recursive.Config
+	// ServerHint names a root or forwarder server.
+	ServerHint = recursive.ServerHint
+	// HarvestMode selects NS-record background fetching behavior.
+	HarvestMode = recursive.HarvestMode
+	// ResolveResult is the outcome of a Resolver.Resolve call.
+	ResolveResult = recursive.Result
+	// CacheConfig tunes the resolver cache.
+	CacheConfig = cache.Config
+	// Stub is the client-side stub resolver.
+	Stub = stub.Client
+	// StubConfig tunes a Stub.
+	StubConfig = stub.Config
+	// StubResult is a stub query outcome.
+	StubResult = stub.Result
+)
+
+// Harvest modes.
+const (
+	HarvestNone = recursive.HarvestNone
+	HarvestAAAA = recursive.HarvestAAAA
+	HarvestFull = recursive.HarvestFull
+)
+
+// DNSSEC (Ed25519, RFC 8080).
+type (
+	// SigningKey is a zone signing key pair.
+	SigningKey = dnssec.Key
+)
+
+// DNSSEC helpers.
+var (
+	// GenerateKey creates an Ed25519 zone key.
+	GenerateKey = dnssec.GenerateKey
+	// SignZone signs every authoritative RRset in a zone.
+	SignZone = dnssec.SignZone
+	// VerifyRRSet checks an RRSIG over an RRset.
+	VerifyRRSet = dnssec.Verify
+	// VerifyDS checks a DNSKEY against its parent-side DS.
+	VerifyDS = dnssec.VerifyDS
+)
+
+// DNSSEC constants.
+const (
+	AlgorithmEd25519 = dnssec.AlgorithmEd25519
+	FlagZone         = dnssec.FlagZone
+	FlagSEP          = dnssec.FlagSEP
+)
+
+// Engine constructors.
+var (
+	// NewAuthoritative creates an authoritative server for zones.
+	NewAuthoritative = authoritative.New
+	// NewResolver creates a recursive resolver.
+	NewResolver = recursive.NewResolver
+	// NewStub creates a stub resolver client.
+	NewStub = stub.New
+)
+
+// Measurement and classification.
+type (
+	// Probe is an Atlas-like vantage-point probe.
+	Probe = vantage.Probe
+	// ProbeAnswer is one vantage-point observation.
+	ProbeAnswer = vantage.Answer
+	// Category is the paper's AA/CC/AC/CA answer class.
+	Category = classify.Category
+	// ClassifyTracker classifies one vantage point's answer stream.
+	ClassifyTracker = classify.Tracker
+)
+
+// Experiment runners — one per paper table/figure family.
+type (
+	// CachingConfig parameterizes a §3 caching baseline run.
+	CachingConfig = experiment.CachingConfig
+	// CachingResult bundles Tables 1–3 and Figure 3/13 data.
+	CachingResult = experiment.CachingResult
+	// DDoSSpec is a row of Table 4 (an emulated attack).
+	DDoSSpec = experiment.DDoSSpec
+	// DDoSResult bundles the attack's client- and server-side series.
+	DDoSResult = experiment.DDoSResult
+	// PopulationConfig tunes the resolver-population mix.
+	PopulationConfig = experiment.PopulationConfig
+	// Testbed is the assembled simulated ecosystem.
+	Testbed = experiment.Testbed
+	// TestbedConfig sizes a testbed.
+	TestbedConfig = experiment.TestbedConfig
+	// GlueResult is the Appendix A Table 5 outcome.
+	GlueResult = experiment.GlueResult
+	// Table7 is the Appendix F per-probe drill-down.
+	Table7 = experiment.Table7
+	// ImplicationsConfig parameterizes the §8 root-vs-CDN scenario.
+	ImplicationsConfig = experiment.ImplicationsConfig
+	// ImplicationsResult is the §8 scenario outcome.
+	ImplicationsResult = experiment.ImplicationsResult
+	// NlSimConfig parameterizes the simulation-derived Figure 4 variant.
+	NlSimConfig = experiment.NlSimConfig
+	// NlSimResult is its outcome.
+	NlSimResult = experiment.NlSimResult
+	// NlConfig and RootConfig parameterize the §4 passive analyses.
+	NlConfig = passive.NlConfig
+	// NlResult is the Figure 4 outcome.
+	NlResult = passive.NlResult
+	// RootConfig parameterizes the Figure 5 synthesis.
+	RootConfig = passive.RootConfig
+	// RootResult is the Figure 5 outcome.
+	RootResult = passive.RootResult
+	// RetryProfile models a resolver implementation (§6.2).
+	RetryProfile = retrymodel.Profile
+	// RetryResult summarizes retry-count trials (Figure 16).
+	RetryResult = retrymodel.Result
+	// Summary holds latency quantiles (Figure 9).
+	Summary = stats.Summary
+	// RoundSeries is a per-round labeled counter series.
+	RoundSeries = stats.RoundSeries
+)
+
+// Experiment entry points.
+var (
+	// RunCaching executes one §3 caching baseline (Tables 1–3).
+	RunCaching = experiment.RunCaching
+	// RunDDoS executes one Table 4 attack emulation.
+	RunDDoS = experiment.RunDDoS
+	// RunDDoSWithTestbed also returns the testbed for drill-downs.
+	RunDDoSWithTestbed = experiment.RunDDoSWithTestbed
+	// RunGlueVsAuth executes the Appendix A TTL-trust experiment.
+	RunGlueVsAuth = experiment.RunGlueVsAuth
+	// PerProbe computes the Appendix F Table 7 for one probe.
+	PerProbe = experiment.PerProbe
+	// BusiestProbe picks a drill-down subject.
+	BusiestProbe = experiment.BusiestProbe
+	// SpecByName returns a paper experiment (A–I) by name.
+	SpecByName = experiment.SpecByName
+	// NewTestbed assembles a simulated ecosystem for custom studies.
+	NewTestbed = experiment.NewTestbed
+	// RunImplications executes the §8 root-vs-CDN attack comparison.
+	RunImplications = experiment.RunImplications
+	// Check runs the reproduction self-test against the paper's claims.
+	Check = experiment.Check
+	// RenderCheck prints a Check result table.
+	RenderCheck = experiment.RenderCheck
+	// RunNl executes the §4.1 .nl inter-arrival analysis (Figure 4).
+	RunNl = passive.RunNl
+	// RunNlFromSim derives Figure 4 from an actual simulated run.
+	RunNlFromSim = experiment.RunNlFromSim
+	// RunRoot executes the §4.2 root DS analysis (Figure 5).
+	RunRoot = passive.RunRoot
+	// RunRetryTrials measures per-level query counts of a resolver
+	// profile with servers up or down (Figure 16).
+	RunRetryTrials = retrymodel.Run
+	// BINDLike and UnboundLike are the §6.2 software profiles.
+	BINDLike    = retrymodel.BINDLike
+	UnboundLike = retrymodel.UnboundLike
+)
+
+// PaperExperiments are the paper's Table 4 experiments A–I.
+var PaperExperiments = experiment.PaperExperiments
+
+// Renderers for paper-style text tables.
+var (
+	RenderTable1        = experiment.RenderTable1
+	RenderTable2        = experiment.RenderTable2
+	RenderTable3        = experiment.RenderTable3
+	RenderTable4        = experiment.RenderTable4
+	RenderTable5        = experiment.RenderTable5
+	RenderTable7        = experiment.RenderTable7
+	RenderLatency       = experiment.RenderLatency
+	RenderImplications  = experiment.RenderImplications
+	SeriesCSV           = experiment.SeriesCSV
+	LatencyCSV          = experiment.LatencyCSV
+	AmplificationCSV    = experiment.AmplificationCSV
+	UniqueRnCSV         = experiment.UniqueRnCSV
+	ECDFCSV             = experiment.ECDFCSV
+	RenderUniqueRn      = experiment.RenderUniqueRn
+	RenderAmplification = experiment.RenderAmplification
+)
+
+// MustA builds A record data from an IPv4 literal, panicking on bad input.
+func MustA(s string) RData { return dnswire.A{Addr: dnswire.MustAddr(s)} }
+
+// MustAAAA builds AAAA record data from an IPv6 literal, panicking on bad
+// input.
+func MustAAAA(s string) RData { return dnswire.AAAA{Addr: dnswire.MustAddr(s)} }

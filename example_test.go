@@ -1,0 +1,98 @@
+package dikes_test
+
+import (
+	"fmt"
+	"time"
+
+	dikes "repro"
+)
+
+// ExampleCanonicalName shows the canonical domain-name form used
+// throughout the library.
+func ExampleCanonicalName() {
+	fmt.Println(dikes.CanonicalName("WWW.Example.NL"))
+	fmt.Println(dikes.CanonicalName(""))
+	// Output:
+	// www.example.nl.
+	// .
+}
+
+// Example_resolve builds a one-zone world on the virtual clock and
+// resolves a name through it. The simulation is deterministic, so the
+// output is stable.
+func Example_resolve() {
+	clk := dikes.NewVirtualClock(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
+	net := dikes.NewNetwork(clk, 1)
+
+	z, err := dikes.ParseZoneString(`
+$ORIGIN example.nl.
+$TTL 300
+@    IN SOA ns1 hostmaster 1 7200 3600 864000 60
+@    IN NS  ns1
+ns1  IN A    192.0.2.1
+www  IN AAAA 2001:db8::80
+`, "")
+	if err != nil {
+		panic(err)
+	}
+	dikes.NewAuthoritative(z).Attach(net, "192.0.2.1")
+
+	r := dikes.NewResolver(clk, dikes.ResolverConfig{
+		RootHints: []dikes.ServerHint{{Name: "ns1.example.nl.", Addr: "192.0.2.1"}},
+	})
+	r.Attach(net, "10.0.0.53")
+
+	r.Resolve("www.example.nl.", dikes.TypeAAAA, 0, func(res dikes.ResolveResult) {
+		fmt.Printf("%s (TTL %d, rcode %s)\n",
+			res.Answers[0].Data, res.Answers[0].TTL, res.RCode)
+	})
+	clk.Run()
+	// Output:
+	// 2001:db8::80 (TTL 300, rcode NOERROR)
+}
+
+// Example_ddos emulates a complete authoritative failure and shows the
+// cache riding it out until the TTL expires.
+func Example_ddos() {
+	clk := dikes.NewVirtualClock(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
+	net := dikes.NewNetwork(clk, 1)
+	z, _ := dikes.ParseZoneString(`
+$ORIGIN shop.nl.
+$TTL 120
+@    IN SOA ns1 hostmaster 1 7200 3600 864000 60
+@    IN NS  ns1
+ns1  IN A    192.0.2.1
+www  IN AAAA 2001:db8::443
+`, "")
+	dikes.NewAuthoritative(z).Attach(net, "192.0.2.1")
+	r := dikes.NewResolver(clk, dikes.ResolverConfig{
+		RootHints: []dikes.ServerHint{{Name: "ns1.shop.nl.", Addr: "192.0.2.1"}},
+	})
+	r.Attach(net, "10.0.0.53")
+
+	lookup := func(label string) {
+		r.Resolve("www.shop.nl.", dikes.TypeAAAA, 0, func(res dikes.ResolveResult) {
+			switch {
+			case res.ServFail:
+				fmt.Printf("%s: SERVFAIL\n", label)
+			case res.FromCache:
+				fmt.Printf("%s: answered from cache\n", label)
+			default:
+				fmt.Printf("%s: answered by the authoritative\n", label)
+			}
+		})
+		clk.RunFor(30 * time.Second)
+	}
+
+	lookup("before the attack")
+	dikes.ScheduleAttack(clk, net, dikes.Attack{
+		Targets: []dikes.Addr{"192.0.2.1"}, Loss: 1, Start: time.Second,
+	})
+	lookup("attack, cache warm ") // within the 120 s TTL
+	clk.RunFor(2 * time.Minute)   // let the cache expire
+	lookup("attack, cache cold ")
+	// Output:
+	// before the attack: answered by the authoritative
+	// attack, cache warm : answered from cache
+	// attack, cache cold : SERVFAIL
+}

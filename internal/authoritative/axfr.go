@@ -1,0 +1,108 @@
+package authoritative
+
+import (
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// TypeAXFR is the zone-transfer query type (RFC 5936). Transfers run over
+// TCP; HandleAXFR produces the message sequence for one transfer.
+const TypeAXFR dnswire.Type = 252
+
+// HandleAXFR answers a zone-transfer query with the RFC 5936 message
+// sequence: the SOA, every other record, and the SOA again. A nil return
+// means the query is not an AXFR or the zone is not served here; callers
+// fall through to normal handling. Real deployments restrict AXFR to
+// secondaries; cmd/authd exposes an allow flag.
+func (s *Server) HandleAXFR(q *dnswire.Message) []*dnswire.Message {
+	if q.Response || len(q.Questions) != 1 || q.Questions[0].Type != TypeAXFR {
+		return nil
+	}
+	name := dnswire.CanonicalName(q.Questions[0].Name)
+	var z *zone.Zone
+	for _, candidate := range s.Zones() {
+		if candidate.Origin() == name {
+			z = candidate
+			break
+		}
+	}
+	resp := dnswire.NewResponse(q)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return []*dnswire.Message{resp}
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		resp.RCode = dnswire.RCodeServFail
+		return []*dnswire.Message{resp}
+	}
+
+	// One record batch per message, capped so each message packs within
+	// the TCP frame comfortably.
+	const perMessage = 100
+	var msgs []*dnswire.Message
+	current := dnswire.NewResponse(q)
+	current.Authoritative = true
+	add := func(rr dnswire.RR) {
+		if len(current.Answers) >= perMessage {
+			msgs = append(msgs, current)
+			current = dnswire.NewResponse(q)
+			current.Authoritative = true
+			current.Questions = nil // only the first message repeats the question
+		}
+		current.Answers = append(current.Answers, rr)
+	}
+
+	add(soa)
+	for _, name := range z.Names() {
+		for _, t := range []dnswire.Type{
+			dnswire.TypeNS, dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeCNAME,
+			dnswire.TypePTR, dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeDS,
+			dnswire.TypeDNSKEY, dnswire.TypeNSEC, dnswire.TypeRRSIG,
+		} {
+			for _, rr := range z.RRSet(name, t) {
+				add(rr)
+			}
+		}
+	}
+	add(soa)
+	msgs = append(msgs, current)
+	return msgs
+}
+
+// LoadAXFR rebuilds a zone from a transfer's message sequence (the
+// secondary side). It validates the SOA bracketing.
+func LoadAXFR(origin string, msgs []*dnswire.Message) (*zone.Zone, error) {
+	var rrs []dnswire.RR
+	for _, m := range msgs {
+		if m.RCode != dnswire.RCodeNoError {
+			return nil, errTransferFailed(m.RCode)
+		}
+		rrs = append(rrs, m.Answers...)
+	}
+	if len(rrs) < 2 {
+		return nil, errBadTransfer
+	}
+	first, last := rrs[0], rrs[len(rrs)-1]
+	if first.Type() != dnswire.TypeSOA || last.Type() != dnswire.TypeSOA ||
+		!first.Data.Equal(last.Data) {
+		return nil, errBadTransfer
+	}
+	z := zone.New(origin)
+	for _, rr := range rrs[:len(rrs)-1] { // drop the trailing SOA copy
+		if err := z.Add(rr); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+type axfrError string
+
+func (e axfrError) Error() string { return string(e) }
+
+const errBadTransfer = axfrError("authoritative: malformed zone transfer")
+
+func errTransferFailed(rc dnswire.RCode) error {
+	return axfrError("authoritative: transfer failed: " + rc.String())
+}

@@ -1,0 +1,104 @@
+package authoritative
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+func TestAXFRRoundTrip(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(z)
+
+	q := dnswire.NewQuery(7, "cachetest.nl.", TypeAXFR)
+	msgs := s.HandleAXFR(q)
+	if len(msgs) == 0 {
+		t.Fatal("no transfer messages")
+	}
+	// SOA brackets the stream.
+	first := msgs[0].Answers[0]
+	lastMsg := msgs[len(msgs)-1]
+	last := lastMsg.Answers[len(lastMsg.Answers)-1]
+	if first.Type() != dnswire.TypeSOA || last.Type() != dnswire.TypeSOA {
+		t.Fatalf("SOA bracketing broken: %v ... %v", first.Type(), last.Type())
+	}
+
+	// The secondary reconstructs an identical zone.
+	z2, err := LoadAXFR("cachetest.nl.", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2.Len() != z.Len() {
+		t.Fatalf("transferred %d records, want %d", z2.Len(), z.Len())
+	}
+	for _, name := range z.Names() {
+		for _, typ := range []dnswire.Type{dnswire.TypeSOA, dnswire.TypeNS,
+			dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeCNAME, dnswire.TypeDS} {
+			a, b := z.RRSet(name, typ), z2.RRSet(name, typ)
+			if len(a) != len(b) {
+				t.Errorf("%s %s: %d vs %d", name, typ, len(a), len(b))
+			}
+		}
+	}
+	// And the copy serves the same answers.
+	s2 := New(z2)
+	resp := s2.Handle(dnswire.NewQuery(1, "1414.cachetest.nl.", dnswire.TypeAAAA))
+	if !resp.Authoritative || len(resp.Answers) != 1 {
+		t.Errorf("secondary serves %v", resp)
+	}
+}
+
+func TestAXFRLargeZoneSplitsMessages(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		z.MustAdd(dnswire.RR{Name: fmt.Sprintf("h%d.cachetest.nl.", i), TTL: 60,
+			Data: dnswire.A{Addr: dnswire.MustAddr(fmt.Sprintf("10.1.%d.%d", i/250, i%250+1))}})
+	}
+	s := New(z)
+	msgs := s.HandleAXFR(dnswire.NewQuery(7, "cachetest.nl.", TypeAXFR))
+	if len(msgs) < 5 {
+		t.Fatalf("large transfer fit in %d messages", len(msgs))
+	}
+	z2, err := LoadAXFR("cachetest.nl.", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2.Len() != z.Len() {
+		t.Errorf("transferred %d, want %d", z2.Len(), z.Len())
+	}
+}
+
+func TestAXFRRefusalsAndErrors(t *testing.T) {
+	s := testServer(t)
+	// Unknown zone: REFUSED.
+	msgs := s.HandleAXFR(dnswire.NewQuery(7, "other.nl.", TypeAXFR))
+	if len(msgs) != 1 || msgs[0].RCode != dnswire.RCodeRefused {
+		t.Errorf("unknown zone: %v", msgs)
+	}
+	// Non-AXFR queries fall through (nil).
+	if msgs := s.HandleAXFR(dnswire.NewQuery(7, "cachetest.nl.", dnswire.TypeA)); msgs != nil {
+		t.Error("non-AXFR handled as transfer")
+	}
+	// LoadAXFR rejects malformed streams.
+	if _, err := LoadAXFR("x.", nil); err == nil {
+		t.Error("empty transfer accepted")
+	}
+	bad := dnswire.NewResponse(dnswire.NewQuery(1, "x.", TypeAXFR))
+	bad.Answers = []dnswire.RR{{Name: "x.", TTL: 1, Data: dnswire.A{Addr: dnswire.MustAddr("10.0.0.1")}}}
+	if _, err := LoadAXFR("x.", []*dnswire.Message{bad, bad}); err == nil {
+		t.Error("unbracketed transfer accepted")
+	}
+	refused := dnswire.NewResponse(dnswire.NewQuery(1, "x.", TypeAXFR))
+	refused.RCode = dnswire.RCodeRefused
+	if _, err := LoadAXFR("x.", []*dnswire.Message{refused}); err == nil {
+		t.Error("refused transfer accepted")
+	}
+}

@@ -1,0 +1,319 @@
+// Package authoritative implements an authoritative DNS server engine: it
+// answers queries for the zones it hosts with authoritative answers,
+// referrals with glue, CNAME chains, and RFC 2308 negative answers. The
+// engine is transport-agnostic (Handle is a pure function of the query);
+// Attach binds it to a netsim network, and cmd/authd runs it on real UDP.
+package authoritative
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/zone"
+)
+
+// maxCNAMEChase bounds in-zone CNAME chain expansion.
+const maxCNAMEChase = 8
+
+// Stats counts served traffic.
+type Stats struct {
+	Queries   int64
+	Responses int64
+	ByRCode   map[dnswire.RCode]int64
+	ByType    map[dnswire.Type]int64
+	Referrals int64
+	Malformed int64
+	Truncated int64
+}
+
+// Server hosts one or more zones at a single network address.
+type Server struct {
+	mu    sync.RWMutex
+	zones []*zone.Zone // sorted by descending origin label count
+	stats Stats
+}
+
+// New creates a server hosting the given zones.
+func New(zones ...*zone.Zone) *Server {
+	s := &Server{stats: Stats{
+		ByRCode: make(map[dnswire.RCode]int64),
+		ByType:  make(map[dnswire.Type]int64),
+	}}
+	for _, z := range zones {
+		s.AddZone(z)
+	}
+	return s
+}
+
+// AddZone adds z to the served set.
+func (s *Server) AddZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones = append(s.zones, z)
+	sort.SliceStable(s.zones, func(i, j int) bool {
+		return dnswire.CountLabels(s.zones[i].Origin()) > dnswire.CountLabels(s.zones[j].Origin())
+	})
+}
+
+// Zones returns the hosted zones, most specific first.
+func (s *Server) Zones() []*zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*zone.Zone(nil), s.zones...)
+}
+
+// findZone returns the most specific hosted zone containing name.
+func (s *Server) findZone(name string) *zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, z := range s.zones {
+		if dnswire.IsSubdomain(name, z.Origin()) {
+			return z
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := s.stats
+	out.ByRCode = make(map[dnswire.RCode]int64, len(s.stats.ByRCode))
+	for k, v := range s.stats.ByRCode {
+		out.ByRCode[k] = v
+	}
+	out.ByType = make(map[dnswire.Type]int64, len(s.stats.ByType))
+	for k, v := range s.stats.ByType {
+		out.ByType[k] = v
+	}
+	return out
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// maxUDPPayload is the classic DNS-over-UDP limit without EDNS0.
+const maxUDPPayload = 512
+
+// HandleWire unpacks a query, answers it, and packs the response. A nil
+// return means the input should be dropped silently (malformed, or a
+// response packet). Responses exceeding the client's UDP payload size
+// (512 octets, or the EDNS0-advertised size) are truncated: sections
+// emptied and the TC bit set, telling the client to retry over TCP.
+func (s *Server) HandleWire(payload []byte) []byte {
+	return s.handleWire(payload, false)
+}
+
+// HandleWireTCP is HandleWire without the UDP size limit (RFC 7766: TCP
+// responses are never truncated below the 64 KiB framing bound).
+func (s *Server) HandleWireTCP(payload []byte) []byte {
+	return s.handleWire(payload, true)
+}
+
+func (s *Server) handleWire(payload []byte, tcp bool) []byte {
+	q, err := dnswire.Unpack(payload)
+	if err != nil {
+		s.count(func(st *Stats) { st.Malformed++ })
+		return nil
+	}
+	resp := s.Handle(q)
+	if resp == nil {
+		return nil
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	if limit := udpLimit(q); !tcp && len(wire) > limit {
+		s.count(func(st *Stats) { st.Truncated++ })
+		trunc := *resp
+		trunc.Truncated = true
+		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+		if wire, err = trunc.Pack(); err != nil {
+			return nil
+		}
+	}
+	return wire
+}
+
+// udpLimit returns the response-size budget the client advertised: 512
+// unless an EDNS0 OPT record raises it (RFC 6891 carries the size in the
+// OPT record's class field).
+func udpLimit(q *dnswire.Message) int {
+	for _, rr := range q.Additionals {
+		if rr.Type() == dnswire.TypeOPT {
+			if size := int(rr.Class); size > maxUDPPayload {
+				return size
+			}
+			return maxUDPPayload
+		}
+	}
+	return maxUDPPayload
+}
+
+// Handle answers a parsed query. It returns nil for messages that must be
+// ignored (responses, or queries without a question).
+func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
+	if q.Response {
+		return nil
+	}
+	s.count(func(st *Stats) { st.Queries++ })
+	resp := dnswire.NewResponse(q)
+	resp.RecursionAvailable = false
+
+	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
+		resp.RCode = dnswire.RCodeNotImp
+		s.finish(resp)
+		return resp
+	}
+	question := q.Questions[0]
+	question.Name = dnswire.CanonicalName(question.Name)
+	if question.Class != dnswire.ClassIN && question.Class != dnswire.ClassANY {
+		resp.RCode = dnswire.RCodeRefused
+		s.finish(resp)
+		return resp
+	}
+	s.count(func(st *Stats) { st.ByType[question.Type]++ })
+
+	z := s.findZone(question.Name)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		s.finish(resp)
+		return resp
+	}
+	_, do, hasEDNS := q.EDNS()
+	s.answerFromZone(resp, z, question.Name, question.Type, 0)
+	if do {
+		s.addDenialProof(resp, z, question)
+		s.addSignatures(resp, z)
+	}
+	if hasEDNS {
+		resp.AddEDNS(4096, do)
+	}
+	s.finish(resp)
+	return resp
+}
+
+// addDenialProof attaches the covering NSEC record to negative responses
+// (RFC 4035 §3.1.3) when the zone carries a chain. Wildcard-denial NSECs
+// are not included (this implementation synthesizes no signed wildcards).
+func (s *Server) addDenialProof(resp *dnswire.Message, z *zone.Zone, q dnswire.Question) {
+	negative := resp.RCode == dnswire.RCodeNXDomain ||
+		(resp.RCode == dnswire.RCodeNoError && len(resp.Answers) == 0 && resp.Authoritative)
+	if !negative {
+		return
+	}
+	if nsec, ok := dnssec.CoveringNSEC(z, q.Name); ok {
+		resp.Authorities = append(resp.Authorities, nsec)
+	}
+}
+
+// addSignatures appends the RRSIGs covering every RRset already placed in
+// the answer and authority sections (RFC 4035 §3.1: signatures accompany
+// the data when the DO bit is set).
+func (s *Server) addSignatures(resp *dnswire.Message, z *zone.Zone) {
+	appendSigs := func(section []dnswire.RR) []dnswire.RR {
+		type setKey struct {
+			name string
+			t    dnswire.Type
+		}
+		seen := make(map[setKey]bool)
+		out := section
+		for _, rr := range section {
+			k := setKey{name: dnswire.CanonicalName(rr.Name), t: rr.Type()}
+			if seen[k] || k.t == dnswire.TypeRRSIG {
+				continue
+			}
+			seen[k] = true
+			for _, sigRR := range z.RRSet(k.name, dnswire.TypeRRSIG) {
+				if sig, ok := sigRR.Data.(dnswire.RRSIG); ok && sig.TypeCovered == k.t {
+					out = append(out, sigRR)
+				}
+			}
+		}
+		return out
+	}
+	resp.Answers = appendSigs(resp.Answers)
+	resp.Authorities = appendSigs(resp.Authorities)
+}
+
+func (s *Server) answerFromZone(resp *dnswire.Message, z *zone.Zone, name string, qtype dnswire.Type, depth int) {
+	res := z.Lookup(name, qtype)
+	switch res.Kind {
+	case zone.Success:
+		resp.Authoritative = true
+		resp.Answers = append(resp.Answers, res.Records...)
+		if qtype == dnswire.TypeNS {
+			s.addNSGlue(resp, z, res.Records)
+		}
+	case zone.CName:
+		resp.Authoritative = true
+		resp.Answers = append(resp.Answers, res.Records...)
+		target := dnswire.CanonicalName(res.Records[0].Data.(dnswire.CNAME).Target)
+		if depth < maxCNAMEChase && dnswire.IsSubdomain(target, z.Origin()) {
+			s.answerFromZone(resp, z, target, qtype, depth+1)
+		}
+	case zone.Delegation:
+		// Referral: not authoritative, NS set in authority, glue in
+		// additional (the Appendix A parent-side shape).
+		resp.Authorities = append(resp.Authorities, res.Records...)
+		resp.Additionals = append(resp.Additionals, res.Glue...)
+		s.count(func(st *Stats) { st.Referrals++ })
+	case zone.NXDomain:
+		resp.Authoritative = true
+		if depth == 0 {
+			resp.RCode = dnswire.RCodeNXDomain
+		}
+		if res.SOA.Data != nil {
+			resp.Authorities = append(resp.Authorities, res.SOA)
+		}
+	case zone.NoData:
+		resp.Authoritative = true
+		if res.SOA.Data != nil {
+			resp.Authorities = append(resp.Authorities, res.SOA)
+		}
+	case zone.NotInZone:
+		resp.RCode = dnswire.RCodeRefused
+	}
+}
+
+// addNSGlue appends in-zone addresses for NS answer targets.
+func (s *Server) addNSGlue(resp *dnswire.Message, z *zone.Zone, nsSet []dnswire.RR) {
+	for _, rr := range nsSet {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		host := dnswire.CanonicalName(ns.Host)
+		for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+			if res := z.Lookup(host, t); res.Kind == zone.Success {
+				resp.Additionals = append(resp.Additionals, res.Records...)
+			}
+		}
+	}
+}
+
+func (s *Server) finish(resp *dnswire.Message) {
+	s.count(func(st *Stats) {
+		st.Responses++
+		st.ByRCode[resp.RCode]++
+	})
+}
+
+// Attach binds the server to addr on the network and returns the port.
+func (s *Server) Attach(net *netsim.Network, addr netsim.Addr) *netsim.Port {
+	var port *netsim.Port
+	port = net.Bind(addr, func(src netsim.Addr, payload []byte) {
+		if out := s.HandleWire(payload); out != nil {
+			port.Send(src, out)
+		}
+	})
+	return port
+}

@@ -1,0 +1,400 @@
+package authoritative
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/zone"
+)
+
+const testZoneText = `
+$ORIGIN cachetest.nl.
+$TTL 3600
+@       IN SOA ns1 hostmaster 1 7200 3600 864000 60
+@       IN NS  ns1
+@       IN NS  ns2
+ns1     IN A   192.0.2.1
+ns2     IN A   192.0.2.2
+1414 60 IN AAAA fd0f:3897:faf7:a375:1:586::3c
+www     IN CNAME 1414
+ext     IN CNAME target.example.com.
+sub     IN NS  ns.sub
+ns.sub  IN A   192.0.2.53
+`
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(z)
+}
+
+func query(name string, qt dnswire.Type) *dnswire.Message {
+	return dnswire.NewQuery(42, name, qt)
+}
+
+func TestAuthoritativeAnswer(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("1414.cachetest.nl.", dnswire.TypeAAAA))
+	if resp == nil || !resp.Authoritative || resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("resp = %v", resp)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].TTL != 60 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	if resp.ID != 42 || !resp.Response {
+		t.Error("response header not mirrored")
+	}
+}
+
+func TestNSAnswerCarriesGlue(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("cachetest.nl.", dnswire.TypeNS))
+	if len(resp.Answers) != 2 {
+		t.Fatalf("NS answers = %v", resp.Answers)
+	}
+	if len(resp.Additionals) != 2 {
+		t.Errorf("glue = %v", resp.Additionals)
+	}
+}
+
+func TestCNAMEChasedInZone(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("www.cachetest.nl.", dnswire.TypeAAAA))
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	if resp.Answers[0].Type() != dnswire.TypeCNAME || resp.Answers[1].Type() != dnswire.TypeAAAA {
+		t.Errorf("chain = %v", resp.Answers)
+	}
+}
+
+func TestCNAMEOutOfZoneNotChased(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("ext.cachetest.nl.", dnswire.TypeA))
+	if len(resp.Answers) != 1 || resp.Answers[0].Type() != dnswire.TypeCNAME {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}
+
+func TestReferral(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("host.sub.cachetest.nl.", dnswire.TypeA))
+	if resp.Authoritative {
+		t.Error("referral must not set AA")
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Type() != dnswire.TypeNS {
+		t.Fatalf("authority = %v", resp.Authorities)
+	}
+	if len(resp.Additionals) != 1 {
+		t.Errorf("glue = %v", resp.Additionals)
+	}
+	if s.Stats().Referrals != 1 {
+		t.Errorf("referral counter = %d", s.Stats().Referrals)
+	}
+}
+
+func TestNXDomainCarriesSOA(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("missing.cachetest.nl.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeNXDomain || !resp.Authoritative {
+		t.Fatalf("resp = %+v", resp.Header)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Type() != dnswire.TypeSOA {
+		t.Errorf("authority = %v", resp.Authorities)
+	}
+}
+
+func TestNoData(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("1414.cachetest.nl.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 0 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Type() != dnswire.TypeSOA {
+		t.Errorf("authority = %v", resp.Authorities)
+	}
+}
+
+func TestRefusedOutOfZone(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("example.com.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestIgnoresResponsesAndMalformed(t *testing.T) {
+	s := testServer(t)
+	m := query("1414.cachetest.nl.", dnswire.TypeAAAA)
+	m.Response = true
+	if resp := s.Handle(m); resp != nil {
+		t.Error("handled a response packet")
+	}
+	if out := s.HandleWire([]byte{1, 2, 3}); out != nil {
+		t.Error("answered malformed packet")
+	}
+	if s.Stats().Malformed != 1 {
+		t.Errorf("malformed counter = %d", s.Stats().Malformed)
+	}
+}
+
+func TestNotImpAndRefusedClasses(t *testing.T) {
+	s := testServer(t)
+	m := query("cachetest.nl.", dnswire.TypeA)
+	m.Opcode = dnswire.OpcodeUpdate
+	if resp := s.Handle(m); resp.RCode != dnswire.RCodeNotImp {
+		t.Errorf("update rcode = %v", resp.RCode)
+	}
+	m = query("cachetest.nl.", dnswire.TypeA)
+	m.Questions[0].Class = dnswire.Class(3) // CHAOS
+	if resp := s.Handle(m); resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("chaos rcode = %v", resp.RCode)
+	}
+}
+
+func TestMultiZoneSelection(t *testing.T) {
+	parent, err := zone.ParseString(`
+$ORIGIN nl.
+$TTL 7200
+@         IN SOA ns1.dns.nl. h.dns.nl. 1 2 3 4 60
+@         IN NS ns1.dns.nl.
+ns1.dns   IN A 194.0.28.53
+cachetest IN NS ns1.cachetest.nl.
+ns1.cachetest IN A 192.0.2.1
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(parent, child)
+	// The child zone, not the parent's delegation, must answer.
+	resp := s.Handle(query("1414.cachetest.nl.", dnswire.TypeAAAA))
+	if !resp.Authoritative || len(resp.Answers) != 1 {
+		t.Fatalf("child zone not preferred: %v", resp)
+	}
+	// Parent still answers for other nl names.
+	resp = s.Handle(query("other.nl.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("parent lookup rcode = %v", resp.RCode)
+	}
+}
+
+func TestAttachServesOverNetwork(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 1)
+	s := testServer(t)
+	s.Attach(net, "192.0.2.1")
+
+	var got *dnswire.Message
+	net.Bind("198.51.100.7", func(src netsim.Addr, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil {
+			t.Errorf("bad response: %v", err)
+			return
+		}
+		got = m
+	})
+	wire, err := query("1414.cachetest.nl.", dnswire.TypeAAAA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send("198.51.100.7", "192.0.2.1", wire)
+	clk.Run()
+	if got == nil || len(got.Answers) != 1 {
+		t.Fatalf("no answer over network: %v", got)
+	}
+	if s.Stats().Queries != 1 {
+		t.Errorf("queries = %d", s.Stats().Queries)
+	}
+}
+
+func TestTruncationOverUDP(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A name with enough TXT data to blow the 512-octet limit.
+	for i := 0; i < 20; i++ {
+		z.MustAdd(dnswire.RR{Name: "big.cachetest.nl.", TTL: 60, Data: dnswire.TXT{
+			Strings: []string{fmt.Sprintf("record-%02d-%s", i, strings.Repeat("x", 30))},
+		}})
+	}
+	s := New(z)
+
+	q := query("big.cachetest.nl.", dnswire.TypeTXT)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.HandleWire(wire)
+	if out == nil {
+		t.Fatal("no response")
+	}
+	if len(out) > 512 {
+		t.Fatalf("response %d bytes exceeds 512 without EDNS", len(out))
+	}
+	m, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated || len(m.Answers) != 0 {
+		t.Errorf("want TC with empty sections, got TC=%v answers=%d", m.Truncated, len(m.Answers))
+	}
+	if s.Stats().Truncated != 1 {
+		t.Errorf("Truncated counter = %d", s.Stats().Truncated)
+	}
+
+	// With an EDNS0 OPT advertising 4096, the full answer fits.
+	q.Additionals = append(q.Additionals, dnswire.RR{
+		Name: ".", Class: dnswire.Class(4096), Data: dnswire.OPT{},
+	})
+	wire, err = q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = dnswire.Unpack(s.HandleWire(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated || len(m.Answers) != 20 {
+		t.Errorf("EDNS response: TC=%v answers=%d, want full answer", m.Truncated, len(m.Answers))
+	}
+}
+
+// TestDNSSECSignaturesWithDOBit: a signed zone returns RRSIGs only when
+// the query sets the EDNS0 DO bit, and the returned signature verifies.
+func TestDNSSECSignaturesWithDOBit(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := dnssec.GenerateKey("cachetest.nl.", dnssec.FlagZone, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+	if err := dnssec.SignZone(z, key, now, 7*24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := New(z)
+
+	// Without DO: no signatures.
+	resp := s.Handle(query("1414.cachetest.nl.", dnswire.TypeAAAA))
+	for _, rr := range resp.Answers {
+		if rr.Type() == dnswire.TypeRRSIG {
+			t.Fatal("RRSIG returned without DO bit")
+		}
+	}
+
+	// With DO: the covering RRSIG rides along and verifies.
+	q := query("1414.cachetest.nl.", dnswire.TypeAAAA)
+	q.AddEDNS(4096, true)
+	resp = s.Handle(q)
+	var dataRRs, sigs []dnswire.RR
+	for _, rr := range resp.Answers {
+		if rr.Type() == dnswire.TypeRRSIG {
+			sigs = append(sigs, rr)
+		} else {
+			dataRRs = append(dataRRs, rr)
+		}
+	}
+	if len(sigs) != 1 || len(dataRRs) != 1 {
+		t.Fatalf("answers: %d data, %d sigs", len(dataRRs), len(sigs))
+	}
+	if err := dnssec.Verify(key.Public, sigs[0], dataRRs, now.Add(time.Hour)); err != nil {
+		t.Fatalf("served signature does not verify: %v", err)
+	}
+	// The response echoes EDNS with DO.
+	if _, do, ok := resp.EDNS(); !ok || !do {
+		t.Error("response missing EDNS/DO echo")
+	}
+}
+
+// TestNSECDenialWithDOBit: a signed zone with an NSEC chain proves
+// nonexistence in negative responses to DO queries.
+func TestNSECDenialWithDOBit(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dnssec.BuildNSECChain(z); err != nil {
+		t.Fatal(err)
+	}
+	key, err := dnssec.GenerateKey("cachetest.nl.", dnssec.FlagZone, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+	if err := dnssec.SignZone(z, key, now, 7*24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := New(z)
+
+	q := query("missing.cachetest.nl.", dnswire.TypeA)
+	q.AddEDNS(4096, true)
+	resp := s.Handle(q)
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	var nsecRR *dnswire.RR
+	nsecSigned := false
+	for i, rr := range resp.Authorities {
+		switch rr.Type() {
+		case dnswire.TypeNSEC:
+			nsecRR = &resp.Authorities[i]
+		case dnswire.TypeRRSIG:
+			if rr.Data.(dnswire.RRSIG).TypeCovered == dnswire.TypeNSEC {
+				nsecSigned = true
+			}
+		}
+	}
+	if nsecRR == nil {
+		t.Fatal("NXDOMAIN response missing NSEC proof")
+	}
+	if !dnssec.VerifyDenial(*nsecRR, "missing.cachetest.nl.", dnswire.TypeA) {
+		t.Errorf("NSEC %v does not deny the name", nsecRR)
+	}
+	if !nsecSigned {
+		t.Error("NSEC proof not signed")
+	}
+
+	// NODATA: existing name, absent type.
+	q = query("1414.cachetest.nl.", dnswire.TypeA)
+	q.AddEDNS(4096, true)
+	resp = s.Handle(q)
+	found := false
+	for _, rr := range resp.Authorities {
+		if rr.Type() == dnswire.TypeNSEC {
+			found = true
+			if !dnssec.VerifyDenial(rr, "1414.cachetest.nl.", dnswire.TypeA) {
+				t.Error("NODATA NSEC does not deny the type")
+			}
+		}
+	}
+	if !found {
+		t.Error("NODATA response missing NSEC")
+	}
+	// Without DO, no NSEC appears.
+	resp = s.Handle(query("missing.cachetest.nl.", dnswire.TypeA))
+	for _, rr := range resp.Authorities {
+		if rr.Type() == dnswire.TypeNSEC {
+			t.Error("NSEC leaked into a non-DO response")
+		}
+	}
+}

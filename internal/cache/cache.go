@@ -1,0 +1,310 @@
+// Package cache implements the resolver-side DNS cache: TTL-honoring
+// storage with optional TTL caps/floors (the rewriting §3.4 of the paper
+// observes in the wild), RFC 2308 negative caching, RFC 2181 credibility
+// ranking (authoritative answers override glue — Appendix A), serve-stale
+// (draft-tale-dnsop-serve-stale, §5.3), LRU capacity limits, and cache
+// fragmentation: N independent shards emulating a load-balanced resolver
+// farm whose backends do not share a cache (§3.5).
+package cache
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+)
+
+// Rank is the RFC 2181 §5.4.1 credibility of cached data. Higher ranks
+// replace lower ones; lower-ranked data never overwrites fresher
+// higher-ranked data.
+type Rank int
+
+// Credibility ranks, weakest first.
+const (
+	// RankAdditional covers glue learned from additional sections.
+	RankAdditional Rank = iota + 1
+	// RankAuthority covers NS sets learned from referral authority
+	// sections.
+	RankAuthority
+	// RankAnswer covers records from the answer section of an
+	// authoritative reply.
+	RankAnswer
+)
+
+// Key identifies a cache entry. Class is implicitly IN.
+type Key struct {
+	Name string
+	Type dnswire.Type
+}
+
+// Entry is what Put stores.
+type Entry struct {
+	// Records are the RRset with the TTLs as received.
+	Records []dnswire.RR
+	// Rank is the credibility of the data.
+	Rank Rank
+	// Negative marks an NXDOMAIN or NODATA entry; SOA carries the
+	// authority SOA whose Minimum bounds the negative TTL.
+	Negative bool
+	NXDomain bool
+	SOA      dnswire.RR
+}
+
+// View is the result of a lookup.
+type View struct {
+	// Hit reports whether usable data was found.
+	Hit bool
+	// Stale is set when the data is past its TTL and returned only
+	// because serve-stale was requested. Stale records carry TTL 0, as in
+	// the serve-stale draft (the paper observed exactly this, §5.3).
+	Stale bool
+	// Records hold the RRset with TTLs decremented to the remaining
+	// lifetime.
+	Records  []dnswire.RR
+	Rank     Rank
+	Negative bool
+	NXDomain bool
+	SOA      dnswire.RR
+	// Age is how long ago the entry was stored.
+	Age time.Duration
+}
+
+// Config tunes a Cache. The zero value means: unlimited capacity, no TTL
+// rewriting, 1 shard, no serve-stale.
+type Config struct {
+	// Capacity limits entries per shard; <= 0 is unlimited.
+	Capacity int
+	// MinTTL raises TTLs below it (a floor some resolvers configure).
+	MinTTL time.Duration
+	// MaxTTL caps TTLs (BIND defaults to 7 d, Unbound to 1 d; EC2's
+	// resolver caps at 60 s).
+	MaxTTL time.Duration
+	// NegTTLCap caps negative TTLs; 0 defaults to the SOA Minimum alone.
+	NegTTLCap time.Duration
+	// ServeStale allows GetStale to return expired entries.
+	ServeStale bool
+	// StaleWindow bounds how long past expiry an entry may be served
+	// stale; 0 with ServeStale means a 1-hour default.
+	StaleWindow time.Duration
+	// Shards is the number of independent backend caches; queries carry a
+	// shard hint. <= 1 means one shared cache.
+	Shards int
+}
+
+const defaultStaleWindow = time.Hour
+
+// Cache is a sharded DNS cache. It is not safe for concurrent use; the
+// simulation is single-threaded and real-server callers wrap it in a lock.
+type Cache struct {
+	cfg    Config
+	clk    clock.Clock
+	shards []*shard
+}
+
+type shard struct {
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recent
+}
+
+type cached struct {
+	key      Key
+	entry    Entry
+	storedAt time.Time
+	expires  time.Time
+}
+
+// New creates a cache on clk with the given configuration.
+func New(clk clock.Clock, cfg Config) *Cache {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	c := &Cache{cfg: cfg, clk: clk, shards: make([]*shard, n)}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+	}
+	return c
+}
+
+// Shards returns the number of independent shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+func (c *Cache) shard(hint int) *shard {
+	if hint < 0 {
+		hint = -hint
+	}
+	return c.shards[hint%len(c.shards)]
+}
+
+// effectiveTTL applies the configured floor/cap to a record TTL.
+func (c *Cache) effectiveTTL(ttl time.Duration) time.Duration {
+	if c.cfg.MaxTTL > 0 && ttl > c.cfg.MaxTTL {
+		ttl = c.cfg.MaxTTL
+	}
+	if c.cfg.MinTTL > 0 && ttl < c.cfg.MinTTL {
+		ttl = c.cfg.MinTTL
+	}
+	return ttl
+}
+
+// Put stores e under key in the hinted shard. Data of lower rank does not
+// replace unexpired data of higher rank.
+func (c *Cache) Put(key Key, e Entry, shardHint int) {
+	key.Name = dnswire.CanonicalName(key.Name)
+	sh := c.shard(shardHint)
+	now := c.clk.Now()
+
+	if el, ok := sh.entries[key]; ok {
+		have := el.Value.(*cached)
+		if have.entry.Rank > e.Rank && have.expires.After(now) {
+			return
+		}
+	}
+
+	var ttl time.Duration
+	if e.Negative {
+		minimum := time.Duration(0)
+		if soa, ok := e.SOA.Data.(dnswire.SOA); ok {
+			minimum = time.Duration(soa.Minimum) * time.Second
+			if soaTTL := time.Duration(e.SOA.TTL) * time.Second; soaTTL < minimum {
+				minimum = soaTTL
+			}
+		}
+		ttl = minimum
+		if c.cfg.NegTTLCap > 0 && ttl > c.cfg.NegTTLCap {
+			ttl = c.cfg.NegTTLCap
+		}
+	} else {
+		if len(e.Records) == 0 {
+			return
+		}
+		min := time.Duration(e.Records[0].TTL) * time.Second
+		for _, rr := range e.Records[1:] {
+			if d := time.Duration(rr.TTL) * time.Second; d < min {
+				min = d
+			}
+		}
+		ttl = c.effectiveTTL(min)
+	}
+
+	item := &cached{key: key, entry: e, storedAt: now, expires: now.Add(ttl)}
+	if el, ok := sh.entries[key]; ok {
+		el.Value = item
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.entries[key] = sh.lru.PushFront(item)
+		if c.cfg.Capacity > 0 {
+			for sh.lru.Len() > c.cfg.Capacity {
+				oldest := sh.lru.Back()
+				sh.lru.Remove(oldest)
+				delete(sh.entries, oldest.Value.(*cached).key)
+			}
+		}
+	}
+}
+
+// Get returns fresh cached data for key from the hinted shard.
+func (c *Cache) Get(key Key, shardHint int) View {
+	return c.get(key, shardHint, false)
+}
+
+// GetStale is Get but, when the cache is configured for serve-stale, it
+// may also return expired data (with TTL 0) within the stale window. Call
+// it only after an upstream resolution attempt has failed.
+func (c *Cache) GetStale(key Key, shardHint int) View {
+	return c.get(key, shardHint, c.cfg.ServeStale)
+}
+
+func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
+	key.Name = dnswire.CanonicalName(key.Name)
+	sh := c.shard(shardHint)
+	el, ok := sh.entries[key]
+	if !ok {
+		return View{}
+	}
+	item := el.Value.(*cached)
+	now := c.clk.Now()
+	remaining := item.expires.Sub(now)
+	stale := remaining <= 0
+	if stale {
+		window := c.cfg.StaleWindow
+		if window == 0 {
+			window = defaultStaleWindow
+		}
+		if !allowStale || now.Sub(item.expires) > window {
+			return View{}
+		}
+		remaining = 0
+	}
+	sh.lru.MoveToFront(el)
+
+	v := View{
+		Hit:      true,
+		Stale:    stale,
+		Rank:     item.entry.Rank,
+		Negative: item.entry.Negative,
+		NXDomain: item.entry.NXDomain,
+		Age:      now.Sub(item.storedAt),
+	}
+	secs := uint32(remaining / time.Second)
+	if len(item.entry.Records) > 0 {
+		v.Records = make([]dnswire.RR, len(item.entry.Records))
+		copy(v.Records, item.entry.Records)
+		for i := range v.Records {
+			v.Records[i].TTL = secs
+		}
+	}
+	if item.entry.Negative {
+		v.SOA = item.entry.SOA
+		v.SOA.TTL = secs
+	}
+	return v
+}
+
+// Flush empties every shard (an operator flush or a resolver restart,
+// §3.1).
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+	}
+}
+
+// FlushShard empties a single backend cache.
+func (c *Cache) FlushShard(hint int) {
+	if hint < 0 {
+		hint = -hint
+	}
+	c.shards[hint%len(c.shards)] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+}
+
+// Len returns the total number of entries across shards, including expired
+// ones not yet evicted.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.lru.Len()
+	}
+	return n
+}
+
+// Dump returns the fresh entries of the hinted shard, mirroring
+// `rndc dumpdb` / `unbound-control dump_cache` (used for the Appendix A
+// Listings 3–4 reproduction).
+func (c *Cache) Dump(shardHint int) []dnswire.RR {
+	sh := c.shard(shardHint)
+	now := c.clk.Now()
+	var out []dnswire.RR
+	for _, el := range sh.entries {
+		item := el.Value.(*cached)
+		if !item.expires.After(now) || item.entry.Negative {
+			continue
+		}
+		secs := uint32(item.expires.Sub(now) / time.Second)
+		for _, rr := range item.entry.Records {
+			rr.TTL = secs
+			out = append(out, rr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+)
+
+var epoch = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rrA(name string, ttl uint32, ip string) dnswire.RR {
+	return dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.A{Addr: dnswire.MustAddr(ip)}}
+}
+
+func keyA(name string) Key { return Key{Name: name, Type: dnswire.TypeA} }
+
+func TestGetMissThenHit(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	k := keyA("a.example.nl.")
+	if v := c.Get(k, 0); v.Hit {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	v := c.Get(k, 0)
+	if !v.Hit || len(v.Records) != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Records[0].TTL != 300 {
+		t.Errorf("TTL = %d, want 300", v.Records[0].TTL)
+	}
+}
+
+func TestTTLDecrementsAndExpires(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	k := keyA("a.example.nl.")
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	clk.RunFor(100 * time.Second)
+	if v := c.Get(k, 0); !v.Hit || v.Records[0].TTL != 200 {
+		t.Fatalf("after 100s: %+v", v)
+	}
+	clk.RunFor(200 * time.Second)
+	if v := c.Get(k, 0); v.Hit {
+		t.Error("hit at exact expiry")
+	}
+}
+
+func TestTTLCapAndFloor(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{MaxTTL: 60 * time.Second, MinTTL: 10 * time.Second})
+	kLong := keyA("long.example.nl.")
+	c.Put(kLong, Entry{Records: []dnswire.RR{rrA("long.example.nl.", 86400, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	if v := c.Get(kLong, 0); v.Records[0].TTL != 60 {
+		t.Errorf("capped TTL = %d, want 60", v.Records[0].TTL)
+	}
+	kShort := keyA("short.example.nl.")
+	c.Put(kShort, Entry{Records: []dnswire.RR{rrA("short.example.nl.", 1, "10.0.0.2")}, Rank: RankAnswer}, 0)
+	if v := c.Get(kShort, 0); v.Records[0].TTL != 10 {
+		t.Errorf("floored TTL = %d, want 10", v.Records[0].TTL)
+	}
+}
+
+func TestRRSetUsesMinimumTTL(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	k := keyA("multi.example.nl.")
+	c.Put(k, Entry{Records: []dnswire.RR{
+		rrA("multi.example.nl.", 300, "10.0.0.1"),
+		rrA("multi.example.nl.", 100, "10.0.0.2"),
+	}, Rank: RankAnswer}, 0)
+	clk.RunFor(150 * time.Second)
+	if v := c.Get(k, 0); v.Hit {
+		t.Error("RRset should expire at its minimum TTL")
+	}
+}
+
+func TestCredibilityRanking(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	k := keyA("ns1.example.nl.")
+	// Glue arrives first with a long TTL (parent side, Appendix A).
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("ns1.example.nl.", 172800, "10.0.0.1")}, Rank: RankAdditional}, 0)
+	// Authoritative answer with the child's shorter TTL replaces it.
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("ns1.example.nl.", 3600, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	if v := c.Get(k, 0); v.Records[0].TTL != 3600 || v.Rank != RankAnswer {
+		t.Fatalf("authoritative answer did not replace glue: %+v", v)
+	}
+	// Later glue must not clobber the authoritative answer.
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("ns1.example.nl.", 172800, "10.0.0.9")}, Rank: RankAdditional}, 0)
+	v := c.Get(k, 0)
+	if v.Rank != RankAnswer || v.Records[0].TTL > 3600 {
+		t.Fatalf("glue overwrote authoritative data: %+v", v)
+	}
+	// But once expired, lower-rank data may take over.
+	clk.RunFor(3601 * time.Second)
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("ns1.example.nl.", 172800, "10.0.0.9")}, Rank: RankAdditional}, 0)
+	if v := c.Get(k, 0); !v.Hit || v.Rank != RankAdditional {
+		t.Fatalf("glue rejected after expiry: %+v", v)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	soa := dnswire.RR{Name: "example.nl.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.SOA{MName: "ns1.example.nl.", RName: "h.example.nl.", Minimum: 60}}
+	k := Key{Name: "nope.example.nl.", Type: dnswire.TypeAAAA}
+	c.Put(k, Entry{Negative: true, NXDomain: true, SOA: soa, Rank: RankAnswer}, 0)
+	v := c.Get(k, 0)
+	if !v.Hit || !v.Negative || !v.NXDomain {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.SOA.TTL != 60 {
+		t.Errorf("negative TTL = %d, want 60", v.SOA.TTL)
+	}
+	clk.RunFor(61 * time.Second)
+	if v := c.Get(k, 0); v.Hit {
+		t.Error("negative entry outlived SOA minimum")
+	}
+}
+
+func TestNegativeTTLUsesSOATTLWhenSmaller(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	soa := dnswire.RR{Name: "example.nl.", Class: dnswire.ClassIN, TTL: 30,
+		Data: dnswire.SOA{Minimum: 3600}}
+	k := Key{Name: "nope.example.nl.", Type: dnswire.TypeA}
+	c.Put(k, Entry{Negative: true, SOA: soa, Rank: RankAnswer}, 0)
+	if v := c.Get(k, 0); v.SOA.TTL != 30 {
+		t.Errorf("negative TTL = %d, want 30 (min of SOA TTL and Minimum)", v.SOA.TTL)
+	}
+}
+
+func TestServeStale(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{ServeStale: true, StaleWindow: 30 * time.Minute})
+	k := keyA("a.example.nl.")
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 60, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	clk.RunFor(10 * time.Minute)
+	if v := c.Get(k, 0); v.Hit {
+		t.Fatal("plain Get returned expired data")
+	}
+	v := c.GetStale(k, 0)
+	if !v.Hit || !v.Stale {
+		t.Fatalf("GetStale = %+v", v)
+	}
+	if v.Records[0].TTL != 0 {
+		t.Errorf("stale TTL = %d, want 0 (serve-stale draft)", v.Records[0].TTL)
+	}
+	clk.RunFor(25 * time.Minute) // beyond the stale window
+	if v := c.GetStale(k, 0); v.Hit {
+		t.Error("stale data served past the window")
+	}
+}
+
+func TestServeStaleDisabled(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	k := keyA("a.example.nl.")
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 60, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	clk.RunFor(2 * time.Minute)
+	if v := c.GetStale(k, 0); v.Hit {
+		t.Error("GetStale returned data with serve-stale disabled")
+	}
+}
+
+func TestLRUCapacity(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{Capacity: 2})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("h%d.example.nl.", i)
+		c.Put(keyA(name), Entry{Records: []dnswire.RR{rrA(name, 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v := c.Get(keyA("h0.example.nl."), 0); v.Hit {
+		t.Error("oldest entry not evicted")
+	}
+	// Touching h1 makes h2 the eviction candidate.
+	c.Get(keyA("h1.example.nl."), 0)
+	c.Put(keyA("h3.example.nl."), Entry{Records: []dnswire.RR{rrA("h3.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	if v := c.Get(keyA("h1.example.nl."), 0); !v.Hit {
+		t.Error("recently used entry evicted")
+	}
+	if v := c.Get(keyA("h2.example.nl."), 0); v.Hit {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestShardsAreIndependent(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{Shards: 4})
+	if c.Shards() != 4 {
+		t.Fatalf("Shards = %d", c.Shards())
+	}
+	k := keyA("a.example.nl.")
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 1)
+	if v := c.Get(k, 1); !v.Hit {
+		t.Error("miss on the shard that stored")
+	}
+	for _, other := range []int{0, 2, 3} {
+		if v := c.Get(k, other); v.Hit {
+			t.Errorf("shard %d shares data with shard 1", other)
+		}
+	}
+	// Same shard modulo count.
+	if v := c.Get(k, 5); !v.Hit {
+		t.Error("shard hint 5 should map to shard 1")
+	}
+	c.FlushShard(1)
+	if v := c.Get(k, 1); v.Hit {
+		t.Error("FlushShard left data")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{Shards: 2})
+	c.Put(keyA("a."), Entry{Records: []dnswire.RR{rrA("a.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	c.Put(keyA("b."), Entry{Records: []dnswire.RR{rrA("b.", 300, "10.0.0.1")}, Rank: RankAnswer}, 1)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len after Flush = %d", c.Len())
+	}
+}
+
+func TestDump(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	c.Put(keyA("a.example.nl."), Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	clk.RunFor(5 * time.Second)
+	dump := c.Dump(0)
+	if len(dump) != 1 || dump[0].TTL != 295 {
+		t.Fatalf("dump = %v", dump)
+	}
+}
+
+func TestPutEmptyPositiveIsNoop(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{})
+	c.Put(keyA("a."), Entry{Rank: RankAnswer}, 0)
+	if c.Len() != 0 {
+		t.Error("empty positive entry stored")
+	}
+}
+
+// TestQuickTTLNeverExceedsOriginal: property — a cached record's returned
+// TTL is never larger than what was stored (after cap/floor), and never
+// negative.
+func TestQuickTTLNeverExceedsOriginal(t *testing.T) {
+	f := func(ttl uint32, advance uint16) bool {
+		ttl %= 100000
+		clk := clock.NewVirtual(epoch)
+		c := New(clk, Config{})
+		k := keyA("q.example.nl.")
+		c.Put(k, Entry{Records: []dnswire.RR{rrA("q.example.nl.", ttl, "10.0.0.1")}, Rank: RankAnswer}, 0)
+		clk.RunFor(time.Duration(advance) * time.Second)
+		v := c.Get(k, 0)
+		if !v.Hit {
+			return uint32(advance) >= ttl
+		}
+		return v.Records[0].TTL <= ttl && uint32(advance) < ttl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

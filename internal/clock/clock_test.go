@@ -1,0 +1,134 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualOrdering(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	v.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	v.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	v.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	v.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Errorf("Now = %v, want epoch+3s", got)
+	}
+}
+
+func TestVirtualSameInstantFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	v.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestVirtualNestedScheduling(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := 0
+	v.AfterFunc(time.Second, func() {
+		fired++
+		v.AfterFunc(time.Second, func() { fired++ })
+	})
+	v.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(2 * time.Second)) {
+		t.Errorf("Now = %v, want epoch+2s", got)
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	v.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestVirtualRunUntil(t *testing.T) {
+	v := NewVirtual(epoch)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second} {
+		d := d
+		v.AfterFunc(d, func() { fired = append(fired, d) })
+	}
+	v.RunUntil(epoch.Add(6 * time.Second))
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(6 * time.Second)) {
+		t.Errorf("Now = %v, want epoch+6s", got)
+	}
+	v.RunFor(10 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("after RunFor, fired %v", fired)
+	}
+}
+
+func TestVirtualNegativeDelay(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(-time.Hour, func() { fired = true })
+	v.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if !v.Now().Equal(epoch) {
+		t.Error("negative delay moved clock backwards")
+	}
+}
+
+func TestVirtualPending(t *testing.T) {
+	v := NewVirtual(epoch)
+	t1 := v.AfterFunc(time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	if got := v.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := v.Pending(); got != 1 {
+		t.Errorf("Pending after Stop = %d, want 1", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := c.Now()
+	ch := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if c.Now().Before(before) {
+		t.Error("real clock went backwards")
+	}
+}

@@ -1,0 +1,155 @@
+package dnssec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+func TestCompareCanonical(t *testing.T) {
+	// RFC 4034 §6.1 ordering: by label from the root.
+	ordered := []string{
+		"example.nl.",
+		"a.example.nl.",
+		"z.a.example.nl.",
+		"b.example.nl.",
+		"ns1.example.nl.",
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := dnswire.CompareCanonical(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestNSECBitmapRoundTrip(t *testing.T) {
+	n := dnswire.NSEC{
+		NextName: "b.example.nl.",
+		Types: []dnswire.Type{
+			dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNSEC,
+			dnswire.TypeRRSIG, dnswire.Type(1234), // a high type forcing a second window
+		},
+	}
+	m := &dnswire.Message{Header: dnswire.Header{ID: 1, Response: true}}
+	m.Answers = append(m.Answers, dnswire.RR{
+		Name: "a.example.nl.", Class: dnswire.ClassIN, TTL: 60, Data: n,
+	})
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Answers[0].Data.Equal(n) {
+		t.Errorf("round trip: %v != %v", got.Answers[0].Data, n)
+	}
+}
+
+func TestNSECCovers(t *testing.T) {
+	n := dnswire.NSEC{NextName: "m.example.nl."}
+	cases := []struct {
+		owner, name string
+		want        bool
+	}{
+		{"example.nl.", "d.example.nl.", true},
+		{"example.nl.", "m.example.nl.", false}, // next name exists
+		{"example.nl.", "z.example.nl.", false},
+		{"example.nl.", "example.nl.", false}, // owner itself exists
+	}
+	for _, c := range cases {
+		if got := n.Covers(c.owner, c.name); got != c.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.owner, c.name, got, c.want)
+		}
+	}
+	// Wrap-around: the last NSEC covers everything after its owner.
+	last := dnswire.NSEC{NextName: "example.nl."}
+	if !last.Covers("z.example.nl.", "zz.example.nl.") {
+		t.Error("wrap-around NSEC does not cover the tail")
+	}
+}
+
+func TestBuildNSECChainAndDenial(t *testing.T) {
+	z, err := zone.ParseString(signTestZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildNSECChain(z); err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t, "example.nl.")
+	if err := SignZone(z, k, now, 7*24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every authoritative name owns exactly one NSEC, and the chain
+	// closes (one record points back to the apex).
+	wraps := 0
+	count := 0
+	for _, name := range z.Names() {
+		set := z.RRSet(name, dnswire.TypeNSEC)
+		if len(set) == 0 {
+			continue
+		}
+		count++
+		nsec := set[0].Data.(dnswire.NSEC)
+		if dnswire.CanonicalName(nsec.NextName) == "example.nl." {
+			wraps++
+		}
+		// The NSEC RRset is signed and verifies.
+		signed := false
+		for _, sigRR := range z.RRSet(name, dnswire.TypeRRSIG) {
+			if sigRR.Data.(dnswire.RRSIG).TypeCovered == dnswire.TypeNSEC {
+				signed = true
+				if err := Verify(k.Public, sigRR, set, now); err != nil {
+					t.Errorf("NSEC at %s: %v", name, err)
+				}
+			}
+		}
+		if !signed {
+			t.Errorf("NSEC at %s unsigned", name)
+		}
+	}
+	if wraps != 1 {
+		t.Errorf("chain wraps %d times, want 1", wraps)
+	}
+	if count < 4 {
+		t.Errorf("only %d NSEC records", count)
+	}
+	// Glue has no NSEC.
+	if got := z.RRSet("ns.sub.example.nl.", dnswire.TypeNSEC); len(got) != 0 {
+		t.Error("glue received an NSEC record")
+	}
+
+	// Denial proofs: a missing name is covered...
+	nsec, ok := CoveringNSEC(z, "missing.example.nl.")
+	if !ok {
+		t.Fatal("no covering NSEC for a missing name")
+	}
+	if !VerifyDenial(nsec, "missing.example.nl.", dnswire.TypeA) {
+		t.Errorf("covering NSEC %v does not deny missing.example.nl.", nsec)
+	}
+	// ...and an existing name's NSEC proves NODATA for absent types.
+	nsec, ok = CoveringNSEC(z, "www.example.nl.")
+	if !ok {
+		t.Fatal("no NSEC at existing name")
+	}
+	if !VerifyDenial(nsec, "www.example.nl.", dnswire.TypeA) {
+		t.Error("NODATA denial failed (www has only AAAA)")
+	}
+	if VerifyDenial(nsec, "www.example.nl.", dnswire.TypeAAAA) {
+		t.Error("NSEC denies a type that exists")
+	}
+}

@@ -1,0 +1,93 @@
+package dnssec
+
+import (
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// SignZone adds the key's DNSKEY at the apex and an RRSIG for every RRset
+// in z (signatures valid from now-1h to now+validity). Existing RRSIGs
+// are replaced. Delegation NS sets (below the apex) and glue are not
+// signed, per RFC 4035 §2.2: the parent is not authoritative for them.
+func SignZone(z *zone.Zone, k *Key, now time.Time, validity time.Duration) error {
+	// Remove stale signatures, then install the DNSKEY before signing so
+	// the DNSKEY RRset itself gets signed too.
+	for _, name := range z.Names() {
+		z.Remove(name, dnswire.TypeRRSIG)
+	}
+	dnskeyTTL := uint32(3600)
+	if soa, ok := z.SOA(); ok {
+		dnskeyTTL = soa.TTL
+	}
+	if err := z.Replace(k.Zone, dnswire.TypeDNSKEY, dnskeyTTL, k.Public); err != nil {
+		return err
+	}
+
+	inception := now.Add(-time.Hour)
+	expiration := now.Add(validity)
+
+	for _, name := range z.Names() {
+		for _, t := range signableTypes(z, name) {
+			rrs := z.RRSet(name, t)
+			if len(rrs) == 0 {
+				continue
+			}
+			// Skip delegation-side data: NS sets owned by names below
+			// the apex are referrals, and any address record at or below
+			// a cut is glue.
+			if isDelegated(z, name, t) {
+				continue
+			}
+			sigRR, err := k.Sign(rrs, inception, expiration)
+			if err != nil {
+				return err
+			}
+			if err := z.Add(sigRR); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// signableTypes lists the record types present at name.
+func signableTypes(z *zone.Zone, name string) []dnswire.Type {
+	var types []dnswire.Type
+	for _, t := range []dnswire.Type{
+		dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNS, dnswire.TypeCNAME,
+		dnswire.TypeSOA, dnswire.TypePTR, dnswire.TypeMX, dnswire.TypeTXT,
+		dnswire.TypeDS, dnswire.TypeDNSKEY, dnswire.TypeNSEC,
+	} {
+		if len(z.RRSet(name, t)) > 0 {
+			types = append(types, t)
+		}
+	}
+	return types
+}
+
+// isDelegated reports whether (name, t) is parent-side delegation data:
+// a non-apex NS set, or anything strictly below a zone cut (glue).
+func isDelegated(z *zone.Zone, name string, t dnswire.Type) bool {
+	name = dnswire.CanonicalName(name)
+	if name != z.Origin() && t == dnswire.TypeNS {
+		return true
+	}
+	// Walk proper ancestors of name (excluding name itself) down to the
+	// apex: an NS set at any of them makes name occluded glue.
+	for n := dnswire.Parent(name); dnswire.IsSubdomain(n, z.Origin()); n = dnswire.Parent(n) {
+		if n == z.Origin() {
+			break
+		}
+		if len(z.RRSet(n, dnswire.TypeNS)) > 0 {
+			return true
+		}
+	}
+	// Address records at a cut name itself are glue too.
+	if name != z.Origin() && (t == dnswire.TypeA || t == dnswire.TypeAAAA) &&
+		len(z.RRSet(name, dnswire.TypeNS)) > 0 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package dnswire
+
+// EDNS0 (RFC 6891) helpers. The OPT pseudo-record reuses the RR fields:
+// Class carries the requester's UDP payload size and the TTL carries the
+// extended RCODE and flags, of which bit 15 is DO ("DNSSEC OK").
+
+// ednsDOBit is the DO flag in the OPT TTL field.
+const ednsDOBit = 1 << 15
+
+// AddEDNS appends an OPT record advertising udpSize, with the DO bit set
+// when do is true. Any existing OPT is replaced.
+func (m *Message) AddEDNS(udpSize uint16, do bool) {
+	var ttl uint32
+	if do {
+		ttl = ednsDOBit
+	}
+	opt := RR{Name: ".", Class: Class(udpSize), TTL: ttl, Data: OPT{}}
+	for i, rr := range m.Additionals {
+		if rr.Type() == TypeOPT {
+			m.Additionals[i] = opt
+			return
+		}
+	}
+	m.Additionals = append(m.Additionals, opt)
+}
+
+// EDNS returns the message's OPT parameters: the advertised UDP size and
+// the DO bit. ok is false when no OPT record is present.
+func (m *Message) EDNS() (udpSize uint16, do bool, ok bool) {
+	for _, rr := range m.Additionals {
+		if rr.Type() == TypeOPT {
+			return uint16(rr.Class), rr.TTL&ednsDOBit != 0, true
+		}
+	}
+	return 0, false, false
+}

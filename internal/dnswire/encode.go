@@ -1,0 +1,154 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// builder accumulates wire-format bytes and tracks name offsets for
+// compression (RFC 1035 §4.1.4).
+type builder struct {
+	buf      []byte
+	offsets  map[string]int // canonical name -> offset of its first encoding
+	compress bool
+}
+
+func newBuilder(compress bool) *builder {
+	return &builder{
+		buf:      make([]byte, 0, 512),
+		offsets:  make(map[string]int),
+		compress: compress,
+	}
+}
+
+func (b *builder) byte(v uint8)    { b.buf = append(b.buf, v) }
+func (b *builder) bytes(v []byte)  { b.buf = append(b.buf, v...) }
+func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
+func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
+
+// name appends a (possibly compressed) encoding of the canonical form of n.
+// Compression pointers can only target offsets < 0x4000; beyond that the
+// name is written in full.
+func (b *builder) name(n string, allowCompress bool) {
+	n = CanonicalName(n)
+	labels := SplitLabels(n)
+	for i := range labels {
+		suffix := joinFrom(labels, i)
+		if b.compress && allowCompress {
+			if off, ok := b.offsets[suffix]; ok && off < 0x4000 {
+				b.uint16(0xC000 | uint16(off))
+				return
+			}
+		}
+		if len(b.buf) < 0x4000 {
+			b.offsets[suffix] = len(b.buf)
+		}
+		l := labels[i]
+		b.byte(uint8(len(l)))
+		b.bytes([]byte(l))
+	}
+	b.byte(0)
+}
+
+func joinFrom(labels []string, i int) string {
+	s := ""
+	for ; i < len(labels); i++ {
+		s += labels[i] + "."
+	}
+	if s == "" {
+		return "."
+	}
+	return s
+}
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.pack(true)
+}
+
+// PackUncompressed encodes the message without name compression; useful for
+// testing decoders against both forms.
+func (m *Message) PackUncompressed() ([]byte, error) {
+	return m.pack(false)
+}
+
+func (m *Message) pack(compress bool) ([]byte, error) {
+	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
+		len(m.Authorities) > 0xffff || len(m.Additionals) > 0xffff {
+		return nil, fmt.Errorf("dnswire: section too large")
+	}
+	b := newBuilder(compress)
+	b.uint16(m.ID)
+	b.uint16(m.flags())
+	b.uint16(uint16(len(m.Questions)))
+	b.uint16(uint16(len(m.Answers)))
+	b.uint16(uint16(len(m.Authorities)))
+	b.uint16(uint16(len(m.Additionals)))
+
+	for _, q := range m.Questions {
+		if err := ValidName(q.Name); err != nil {
+			return nil, fmt.Errorf("dnswire: question %q: %w", q.Name, err)
+		}
+		b.name(q.Name, true)
+		b.uint16(uint16(q.Type))
+		b.uint16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if err := packRR(b, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.buf, nil
+}
+
+func packRR(b *builder, rr RR) error {
+	if rr.Data == nil {
+		return fmt.Errorf("dnswire: record %q has no data", rr.Name)
+	}
+	if err := ValidName(rr.Name); err != nil {
+		return fmt.Errorf("dnswire: record %q: %w", rr.Name, err)
+	}
+	b.name(rr.Name, true)
+	b.uint16(uint16(rr.Type()))
+	b.uint16(uint16(rr.Class))
+	b.uint32(rr.TTL)
+	lenAt := len(b.buf)
+	b.uint16(0) // rdlength placeholder
+	rr.Data.encode(b)
+	rdlen := len(b.buf) - lenAt - 2
+	if rdlen > 0xffff {
+		return fmt.Errorf("dnswire: rdata of %q too large (%d)", rr.Name, rdlen)
+	}
+	binary.BigEndian.PutUint16(b.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+func (m *Message) flags() uint16 {
+	var f uint16
+	if m.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		f |= 1 << 10
+	}
+	if m.Truncated {
+		f |= 1 << 9
+	}
+	if m.RecursionDesired {
+		f |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		f |= 1 << 7
+	}
+	if m.AuthenticData {
+		f |= 1 << 5
+	}
+	if m.CheckingDisabled {
+		f |= 1 << 4
+	}
+	f |= uint16(m.RCode & 0xf)
+	return f
+}

@@ -1,0 +1,115 @@
+// Package dnswire implements the DNS wire format (RFC 1034/1035): message
+// packing and unpacking with name compression, and typed resource record
+// data for the record types used by the rest of the system.
+//
+// Domain names are passed around as strings in canonical form: lower case,
+// fully qualified, with a trailing dot. The root is ".". CanonicalName
+// converts arbitrary user input into this form.
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by name handling and message parsing.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label in name")
+	ErrBadName      = errors.New("dnswire: malformed name")
+)
+
+// MaxNameLen is the maximum length of a domain name on the wire, per
+// RFC 1035 §2.3.4.
+const MaxNameLen = 255
+
+// MaxLabelLen is the maximum length of a single label.
+const MaxLabelLen = 63
+
+// CanonicalName converts s into canonical form: lower case with a trailing
+// dot. An empty string and "." both canonicalize to the root ".".
+func CanonicalName(s string) string {
+	if s == "" || s == "." {
+		return "."
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// SplitLabels returns the labels of a canonical name, most-specific first.
+// The root name yields an empty slice.
+func SplitLabels(name string) []string {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(name, "."), ".")
+}
+
+// CountLabels returns the number of labels in name. The root has zero.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// ValidName reports whether name is a syntactically valid canonical domain
+// name: each label 1..63 octets and total wire length within 255 octets.
+func ValidName(name string) error {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	wire := 1 // root terminator
+	for _, l := range SplitLabels(name) {
+		if l == "" {
+			return ErrEmptyLabel
+		}
+		if len(l) > MaxLabelLen {
+			return ErrLabelTooLong
+		}
+		wire += 1 + len(l)
+	}
+	if wire > MaxNameLen {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// Parent returns the name with its leftmost label removed. The parent of
+// the root is the root.
+func Parent(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	i := strings.IndexByte(name, '.')
+	if i+1 >= len(name) {
+		return "."
+	}
+	return name[i+1:]
+}
+
+// IsSubdomain reports whether child is equal to or below parent.
+func IsSubdomain(child, parent string) bool {
+	child = CanonicalName(child)
+	parent = CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// Join prepends label to name, producing a canonical child name.
+func Join(label, name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return CanonicalName(label + ".")
+	}
+	return CanonicalName(label + "." + name)
+}

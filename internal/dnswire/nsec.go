@@ -1,0 +1,151 @@
+package dnswire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeNSEC is the authenticated-denial record (RFC 4034 §4).
+const TypeNSEC Type = 47
+
+func init() {
+	typeNames[TypeNSEC] = "NSEC"
+}
+
+// NSEC links an owner name to the next name in the zone's canonical order
+// and lists the types present at the owner, proving what does not exist.
+type NSEC struct {
+	NextName string
+	Types    []Type
+}
+
+// RType implements RData.
+func (NSEC) RType() Type { return TypeNSEC }
+
+func (n NSEC) String() string {
+	parts := []string{n.NextName}
+	for _, t := range n.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Equal implements RData. The type bitmap is a set: order-insensitive.
+func (n NSEC) Equal(other RData) bool {
+	o, ok := other.(NSEC)
+	if !ok || CanonicalName(n.NextName) != CanonicalName(o.NextName) ||
+		len(n.Types) != len(o.Types) {
+		return false
+	}
+	a := append([]Type(nil), n.Types...)
+	b := append([]Type(nil), o.Types...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n NSEC) encode(b *builder) {
+	b.name(n.NextName, false) // never compressed (RFC 3597 / 4034)
+	// Type bitmap: window blocks of up to 32 octets.
+	types := append([]Type(nil), n.Types...)
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	i := 0
+	for i < len(types) {
+		window := byte(types[i] >> 8)
+		var bitmap [32]byte
+		maxOctet := 0
+		for ; i < len(types) && byte(types[i]>>8) == window; i++ {
+			low := byte(types[i])
+			octet := int(low / 8)
+			bitmap[octet] |= 0x80 >> (low % 8)
+			if octet+1 > maxOctet {
+				maxOctet = octet + 1
+			}
+		}
+		b.byte(window)
+		b.byte(byte(maxOctet))
+		b.bytes(bitmap[:maxOctet])
+	}
+}
+
+// decodeNSEC parses an NSEC RDATA.
+func (p *parser) decodeNSEC(end int) (RData, error) {
+	var n NSEC
+	var err error
+	if n.NextName, err = p.name(); err != nil {
+		return nil, err
+	}
+	for p.off < end {
+		window, err := p.byte()
+		if err != nil {
+			return nil, err
+		}
+		length, err := p.byte()
+		if err != nil {
+			return nil, err
+		}
+		if length == 0 || length > 32 {
+			return nil, fmt.Errorf("dnswire: bad NSEC bitmap length %d", length)
+		}
+		octets, err := p.bytes(int(length))
+		if err != nil {
+			return nil, err
+		}
+		for oi, octet := range octets {
+			for bit := 0; bit < 8; bit++ {
+				if octet&(0x80>>bit) != 0 {
+					n.Types = append(n.Types,
+						Type(uint16(window)<<8|uint16(oi*8+bit)))
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Covers reports whether this NSEC record (owned by owner) proves the
+// nonexistence of name: owner < name < NextName in canonical order, with
+// the last NSEC in the chain wrapping to the apex.
+func (n NSEC) Covers(owner, name string) bool {
+	owner = CanonicalName(owner)
+	name = CanonicalName(name)
+	next := CanonicalName(n.NextName)
+	if CompareCanonical(owner, name) >= 0 {
+		return false
+	}
+	if CompareCanonical(owner, next) < 0 {
+		return CompareCanonical(name, next) < 0
+	}
+	// Wrap-around: owner is the canonically last name.
+	return true
+}
+
+// CompareCanonical orders names per RFC 4034 §6.1: label by label from
+// the root, case-insensitively, bytewise.
+func CompareCanonical(a, b string) int {
+	la, lb := SplitLabels(a), SplitLabels(b)
+	for i := 1; ; i++ {
+		if i > len(la) && i > len(lb) {
+			return 0
+		}
+		if i > len(la) {
+			return -1
+		}
+		if i > len(lb) {
+			return 1
+		}
+		ca, cb := la[len(la)-i], lb[len(lb)-i]
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/vantage"
+)
+
+// CachingConfig parameterizes one §3 baseline run (a column of Table 1).
+type CachingConfig struct {
+	Probes        int
+	TTL           uint32
+	ProbeInterval time.Duration // 20 min in the first four runs, 10 in the fifth
+	Rounds        int
+	Seed          int64
+	Population    PopulationConfig
+}
+
+func (c CachingConfig) withDefaults() CachingConfig {
+	if c.Probes == 0 {
+		c.Probes = 1200
+	}
+	if c.TTL == 0 {
+		c.TTL = 3600
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 20 * time.Minute
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 7
+	}
+	return c
+}
+
+// Table1 is one column of the paper's Table 1.
+type Table1 struct {
+	TTL          uint32
+	Probes       int
+	ProbesValid  int
+	ProbesDisc   int
+	VPs          int
+	Queries      int
+	Answers      int
+	AnswersValid int
+	AnswersDisc  int
+}
+
+// Table3 is the paper's public-resolver attribution of cache misses.
+type Table3 struct {
+	ACAnswers     int
+	PublicR1      int
+	GoogleR1      int
+	OtherPublicR1 int
+	NonPublicR1   int
+	GoogleRn      int // non-public R1 whose fetch emerged from Google
+	OtherRn       int
+}
+
+// CachingResult bundles everything a §3 run produces.
+type CachingResult struct {
+	Config CachingConfig
+	Table1 Table1
+	Table2 classify.Table2
+	Table3 Table3
+	// Fig13 counts answer categories per probing round (Appendix B).
+	Fig13 *stats.RoundSeries
+	// MissRate is the headline warm-cache miss fraction (Figure 3).
+	MissRate float64
+}
+
+// RunCaching executes one caching baseline experiment.
+func RunCaching(cfg CachingConfig) *CachingResult {
+	cfg = cfg.withDefaults()
+	tb := NewTestbed(TestbedConfig{
+		Probes:      cfg.Probes,
+		TTL:         cfg.TTL,
+		Seed:        cfg.Seed,
+		Population:  cfg.Population,
+		KeepAuthLog: true,
+	})
+	total := time.Duration(cfg.Rounds) * cfg.ProbeInterval
+	tb.ScheduleRotations(total + RotationInterval)
+	tb.Fleet.Schedule(tb.Start, cfg.ProbeInterval, 5*time.Minute, cfg.Rounds)
+	tb.Clk.RunUntil(tb.Start.Add(total + 10*time.Minute))
+
+	return analyzeCaching(cfg, tb)
+}
+
+func analyzeCaching(cfg CachingConfig, tb *Testbed) *CachingResult {
+	res := &CachingResult{Config: cfg}
+	res.Fig13 = stats.NewRoundSeries(tb.Start, cfg.ProbeInterval)
+
+	answers := tb.Fleet.AllAnswers()
+	res.Table1 = tabulateTable1(cfg, tb, answers)
+
+	// Rn attribution for Table 3: which resolvers fetched each
+	// (probe, zone-round) from the authoritatives.
+	fetchers := indexFetchers(tb)
+
+	byVP := vantage.ByVP(answers)
+	for _, list := range byVP {
+		valid := 0
+		for _, a := range list {
+			if a.Ok() {
+				valid++
+			}
+		}
+		if valid == 1 {
+			res.Table2.OneAnswerVPs++
+			continue
+		}
+		tracker := classify.NewTracker()
+		for _, a := range list {
+			if !a.Ok() {
+				continue
+			}
+			out := tracker.Classify(a, tb.SerialAt(a.SentAt))
+			res.Table2.Add(out)
+			res.Fig13.Add(a.SentAt, out.Category.String(), 1)
+			if out.Category == classify.AC {
+				res.tabulateTable3(tb, a, fetchers)
+			}
+		}
+	}
+	res.Table2.AnswersValid = res.Table1.AnswersValid
+	res.MissRate = res.Table2.MissRate()
+	return res
+}
+
+func tabulateTable1(cfg CachingConfig, tb *Testbed, answers []vantage.Answer) Table1 {
+	t1 := Table1{TTL: cfg.TTL, Probes: cfg.Probes, VPs: tb.Pop.VPCount()}
+	probeOK := make(map[uint16]bool)
+	for _, a := range answers {
+		t1.Queries++
+		if a.Timeout {
+			continue
+		}
+		t1.Answers++
+		if a.Ok() {
+			t1.AnswersValid++
+			probeOK[a.ProbeID] = true
+		} else {
+			t1.AnswersDisc++
+		}
+	}
+	t1.ProbesValid = len(probeOK)
+	t1.ProbesDisc = cfg.Probes - t1.ProbesValid
+	return t1
+}
+
+// fetcherKey identifies one probe's name in one zone round.
+type fetcherKey struct {
+	qname string
+	round int
+}
+
+// indexFetchers maps (probe name, rotation round) to the recursive
+// addresses that fetched it from the authoritatives.
+func indexFetchers(tb *Testbed) map[fetcherKey][]netsim.Addr {
+	idx := make(map[fetcherKey][]netsim.Addr)
+	for _, ev := range tb.AuthLog {
+		if ev.QType != dnswire.TypeAAAA || ev.Dropped {
+			continue
+		}
+		k := fetcherKey{qname: ev.QName, round: int(ev.At.Sub(tb.Start) / RotationInterval)}
+		idx[k] = append(idx[k], ev.Src)
+	}
+	return idx
+}
+
+// tabulateTable3 attributes one AC answer to its entry path.
+func (res *CachingResult) tabulateTable3(tb *Testbed, a vantage.Answer, fetchers map[fetcherKey][]netsim.Addr) {
+	res.Table3.ACAnswers++
+	meta := tb.Pop.R1Meta[a.Recursive]
+	if meta.Public {
+		res.Table3.PublicR1++
+		if meta.Google {
+			res.Table3.GoogleR1++
+		} else {
+			res.Table3.OtherPublicR1++
+		}
+		return
+	}
+	res.Table3.NonPublicR1++
+	// Did the fetch emerge from a Google backend?
+	k := fetcherKey{
+		qname: vantage.QName(a.ProbeID, Domain),
+		round: int(a.SentAt.Sub(tb.Start) / RotationInterval),
+	}
+	viaGoogle := false
+	for _, rn := range fetchers[k] {
+		if tb.Pop.RnGoogle[rn] {
+			viaGoogle = true
+			break
+		}
+	}
+	if viaGoogle {
+		res.Table3.GoogleRn++
+	} else {
+		res.Table3.OtherRn++
+	}
+}

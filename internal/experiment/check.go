@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/recursive"
+	"repro/internal/retrymodel"
+)
+
+// Check runs a scaled-down version of every headline experiment and
+// compares the results against qualitative bands derived from the paper.
+// It is the repository's one-shot reproduction self-test
+// (`dikes check`).
+
+// CheckResult is one verified claim.
+type CheckResult struct {
+	Claim    string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// Check executes the verification suite at the given probe scale.
+func Check(probes int, seed int64) []CheckResult {
+	var out []CheckResult
+	add := func(claim, paper, measured string, pass bool) {
+		out = append(out, CheckResult{Claim: claim, Paper: paper, Measured: measured, Pass: pass})
+	}
+
+	// §3: warm-cache miss rate ~30%.
+	caching := RunCaching(CachingConfig{
+		Probes: probes, TTL: 3600, ProbeInterval: 20 * time.Minute,
+		Rounds: 6, Seed: seed,
+	})
+	add("warm-cache miss rate (TTL 3600)", "28.5-32.9%",
+		fmt.Sprintf("%.1f%%", 100*caching.MissRate),
+		caching.MissRate > 0.18 && caching.MissRate < 0.42)
+
+	// §3: short TTLs never hit the cache at 20-minute probing.
+	short := RunCaching(CachingConfig{
+		Probes: probes, TTL: 60, ProbeInterval: 20 * time.Minute,
+		Rounds: 4, Seed: seed,
+	})
+	total := short.Table2.AA + short.Table2.CC + short.Table2.AC + short.Table2.CA
+	aaShare := 0.0
+	if total > 0 {
+		aaShare = float64(short.Table2.AA) / float64(total)
+	}
+	add("TTL 60 @ 20min probing: all fresh (AA)", "~100%",
+		fmt.Sprintf("%.1f%%", 100*aaShare), aaShare > 0.9)
+
+	// §3.4: day-long TTLs are truncated for ~30% of VPs.
+	day := RunCaching(CachingConfig{
+		Probes: probes, TTL: 86400, ProbeInterval: 20 * time.Minute,
+		Rounds: 4, Seed: seed,
+	})
+	warm := day.Table2.WarmupTTLZone + day.Table2.WarmupTTLAltered
+	trunc := 0.0
+	if warm > 0 {
+		trunc = float64(day.Table2.WarmupTTLAltered) / float64(warm)
+	}
+	add("TTL truncation at 1-day TTLs", "~30%",
+		fmt.Sprintf("%.1f%%", 100*trunc), trunc > 0.15 && trunc < 0.5)
+
+	// §5: Experiment E — 50% loss barely hurts.
+	if spec, ok := SpecByName("E"); ok {
+		res := RunDDoS(spec, probes, seed, PopulationConfig{})
+		delta := res.FailureRate(9) - res.FailureRate(4)
+		add("exp E (50% loss): failure increase small", "+3.7pp",
+			fmt.Sprintf("+%.1fpp", 100*delta), delta >= 0 && delta < 0.15)
+	}
+
+	// §5: Experiment H — ~60% still served at 90% loss with 30-min TTLs.
+	if spec, ok := SpecByName("H"); ok {
+		res := RunDDoS(spec, probes, seed, PopulationConfig{})
+		served := 1 - res.FailureRate(9)
+		add("exp H (90% loss, TTL 1800): still served", "~60%",
+			fmt.Sprintf("%.1f%%", 100*served), served > 0.45 && served < 0.85)
+
+		// And the cache's value: exp I (TTL 60) fares clearly worse.
+		if specI, ok := SpecByName("I"); ok {
+			resI := RunDDoS(specI, probes, seed, PopulationConfig{})
+			servedI := 1 - resI.FailureRate(9)
+			add("exp I (90% loss, TTL 60): served less than H", "~37-40%",
+				fmt.Sprintf("%.1f%%", 100*servedI),
+				servedI > 0.2 && servedI < 0.6 && servedI < served)
+		}
+	}
+
+	// §5.2: Experiment A — near-total failure after caches expire.
+	if spec, ok := SpecByName("A"); ok {
+		res := RunDDoS(spec, probes, seed, PopulationConfig{})
+		late := res.FailureRate(9)
+		early := res.FailureRate(3)
+		add("exp A: cache cliff at TTL expiry", "partial, then ~100% fail",
+			fmt.Sprintf("%.0f%% -> %.0f%%", 100*early, 100*late),
+			early < 0.6 && late > 0.85)
+	}
+
+	// §6: traffic amplification at the authoritatives under 90% loss.
+	if spec, ok := SpecByName("I"); ok {
+		res := RunDDoS(spec, probes, seed, PopulationConfig{Harvest: recursive.HarvestFull})
+		base := res.AuthQueries.Get(4, "AAAA-for-PID")
+		attack := res.AuthQueries.Get(9, "AAAA-for-PID")
+		mult := 0.0
+		if base > 0 {
+			mult = attack / base
+		}
+		add("legit traffic multiplier under 90% loss", "up to 8.2x",
+			fmt.Sprintf("%.1fx", mult), mult > 2 && mult < 15)
+	}
+
+	// §6.2: software retry amplification.
+	bindUp := retrymodel.Run(retrymodel.BINDLike(), false, 25, seed)
+	bindDown := retrymodel.Run(retrymodel.BINDLike(), true, 25, seed)
+	bmult := bindDown.Mean.Total() / bindUp.Mean.Total()
+	add("BIND-like retries during failure", "3 -> 12 queries (4x)",
+		fmt.Sprintf("%.0f -> %.0f (%.1fx)", bindUp.Mean.Total(), bindDown.Mean.Total(), bmult),
+		bindUp.Mean.Total() <= 4 && bmult > 2 && bmult < 8)
+
+	// Appendix A: the child's TTL wins.
+	glue := RunGlueVsAuth(probes/2, seed, PopulationConfig{})
+	add("answers carry the child-side TTL", "~95%",
+		fmt.Sprintf("%.1f%%", 100*glue.NS.AuthoritativeShare()),
+		glue.NS.AuthoritativeShare() > 0.85)
+
+	// §8: root-like rides it out, CDN-like suffers.
+	impl := RunImplications(ImplicationsConfig{Clients: probes / 4, Recursives: 20, Seed: seed})
+	add("root-like vs CDN-like failure under attack", "≈0% vs visible",
+		fmt.Sprintf("%.1f%% vs %.1f%%", 100*impl.RootFailDuringAttack, 100*impl.CDNFailDuringAttack),
+		impl.RootFailDuringAttack < 0.05 && impl.CDNFailDuringAttack > 0.05)
+
+	return out
+}
+
+// RenderCheck prints the verification table and returns true when every
+// claim passed.
+func RenderCheck(results []CheckResult) (string, bool) {
+	var sb strings.Builder
+	allPass := true
+	fmt.Fprintf(&sb, "%-48s %-28s %-22s %s\n", "claim", "paper", "measured", "verdict")
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+			allPass = false
+		}
+		fmt.Fprintf(&sb, "%-48s %-28s %-22s %s\n", r.Claim, r.Paper, r.Measured, verdict)
+	}
+	return sb.String(), allPass
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestSeriesCSV(t *testing.T) {
+	start := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	s := stats.NewRoundSeries(start, 10*time.Minute)
+	s.AddRound(0, "OK", 5)
+	s.AddRound(1, "OK", 3)
+	s.AddRound(1, "FAIL", 2)
+	out := SeriesCSV(s, []string{"OK", "FAIL"})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "minute,OK,FAIL" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,5,0" || lines[2] != "10,3,2" {
+		t.Errorf("rows = %v", lines[1:])
+	}
+	// Nil labels defaults to sorted labels.
+	if out := SeriesCSV(s, nil); !strings.HasPrefix(out, "minute,FAIL,OK") {
+		t.Errorf("default labels: %q", strings.Split(out, "\n")[0])
+	}
+}
+
+func TestLatencyAndFigureCSVs(t *testing.T) {
+	spec, _ := SpecByName("E")
+	spec.TotalDur = 40 * time.Minute
+	spec.DDoSStart = 10 * time.Minute
+	spec.DDoSDur = 10 * time.Minute
+	res := RunDDoS(spec, 40, 1, PopulationConfig{})
+
+	lat := LatencyCSV(res)
+	if !strings.HasPrefix(lat, "minute,n,median_ms") {
+		t.Errorf("latency header: %q", strings.Split(lat, "\n")[0])
+	}
+	if got := len(strings.Split(strings.TrimSpace(lat), "\n")); got != 5 {
+		t.Errorf("latency rows = %d, want 4 rounds + header", got)
+	}
+	amp := AmplificationCSV(res)
+	if !strings.HasPrefix(amp, "minute,rn_median") {
+		t.Errorf("amplification header: %q", strings.Split(amp, "\n")[0])
+	}
+	urn := UniqueRnCSV(res)
+	if !strings.HasPrefix(urn, "minute,unique_rn") {
+		t.Errorf("unique-rn header: %q", strings.Split(urn, "\n")[0])
+	}
+	ecdf := ECDFCSV(stats.NewECDF([]float64{1, 2, 3}), 3)
+	if !strings.HasPrefix(ecdf, "x,cdf") || !strings.Contains(ecdf, "3.00,1.0000") {
+		t.Errorf("ecdf csv:\n%s", ecdf)
+	}
+}
+
+func TestPerProbeTable7(t *testing.T) {
+	spec, _ := SpecByName("I")
+	spec.TotalDur = 60 * time.Minute
+	spec.DDoSStart = 30 * time.Minute
+	spec.DDoSDur = 20 * time.Minute
+	spec.QueriesBefore = 3
+	res, tb := RunDDoSWithTestbed(spec, 60, 5, PopulationConfig{})
+	probe := BusiestProbe(tb)
+	if probe == 0 {
+		t.Fatal("no busiest probe found")
+	}
+	t7 := PerProbe(tb, res, probe)
+	if len(t7.Rounds) != 6 {
+		t.Fatalf("rounds = %d", len(t7.Rounds))
+	}
+	totalClient, totalAuth := 0, 0
+	for _, row := range t7.Rounds {
+		totalClient += row.ClientQueries
+		totalAuth += row.AuthQueries
+	}
+	if totalClient == 0 {
+		t.Error("no client queries recorded")
+	}
+	if totalAuth == 0 {
+		t.Error("no authoritative-side queries recorded")
+	}
+	out := RenderTable7(t7)
+	if !strings.Contains(out, "cli-q") || !strings.Contains(out, "auth-q") {
+		t.Errorf("render:\n%s", out)
+	}
+	// Unknown probe yields an empty (but well-formed) table.
+	empty := PerProbe(tb, res, 60000)
+	for _, row := range empty.Rounds {
+		if row.ClientQueries != 0 {
+			t.Error("unknown probe has client queries")
+		}
+	}
+}

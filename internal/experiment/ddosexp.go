@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ddos"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/vantage"
+)
+
+// DDoSSpec is one row of the paper's Table 4.
+type DDoSSpec struct {
+	Name          string
+	TTL           uint32
+	DDoSStart     time.Duration
+	DDoSDur       time.Duration // 0 = until the end of the run (Experiment A)
+	QueriesBefore int           // probing rounds before the attack
+	TotalDur      time.Duration
+	ProbeInterval time.Duration
+	Loss          float64
+	// TargetsAll attacks every authoritative; otherwise only the first
+	// (Experiment D's "50% one NS").
+	TargetsAll bool
+}
+
+// PaperExperiments are the paper's experiments A–I (Table 4). Durations
+// follow the published figures (A runs 120 minutes with no recovery; B–I
+// run 180 minutes with recovery after one hour of attack).
+var PaperExperiments = []DDoSSpec{
+	{Name: "A", TTL: 3600, DDoSStart: 10 * time.Minute, DDoSDur: 0, QueriesBefore: 1,
+		TotalDur: 120 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 1, TargetsAll: true},
+	{Name: "B", TTL: 3600, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 1, TargetsAll: true},
+	{Name: "C", TTL: 1800, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 1, TargetsAll: true},
+	{Name: "D", TTL: 1800, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.5, TargetsAll: false},
+	{Name: "E", TTL: 1800, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.5, TargetsAll: true},
+	{Name: "F", TTL: 1800, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.75, TargetsAll: true},
+	{Name: "G", TTL: 300, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.75, TargetsAll: true},
+	{Name: "H", TTL: 1800, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.9, TargetsAll: true},
+	{Name: "I", TTL: 60, DDoSStart: 60 * time.Minute, DDoSDur: 60 * time.Minute, QueriesBefore: 6,
+		TotalDur: 180 * time.Minute, ProbeInterval: 10 * time.Minute, Loss: 0.9, TargetsAll: true},
+}
+
+// SpecByName returns the named paper experiment.
+func SpecByName(name string) (DDoSSpec, bool) {
+	for _, s := range PaperExperiments {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return DDoSSpec{}, false
+}
+
+// Table4Row is the results block of Table 4.
+type Table4Row struct {
+	Spec         DDoSSpec
+	Probes       int
+	ProbesValid  int
+	VPs          int
+	Queries      int
+	TotalAnswers int
+	ValidAnswers int
+}
+
+// DDoSResult is everything one emulated attack produces.
+type DDoSResult struct {
+	Spec   DDoSSpec
+	Table4 Table4Row
+	// Answers counts OK / SERVFAIL / NoAnswer per probing round
+	// (Figures 6, 8, 14).
+	Answers *stats.RoundSeries
+	// Classes counts AA/CC/AC/CA per round (Figure 7).
+	Classes *stats.RoundSeries
+	// Latency summarizes client RTT per round in milliseconds, answered
+	// queries only (Figures 9, 15).
+	Latency []stats.Summary
+	// AuthQueries counts arrivals at the authoritatives per round by the
+	// paper's query classes (Figure 10). Pre-drop, like the paper's
+	// captures.
+	AuthQueries *stats.RoundSeries
+	// UniqueRn is the number of distinct resolver addresses querying the
+	// authoritatives per round (Figure 12).
+	UniqueRn []int
+	// RnPerProbe and QueriesPerProbe summarize, per round, how many
+	// distinct Rn served one probe's name and how many AAAA queries for
+	// it reached the authoritatives (Figure 11).
+	RnPerProbe      []stats.Summary
+	QueriesPerProbe []stats.Summary
+}
+
+// RunDDoS executes one emulated attack experiment.
+func RunDDoS(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *DDoSResult {
+	tb := NewTestbed(TestbedConfig{
+		Probes:      probes,
+		TTL:         spec.TTL,
+		Seed:        seed,
+		Population:  pop,
+		KeepAuthLog: true,
+	})
+
+	targets := tb.AuthAddrs
+	if !spec.TargetsAll {
+		targets = targets[:1]
+	}
+	scheduleAttack(tb, spec, targets)
+
+	rounds := int(spec.TotalDur / spec.ProbeInterval)
+	tb.ScheduleRotations(spec.TotalDur + RotationInterval)
+	tb.Fleet.Schedule(tb.Start, spec.ProbeInterval, 5*time.Minute, rounds)
+	tb.Clk.RunUntil(tb.Start.Add(spec.TotalDur + 10*time.Minute))
+
+	return analyzeDDoS(spec, tb, rounds)
+}
+
+// scheduleAttack arms the spec's loss window on the targets.
+func scheduleAttack(tb *Testbed, spec DDoSSpec, targets []netsim.Addr) {
+	ddos.Schedule(tb.Clk, tb.Net, ddos.Attack{
+		Targets: targets, Loss: spec.Loss,
+		Start: spec.DDoSStart, Duration: spec.DDoSDur,
+	})
+}
+
+func analyzeDDoS(spec DDoSSpec, tb *Testbed, rounds int) *DDoSResult {
+	res := &DDoSResult{
+		Spec:        spec,
+		Answers:     stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
+		Classes:     stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
+		AuthQueries: stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
+	}
+	answers := tb.Fleet.AllAnswers()
+
+	res.Table4 = Table4Row{Spec: spec, Probes: len(tb.Pop.Probes), VPs: tb.Pop.VPCount()}
+	probeOK := make(map[uint16]bool)
+	rtts := make([][]float64, rounds+1)
+	for _, a := range answers {
+		res.Table4.Queries++
+		r := a.Round
+		if r > rounds {
+			r = rounds
+		}
+		switch {
+		case a.Timeout:
+			res.Answers.AddRound(a.Round, "NoAnswer", 1)
+		case a.Ok():
+			res.Table4.TotalAnswers++
+			res.Table4.ValidAnswers++
+			probeOK[a.ProbeID] = true
+			res.Answers.AddRound(a.Round, "OK", 1)
+			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
+		default:
+			res.Table4.TotalAnswers++
+			res.Answers.AddRound(a.Round, "SERVFAIL", 1)
+			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
+		}
+	}
+	res.Table4.ProbesValid = len(probeOK)
+	for r := 0; r < rounds; r++ {
+		res.Latency = append(res.Latency, stats.Summarize(rtts[r]))
+	}
+
+	// Per-VP classification (Figure 7).
+	for _, list := range vantage.ByVP(answers) {
+		tracker := classify.NewTracker()
+		for _, a := range list {
+			if !a.Ok() {
+				continue
+			}
+			out := tracker.Classify(a, tb.SerialAt(a.SentAt))
+			cat := out.Category
+			if cat == classify.Warmup {
+				cat = classify.AA
+			}
+			res.Classes.AddRound(a.Round, cat.String(), 1)
+		}
+	}
+
+	res.analyzeAuthSide(spec, tb, rounds)
+	return res
+}
+
+// analyzeAuthSide derives the Figures 10–12 series from the pre-drop tap.
+func (res *DDoSResult) analyzeAuthSide(spec DDoSSpec, tb *Testbed, rounds int) {
+	nsHosts := make(map[string]bool)
+	for i := range tb.AuthAddrs {
+		nsHosts["ns"+itoa(i+1)+"."+Domain] = true
+	}
+	uniqueRn := make([]map[netsim.Addr]bool, rounds)
+	rnPerProbe := make([]map[string]map[netsim.Addr]bool, rounds)
+	queriesPerProbe := make([]map[string]int, rounds)
+	for i := range uniqueRn {
+		uniqueRn[i] = make(map[netsim.Addr]bool)
+		rnPerProbe[i] = make(map[string]map[netsim.Addr]bool)
+		queriesPerProbe[i] = make(map[string]int)
+	}
+
+	for _, ev := range tb.AuthLog {
+		r := res.AuthQueries.RoundOf(ev.At)
+		if r < 0 || r >= rounds {
+			continue
+		}
+		uniqueRn[r][ev.Src] = true
+		label := ""
+		switch {
+		case ev.QName == Domain && ev.QType == dnswire.TypeNS:
+			label = "NS"
+		case nsHosts[ev.QName] && ev.QType == dnswire.TypeA:
+			label = "A-for-NS"
+		case nsHosts[ev.QName] && ev.QType == dnswire.TypeAAAA:
+			label = "AAAA-for-NS"
+		case ev.QType == dnswire.TypeAAAA:
+			label = "AAAA-for-PID"
+			if m := rnPerProbe[r][ev.QName]; m == nil {
+				rnPerProbe[r][ev.QName] = map[netsim.Addr]bool{ev.Src: true}
+			} else {
+				m[ev.Src] = true
+			}
+			queriesPerProbe[r][ev.QName]++
+		default:
+			label = "other"
+		}
+		res.AuthQueries.AddRound(r, label, 1)
+	}
+
+	for r := 0; r < rounds; r++ {
+		res.UniqueRn = append(res.UniqueRn, len(uniqueRn[r]))
+		var rnCounts, qCounts []float64
+		for _, m := range rnPerProbe[r] {
+			rnCounts = append(rnCounts, float64(len(m)))
+		}
+		for _, n := range queriesPerProbe[r] {
+			qCounts = append(qCounts, float64(n))
+		}
+		sort.Float64s(rnCounts)
+		sort.Float64s(qCounts)
+		res.RnPerProbe = append(res.RnPerProbe, stats.Summarize(rnCounts))
+		res.QueriesPerProbe = append(res.QueriesPerProbe, stats.Summarize(qCounts))
+	}
+}

@@ -1,0 +1,285 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/recursive"
+	"repro/internal/stats"
+	"repro/internal/stub"
+	"repro/internal/zone"
+)
+
+// The §8 implications scenario: why did users barely notice the root DNS
+// DDoSes while a DNS provider's customers felt theirs immediately? Two
+// services are attacked side by side in one world:
+//
+//   - "root-like": day-long TTLs, four nameserver letters, each an
+//     anycast group of several sites; the attack saturates some letters
+//     completely and others partially, as in the Nov 2015 event [23].
+//   - "CDN-like": 120-second TTLs (DNS-based load balancing), two unicast
+//     nameservers, both at 90% loss — the Dyn shape.
+//
+// Clients keep resolving one popular name from each service through
+// shared caching recursives; the per-minute failure rates tell the story.
+
+// ImplicationsConfig sizes the §8 scenario.
+type ImplicationsConfig struct {
+	// Clients is the number of stub clients; each picks one of the shared
+	// recursives.
+	Clients int
+	// Recursives is the pool of shared caching resolvers (popular names
+	// stay cached because many clients share one cache).
+	Recursives int
+	Seed       int64
+	// Letters and SitesPerLetter shape the root-like service.
+	Letters        int
+	SitesPerLetter int
+	// Duration, AttackStart, AttackDur set the timeline.
+	Duration    time.Duration
+	AttackStart time.Duration
+	AttackDur   time.Duration
+	// QueryInterval is each client's re-resolution period.
+	QueryInterval time.Duration
+	// CDNTTL is the CDN-like record TTL (the paper's 120-300 s).
+	CDNTTL uint32
+}
+
+func (c ImplicationsConfig) withDefaults() ImplicationsConfig {
+	if c.Clients == 0 {
+		c.Clients = 400
+	}
+	if c.Recursives == 0 {
+		c.Recursives = 40
+	}
+	if c.Letters == 0 {
+		c.Letters = 4
+	}
+	if c.SitesPerLetter == 0 {
+		c.SitesPerLetter = 6
+	}
+	if c.Duration == 0 {
+		c.Duration = 90 * time.Minute
+	}
+	if c.AttackStart == 0 {
+		c.AttackStart = 30 * time.Minute
+	}
+	if c.AttackDur == 0 {
+		c.AttackDur = 30 * time.Minute
+	}
+	if c.QueryInterval == 0 {
+		c.QueryInterval = time.Minute
+	}
+	if c.CDNTTL == 0 {
+		c.CDNTTL = 120
+	}
+	return c
+}
+
+// ImplicationsResult reports per-minute failure fractions for both
+// services.
+type ImplicationsResult struct {
+	Config ImplicationsConfig
+	// Series counts "root-ok"/"root-fail"/"cdn-ok"/"cdn-fail" per minute.
+	Series *stats.RoundSeries
+	// RootFailDuringAttack and CDNFailDuringAttack are the aggregate
+	// failure fractions inside the attack window.
+	RootFailDuringAttack float64
+	CDNFailDuringAttack  float64
+}
+
+// RunImplications executes the §8 side-by-side attack.
+func RunImplications(cfg ImplicationsConfig) *ImplicationsResult {
+	cfg = cfg.withDefaults()
+	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+	clk := clock.NewVirtual(start)
+	net := netsim.New(clk, cfg.Seed)
+
+	rootZone := zone.New(".")
+	rootZone.MustAdd(dnswire.RR{Name: ".", TTL: 518400, Data: dnswire.SOA{
+		MName: "a.hint.test.", RName: "ops.hint.test.",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400}})
+	rootZone.MustAdd(dnswire.RR{Name: ".", TTL: 518400, Data: dnswire.NS{Host: "a.hint.test."}})
+	rootZone.MustAdd(dnswire.RR{Name: "a.hint.test.", TTL: 518400,
+		Data: dnswire.A{Addr: dnswire.MustAddr("198.41.0.4")}})
+
+	// Root-like service: long TTLs, anycast letters.
+	rootlike := zone.New("rootlike.test.")
+	rootlike.MustAdd(dnswire.RR{Name: "rootlike.test.", TTL: 86400, Data: dnswire.SOA{
+		MName: "ns0.rootlike.test.", RName: "ops.rootlike.test.",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400}})
+	rootlike.MustAdd(dnswire.RR{Name: "www.rootlike.test.", TTL: 86400,
+		Data: dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::1")}})
+	rootSrv := authoritative.New(rootlike)
+	var rootSites [][]netsim.Addr
+	for l := 0; l < cfg.Letters; l++ {
+		letterAddr := netsim.Addr(fmt.Sprintf("10.53.%d.1", l))
+		host := fmt.Sprintf("ns%d.rootlike.test.", l)
+		rootlike.MustAdd(dnswire.RR{Name: "rootlike.test.", TTL: 86400, Data: dnswire.NS{Host: host}})
+		rootlike.MustAdd(dnswire.RR{Name: host, TTL: 86400,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(letterAddr))}})
+		rootZone.MustAdd(dnswire.RR{Name: "rootlike.test.", TTL: 172800, Data: dnswire.NS{Host: host}})
+		rootZone.MustAdd(dnswire.RR{Name: host, TTL: 172800,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(letterAddr))}})
+
+		var sites []netsim.Addr
+		for s := 0; s < cfg.SitesPerLetter; s++ {
+			sites = append(sites, netsim.Addr(fmt.Sprintf("10.53.%d.%d", l, 100+s)))
+		}
+		rootSites = append(rootSites, sites)
+		attachAnycastAuth(net, rootSrv, letterAddr, sites)
+	}
+
+	// CDN-like service: short TTLs, two unicast nameservers.
+	cdn := zone.New("cdn.test.")
+	cdn.MustAdd(dnswire.RR{Name: "cdn.test.", TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.cdn.test.", RName: "ops.cdn.test.",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 60}})
+	cdn.MustAdd(dnswire.RR{Name: "www.cdn.test.", TTL: cfg.CDNTTL,
+		Data: dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::2")}})
+	cdnAddrs := []netsim.Addr{"203.0.113.1", "203.0.113.2"}
+	for i, addr := range cdnAddrs {
+		host := fmt.Sprintf("ns%d.cdn.test.", i+1)
+		cdn.MustAdd(dnswire.RR{Name: "cdn.test.", TTL: 3600, Data: dnswire.NS{Host: host}})
+		cdn.MustAdd(dnswire.RR{Name: host, TTL: 3600,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
+		rootZone.MustAdd(dnswire.RR{Name: "cdn.test.", TTL: 172800, Data: dnswire.NS{Host: host}})
+		rootZone.MustAdd(dnswire.RR{Name: host, TTL: 172800,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
+	}
+	cdnSrv := authoritative.New(cdn)
+	for _, addr := range cdnAddrs {
+		cdnSrv.Attach(net, addr)
+	}
+	authoritative.New(rootZone).Attach(net, "198.41.0.4")
+
+	// Shared caching recursives and the client population.
+	hints := []recursive.ServerHint{{Name: "a.hint.test.", Addr: "198.41.0.4"}}
+	var resolverAddrs []netsim.Addr
+	for i := 0; i < cfg.Recursives; i++ {
+		addr := netsim.Addr(fmt.Sprintf("res-%d", i))
+		r := recursive.NewResolver(clk, recursive.Config{
+			RootHints: hints, Seed: cfg.Seed + int64(i),
+		})
+		r.Attach(net, addr)
+		resolverAddrs = append(resolverAddrs, addr)
+	}
+
+	res := &ImplicationsResult{
+		Config: cfg,
+		Series: stats.NewRoundSeries(start, time.Minute),
+	}
+	var attackRootOK, attackRootFail, attackCDNOK, attackCDNFail float64
+	inAttack := func(at time.Time) bool {
+		off := at.Sub(start)
+		return off >= cfg.AttackStart && off < cfg.AttackStart+cfg.AttackDur
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		client := stub.New(clk, stub.Config{})
+		client.Attach(net, netsim.Addr(fmt.Sprintf("client-%d", i)))
+		rec := resolverAddrs[i%len(resolverAddrs)]
+		offset := time.Duration(i) * cfg.QueryInterval / time.Duration(cfg.Clients)
+		for at := offset; at < cfg.Duration; at += cfg.QueryInterval {
+			at := at
+			clk.AfterFunc(at, func() {
+				sentAt := clk.Now()
+				for _, svc := range []string{"root", "cdn"} {
+					svc := svc
+					name := "www." + map[string]string{"root": "rootlike.test.", "cdn": "cdn.test."}[svc]
+					client.Query(rec, name, dnswire.TypeAAAA, func(r stub.Result) {
+						ok := r.Err == nil && r.Msg.RCode == dnswire.RCodeNoError && len(r.Msg.Answers) > 0
+						label := svc + "-fail"
+						if ok {
+							label = svc + "-ok"
+						}
+						res.Series.Add(sentAt, label, 1)
+						if inAttack(sentAt) {
+							switch {
+							case svc == "root" && ok:
+								attackRootOK++
+							case svc == "root":
+								attackRootFail++
+							case ok:
+								attackCDNOK++
+							default:
+								attackCDNFail++
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+
+	// The attack: two letters fully saturated, the rest half-saturated at
+	// 90%; both CDN nameservers at 90% loss.
+	clk.AfterFunc(cfg.AttackStart, func() {
+		for l, sites := range rootSites {
+			for s, site := range sites {
+				switch {
+				case l < cfg.Letters/2:
+					net.SetInboundLoss(site, 1)
+				case s%2 == 0:
+					net.SetInboundLoss(site, 0.9)
+				}
+			}
+		}
+		for _, addr := range cdnAddrs {
+			net.SetInboundLoss(addr, 0.9)
+		}
+	})
+	clk.AfterFunc(cfg.AttackStart+cfg.AttackDur, func() {
+		for _, sites := range rootSites {
+			for _, site := range sites {
+				net.SetInboundLoss(site, 0)
+			}
+		}
+		for _, addr := range cdnAddrs {
+			net.SetInboundLoss(addr, 0)
+		}
+	})
+
+	clk.RunUntil(start.Add(cfg.Duration + time.Minute))
+
+	if n := attackRootOK + attackRootFail; n > 0 {
+		res.RootFailDuringAttack = attackRootFail / n
+	}
+	if n := attackCDNOK + attackCDNFail; n > 0 {
+		res.CDNFailDuringAttack = attackCDNFail / n
+	}
+	return res
+}
+
+// attachAnycastAuth binds srv at every site, replying from the anycast
+// service address.
+func attachAnycastAuth(net *netsim.Network, srv *authoritative.Server, service netsim.Addr, sites []netsim.Addr) {
+	port := net.BindAnycast(service, sites, nil)
+	for _, site := range sites {
+		net.Bind(site, func(src netsim.Addr, payload []byte) {
+			if out := srv.HandleWire(payload); out != nil {
+				port.Send(src, out)
+			}
+		})
+	}
+}
+
+// RenderImplications prints the §8 comparison.
+func RenderImplications(r *ImplicationsResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %10s %10s %10s %10s\n",
+		"minute", "root-ok", "root-fail", "cdn-ok", "cdn-fail")
+	for m := 0; m < r.Series.Rounds(); m++ {
+		fmt.Fprintf(&sb, "%8d %10.0f %10.0f %10.0f %10.0f\n", m,
+			r.Series.Get(m, "root-ok"), r.Series.Get(m, "root-fail"),
+			r.Series.Get(m, "cdn-ok"), r.Series.Get(m, "cdn-fail"))
+	}
+	fmt.Fprintf(&sb, "\nfailure during the attack: root-like %.1f%%, CDN-like %.1f%%\n",
+		100*r.RootFailDuringAttack, 100*r.CDNFailDuringAttack)
+	return sb.String()
+}

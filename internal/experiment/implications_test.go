@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImplicationsRootVsCDN checks the paper's §8 explanation: with
+// day-long TTLs and anycast letter redundancy, users of the root-like
+// service barely notice the attack, while the short-TTL CDN-like service
+// shows clear user-visible failures.
+func TestImplicationsRootVsCDN(t *testing.T) {
+	res := RunImplications(ImplicationsConfig{Clients: 200, Recursives: 20, Seed: 3})
+	if res.Series.Rounds() == 0 {
+		t.Fatal("no data")
+	}
+	if res.RootFailDuringAttack > 0.05 {
+		t.Errorf("root-like failure = %.3f, want near zero (cached + surviving letters)",
+			res.RootFailDuringAttack)
+	}
+	if res.CDNFailDuringAttack < 0.05 {
+		t.Errorf("CDN-like failure = %.3f, want clearly visible", res.CDNFailDuringAttack)
+	}
+	if res.CDNFailDuringAttack <= res.RootFailDuringAttack {
+		t.Errorf("CDN (%.3f) should fail more than root-like (%.3f)",
+			res.CDNFailDuringAttack, res.RootFailDuringAttack)
+	}
+	out := RenderImplications(res)
+	if !strings.Contains(out, "root-ok") || !strings.Contains(out, "failure during the attack") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestImplicationsLongTTLCDNRecovers shows the paper's recommendation: the
+// same CDN-like service with 30-minute TTLs fails much less.
+func TestImplicationsLongTTLCDNRecovers(t *testing.T) {
+	short := RunImplications(ImplicationsConfig{Clients: 200, Recursives: 20, Seed: 3, CDNTTL: 120})
+	long := RunImplications(ImplicationsConfig{Clients: 200, Recursives: 20, Seed: 3, CDNTTL: 1800})
+	if long.CDNFailDuringAttack >= short.CDNFailDuringAttack {
+		t.Errorf("long TTL (%.3f) should beat short TTL (%.3f)",
+			long.CDNFailDuringAttack, short.CDNFailDuringAttack)
+	}
+}

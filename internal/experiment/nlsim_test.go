@@ -1,0 +1,32 @@
+package experiment
+
+import "testing"
+
+// TestNlFromSimHonorsTTL derives the §4.1 analysis from a real simulated
+// run instead of the synthesized trace: the vast majority of recursives
+// re-fetch the zone's nameserver records no earlier than the 3600 s TTL
+// (the paper's Figure 4 peak), with the early re-fetchers being the
+// TTL-capping minority.
+func TestNlFromSimHonorsTTL(t *testing.T) {
+	res := RunNlFromSim(NlSimConfig{Probes: 150, Seed: 3})
+	if len(res.Analysis.Medians) < 50 {
+		t.Fatalf("only %d recursives measured", len(res.Analysis.Medians))
+	}
+	if res.FracAtTTL < 0.8 {
+		t.Errorf("TTL-honoring fraction = %.2f, want dominant", res.FracAtTTL)
+	}
+	if res.FracBelowTTL > 0.2 {
+		t.Errorf("early re-fetchers = %.2f, want small minority", res.FracBelowTTL)
+	}
+	// The harvest bursts (ns1+ns2 fetched together) are the closely-timed
+	// queries the paper excludes; they must be visible and excluded.
+	if res.Analysis.ExcludedFrac < 0.2 {
+		t.Errorf("closely-timed fraction = %.2f, want the paper's ~28%%+", res.Analysis.ExcludedFrac)
+	}
+	// The median refresh interval sits between the TTL and TTL + one
+	// probing interval (3600..4800 s).
+	med := res.ECDF.InverseAt(0.5)
+	if med < 3600 || med > 4800 {
+		t.Errorf("median refresh = %.0f s, want TTL..TTL+interval", med)
+	}
+}

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/vantage"
+)
+
+// RunDDoSWithTestbed is RunDDoS but also returns the testbed for
+// drill-down analyses (Appendix F / Table 7).
+func RunDDoSWithTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) (*DDoSResult, *Testbed) {
+	tb := NewTestbed(TestbedConfig{
+		Probes:      probes,
+		TTL:         spec.TTL,
+		Seed:        seed,
+		Population:  pop,
+		KeepAuthLog: true,
+	})
+	targets := tb.AuthAddrs
+	if !spec.TargetsAll {
+		targets = targets[:1]
+	}
+	scheduleAttack(tb, spec, targets)
+	rounds := int(spec.TotalDur / spec.ProbeInterval)
+	tb.ScheduleRotations(spec.TotalDur + RotationInterval)
+	tb.Fleet.Schedule(tb.Start, spec.ProbeInterval, 5*time.Minute, rounds)
+	tb.Clk.RunUntil(tb.Start.Add(spec.TotalDur + 10*time.Minute))
+	return analyzeDDoS(spec, tb, rounds), tb
+}
+
+// Table7Round is one row of the Appendix F per-probe table: the client
+// and authoritative views of one probing round.
+type Table7Round struct {
+	Round int
+	// Client view.
+	ClientQueries int
+	ClientAnswers int
+	R1Used        int
+	// Authoritative view (pre-drop arrivals for this probe's name).
+	AuthQueries  int
+	AuthAnswered int // arrivals that were not dropped
+	ATsUsed      int
+	RnUsed       int
+}
+
+// Table7 is the full per-probe drill-down.
+type Table7 struct {
+	ProbeID uint16
+	Rounds  []Table7Round
+}
+
+// PerProbe computes Table 7 for one probe from a finished testbed.
+func PerProbe(tb *Testbed, res *DDoSResult, probeID uint16) Table7 {
+	spec := res.Spec
+	rounds := int(spec.TotalDur / spec.ProbeInterval)
+	out := Table7{ProbeID: probeID, Rounds: make([]Table7Round, rounds)}
+	for r := range out.Rounds {
+		out.Rounds[r].Round = r
+	}
+
+	var probe *vantage.Probe
+	for _, p := range tb.Pop.Probes {
+		if p.ID == probeID {
+			probe = p
+			break
+		}
+	}
+	if probe == nil {
+		return out
+	}
+
+	r1Used := make([]map[netsim.Addr]bool, rounds)
+	for i := range r1Used {
+		r1Used[i] = make(map[netsim.Addr]bool)
+	}
+	for _, a := range probe.Answers() {
+		if a.Round < 0 || a.Round >= rounds {
+			continue
+		}
+		row := &out.Rounds[a.Round]
+		row.ClientQueries++
+		if a.Ok() {
+			row.ClientAnswers++
+			r1Used[a.Round][a.Recursive] = true
+		}
+	}
+	for r := range out.Rounds {
+		out.Rounds[r].R1Used = len(r1Used[r])
+	}
+
+	qname := vantage.QName(probeID, Domain)
+	ats := make([]map[netsim.Addr]bool, rounds)
+	rns := make([]map[netsim.Addr]bool, rounds)
+	for i := range ats {
+		ats[i] = make(map[netsim.Addr]bool)
+		rns[i] = make(map[netsim.Addr]bool)
+	}
+	series := res.AuthQueries // same binning
+	for _, ev := range tb.AuthLog {
+		if ev.QName != qname || ev.QType != dnswire.TypeAAAA {
+			continue
+		}
+		r := series.RoundOf(ev.At)
+		if r < 0 || r >= rounds {
+			continue
+		}
+		row := &out.Rounds[r]
+		row.AuthQueries++
+		if !ev.Dropped {
+			row.AuthAnswered++
+		}
+		ats[r][ev.Dst] = true
+		rns[r][ev.Src] = true
+	}
+	for r := range out.Rounds {
+		out.Rounds[r].ATsUsed = len(ats[r])
+		out.Rounds[r].RnUsed = len(rns[r])
+	}
+	return out
+}
+
+// BusiestProbe returns the probe whose name drew the most authoritative
+// queries — a good Table 7 subject, like the paper's probe 28477 with its
+// multi-level recursives.
+func BusiestProbe(tb *Testbed) uint16 {
+	counts := make(map[string]int)
+	for _, ev := range tb.AuthLog {
+		if ev.QType == dnswire.TypeAAAA {
+			counts[ev.QName]++
+		}
+	}
+	best, bestN := uint16(0), -1
+	for _, p := range tb.Pop.Probes {
+		if n := counts[vantage.QName(p.ID, Domain)]; n > bestN {
+			best, bestN = p.ID, n
+		}
+	}
+	return best
+}
+
+// RenderTable7 prints the per-probe drill-down.
+func RenderTable7(t Table7) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "probe %d\n", t.ProbeID)
+	fmt.Fprintf(&sb, "%5s | %8s %8s %6s | %8s %8s %6s %6s\n",
+		"T", "cli-q", "cli-ans", "R1s", "auth-q", "auth-ans", "ATs", "Rn")
+	for _, row := range t.Rounds {
+		fmt.Fprintf(&sb, "%5d | %8d %8d %6d | %8d %8d %6d %6d\n",
+			row.Round+1, row.ClientQueries, row.ClientAnswers, row.R1Used,
+			row.AuthQueries, row.AuthAnswered, row.ATsUsed, row.RnUsed)
+	}
+	return sb.String()
+}

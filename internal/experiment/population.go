@@ -1,0 +1,412 @@
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/recursive"
+	"repro/internal/vantage"
+)
+
+// R1Kind is the deployment shape behind one vantage point's first-hop
+// recursive.
+type R1Kind int
+
+// Population mix of first-hop recursive kinds (§3.5 of the paper).
+const (
+	// DirectHonest is a single-tier ISP recursive with a well-behaved
+	// cache.
+	DirectHonest R1Kind = iota
+	// DirectCap60 rewrites all TTLs down to 60 s (the EC2-resolver
+	// behavior of §3.4).
+	DirectCap60
+	// FarmGoogle forwards into a large anycast farm with fragmented
+	// backend caches (Google-like).
+	FarmGoogle
+	// FarmOther forwards into a smaller public farm whose backends also
+	// serve stale (OpenDNS-like, §5.3).
+	FarmOther
+	// MultiTier is an uncached first-level forwarder (home router / first
+	// ISP tier) spreading queries over a small Rn pool.
+	MultiTier
+	// DeadR1 never answers (the ~4.5% discarded probes of Table 1).
+	DeadR1
+	// BrokenR1 responds but always fails (SERVFAIL): the small
+	// "answers (disc.)" fraction of Table 1.
+	BrokenR1
+)
+
+func (k R1Kind) String() string {
+	switch k {
+	case DirectHonest:
+		return "direct"
+	case DirectCap60:
+		return "direct-cap60"
+	case FarmGoogle:
+		return "farm-google"
+	case FarmOther:
+		return "farm-other"
+	case MultiTier:
+		return "multi-tier"
+	case DeadR1:
+		return "dead"
+	case BrokenR1:
+		return "broken"
+	}
+	return "unknown"
+}
+
+// R1Meta describes one first-hop recursive address.
+type R1Meta struct {
+	Kind R1Kind
+	// Public marks addresses on the paper's public-resolver list
+	// (Table 3).
+	Public bool
+	Google bool
+}
+
+// PopulationConfig sets the behavior mix. Fractions apply per vantage
+// point; the remainder is DirectHonest. The defaults are calibrated so the
+// §3 baseline lands near the paper's numbers: ~30% warm-cache misses,
+// about half of them entering through public farms, ~2% TTL truncation
+// for TTLs of an hour or less, ~30% for day-long TTLs.
+type PopulationConfig struct {
+	FracFarmGoogle float64
+	FracFarmOther  float64
+	FracMultiTier  float64
+	FracCap60      float64
+	// FracDead is the per-probe probability that all of a probe's
+	// recursives are unreachable (Table 1's probes disc.).
+	FracDead float64
+	// FracBroken is the per-VP probability of a recursive that always
+	// SERVFAILs (Table 1's answers disc.).
+	FracBroken float64
+	// FracDirectCap6h is the per-VP probability of a direct resolver
+	// whose cache caps TTLs at 6 hours (with the farm caps, this yields
+	// the paper's ~30% truncation of day-long TTLs).
+	FracDirectCap6h float64
+
+	// GoogleBackends and OtherBackends size the farm fragmentation.
+	GoogleBackends int
+	OtherBackends  int
+	// MultiTierPoolSize is the Rn pool each multi-tier group shares.
+	MultiTierPoolSize int
+	// VPsPerMultiTierGroup bounds how many vantage points share one Rn
+	// pool.
+	VPsPerMultiTierGroup int
+	// FracMultiTierViaGoogle routes this fraction of multi-tier groups
+	// through the Google farm as one upstream (the paper's "10% of
+	// non-public misses eventually emerge from Google").
+	FracMultiTierViaGoogle float64
+	// FarmTTLCap is the backend cache cap of public farms (the ~6 h
+	// refresh the paper cites for day-long TTLs).
+	FarmTTLCap time.Duration
+	// FlushPerHour is the probability per hour that a direct resolver's
+	// cache is flushed (restarts/operator flushes, §3.1).
+	FlushPerHour float64
+	// Harvest selects the NS-record harvesting mode of iterative
+	// resolvers (HarvestFull produces the paper's Figure 10 query mix).
+	Harvest recursive.HarvestMode
+	// FracAnswerFromReferral is the fraction of direct resolvers that
+	// answer clients from referral-learned (parent-side) data, the small
+	// minority Appendix A finds in the wild.
+	FracAnswerFromReferral float64
+	// ServeStaleDirect turns on serve-stale at every direct (single-tier)
+	// resolver, modeling universal adoption of the serve-stale draft —
+	// the what-if behind the paper's §5.3 discussion.
+	ServeStaleDirect bool
+	// PrefetchDirect, when positive, enables Unbound-style prefetch at
+	// every direct resolver with the given threshold fraction (an
+	// extension experiment: prefetch keeps caches warm into an attack).
+	PrefetchDirect float64
+}
+
+func (c PopulationConfig) withDefaults() PopulationConfig {
+	if c.FracFarmGoogle == 0 {
+		c.FracFarmGoogle = 0.15
+	}
+	if c.FracFarmOther == 0 {
+		c.FracFarmOther = 0.06
+	}
+	if c.FracMultiTier == 0 {
+		c.FracMultiTier = 0.22
+	}
+	if c.FracCap60 == 0 {
+		c.FracCap60 = 0.02
+	}
+	if c.FracDead == 0 {
+		c.FracDead = 0.045
+	}
+	if c.FracBroken == 0 {
+		c.FracBroken = 0.004
+	}
+	if c.FracDirectCap6h == 0 {
+		c.FracDirectCap6h = 0.10
+	}
+	if c.GoogleBackends == 0 {
+		c.GoogleBackends = 24
+	}
+	if c.OtherBackends == 0 {
+		c.OtherBackends = 8
+	}
+	if c.MultiTierPoolSize == 0 {
+		c.MultiTierPoolSize = 3
+	}
+	if c.VPsPerMultiTierGroup == 0 {
+		c.VPsPerMultiTierGroup = 40
+	}
+	if c.FracMultiTierViaGoogle == 0 {
+		c.FracMultiTierViaGoogle = 0.10
+	}
+	if c.FarmTTLCap == 0 {
+		c.FarmTTLCap = 6 * time.Hour
+	}
+	if c.FlushPerHour == 0 {
+		c.FlushPerHour = 0.02
+	}
+	if c.FracAnswerFromReferral == 0 {
+		c.FracAnswerFromReferral = 0.05
+	}
+	return c
+}
+
+// Population is the assembled resolver-and-probe world.
+type Population struct {
+	Probes    []*vantage.Probe
+	R1Meta    map[netsim.Addr]R1Meta
+	RnGoogle  map[netsim.Addr]bool // Google farm backend addresses
+	RnPublic  map[netsim.Addr]bool // all public farm backends
+	Resolvers []*recursive.Resolver
+}
+
+// builder carries construction state.
+type builder struct {
+	clk    clock.Clock
+	net    *netsim.Network
+	hints  []recursive.ServerHint
+	cfg    PopulationConfig
+	rng    *rand.Rand
+	domain string
+
+	pop        *Population
+	nextAddr   int
+	googleLB   netsim.Addr
+	otherLB    netsim.Addr
+	mtGroups   []netsim.Addr // current group's R1s share a pool via LB? no: pool addrs
+	mtPool     []netsim.Addr
+	mtPoolUsed int
+	seedSeq    int64
+}
+
+// BuildPopulation creates the resolver infrastructure and probes. Each
+// probe gets 1–3 first-hop recursives (so VPs ≈ 1.67 × probes, as in
+// Table 1), with kinds drawn from the configured mix.
+func BuildPopulation(clk clock.Clock, net *netsim.Network, probes int, domain string,
+	hints []recursive.ServerHint, cfg PopulationConfig, seed int64) *Population {
+
+	cfg = cfg.withDefaults()
+	b := &builder{
+		clk: clk, net: net, hints: hints, cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)), domain: domain,
+		pop: &Population{
+			R1Meta:   make(map[netsim.Addr]R1Meta),
+			RnGoogle: make(map[netsim.Addr]bool),
+			RnPublic: make(map[netsim.Addr]bool),
+		},
+		seedSeq: seed * 7919,
+	}
+	b.googleLB = b.buildFarm("google", cfg.GoogleBackends, false)
+	b.otherLB = b.buildFarm("pubdns", cfg.OtherBackends, true)
+
+	for id := 1; id <= probes; id++ {
+		nRec := 1
+		switch r := b.rng.Float64(); {
+		case r < 0.15:
+			nRec = 3
+		case r < 0.50:
+			nRec = 2
+		}
+		// Discarded probes (Table 1) fail wholesale: every local
+		// recursive is unreachable.
+		dead := b.rng.Float64() < cfg.FracDead
+		var recursives []netsim.Addr
+		for j := 0; j < nRec; j++ {
+			if dead {
+				addr := b.addr("dead-r1")
+				b.pop.R1Meta[addr] = R1Meta{Kind: DeadR1}
+				recursives = append(recursives, addr)
+				continue
+			}
+			recursives = append(recursives, b.buildR1())
+		}
+		p := vantage.NewProbe(clk, net, uint16(id), b.addr("probe"),
+			recursives, domain, b.nextSeed())
+		b.pop.Probes = append(b.pop.Probes, p)
+	}
+	return b.pop
+}
+
+func (b *builder) addr(prefix string) netsim.Addr {
+	b.nextAddr++
+	return netsim.Addr(prefix + "-" + itoa(b.nextAddr))
+}
+
+func (b *builder) nextSeed() int64 {
+	b.seedSeq++
+	return b.seedSeq
+}
+
+// buildFarm creates a fragmented public resolver farm: an uncached
+// load-balancer frontend spreading queries over independently cached
+// iterative backends.
+func (b *builder) buildFarm(name string, backends int, serveStale bool) netsim.Addr {
+	var backendAddrs []netsim.Addr
+	for i := 0; i < backends; i++ {
+		addr := b.addr(name + "-rn")
+		r := recursive.NewResolver(b.clk, recursive.Config{
+			RootHints:  b.hints,
+			Cache:      cache.Config{MaxTTL: b.cfg.FarmTTLCap},
+			ServeStale: serveStale,
+			Harvest:    b.cfg.Harvest,
+			Seed:       b.nextSeed(),
+		})
+		r.Attach(b.net, addr)
+		b.pop.Resolvers = append(b.pop.Resolvers, r)
+		backendAddrs = append(backendAddrs, addr)
+		b.pop.RnPublic[addr] = true
+		if name == "google" {
+			b.pop.RnGoogle[addr] = true
+		}
+	}
+	lb := b.addr(name + "-lb")
+	front := recursive.NewResolver(b.clk, recursive.Config{
+		Forwarders:      backendAddrs,
+		NoCache:         true,
+		ExplorationProb: 1, // pure load balancing: uniform backend choice
+		MaxAttempts:     4,
+		Seed:            b.nextSeed(),
+	})
+	front.Attach(b.net, lb)
+	b.pop.Resolvers = append(b.pop.Resolvers, front)
+	return lb
+}
+
+// buildR1 creates (or reuses) the first-hop recursive for one vantage
+// point and returns its address.
+func (b *builder) buildR1() netsim.Addr {
+	r := b.rng.Float64()
+	cfg := b.cfg
+	switch {
+	case r < cfg.FracBroken:
+		// A resolver that always SERVFAILs (no usable root hints).
+		addr := b.addr("broken-r1")
+		br := recursive.NewResolver(b.clk, recursive.Config{Seed: b.nextSeed()})
+		br.Attach(b.net, addr)
+		b.pop.Resolvers = append(b.pop.Resolvers, br)
+		b.pop.R1Meta[addr] = R1Meta{Kind: BrokenR1}
+		return addr
+	case r < cfg.FracBroken+cfg.FracFarmGoogle:
+		b.pop.R1Meta[b.googleLB] = R1Meta{Kind: FarmGoogle, Public: true, Google: true}
+		return b.googleLB
+	case r < cfg.FracBroken+cfg.FracFarmGoogle+cfg.FracFarmOther:
+		b.pop.R1Meta[b.otherLB] = R1Meta{Kind: FarmOther, Public: true}
+		return b.otherLB
+	case r < cfg.FracBroken+cfg.FracFarmGoogle+cfg.FracFarmOther+cfg.FracMultiTier:
+		return b.buildMultiTierR1()
+	case r < cfg.FracBroken+cfg.FracFarmGoogle+cfg.FracFarmOther+cfg.FracMultiTier+cfg.FracCap60:
+		return b.buildDirect(DirectCap60, cache.Config{MaxTTL: 60 * time.Second})
+	case r < cfg.FracBroken+cfg.FracFarmGoogle+cfg.FracFarmOther+cfg.FracMultiTier+cfg.FracCap60+cfg.FracDirectCap6h:
+		return b.buildDirect(DirectHonest, cache.Config{MaxTTL: 6 * time.Hour})
+	default:
+		return b.buildDirect(DirectHonest, cache.Config{})
+	}
+}
+
+// buildDirect creates a per-VP single-tier iterative recursive.
+func (b *builder) buildDirect(kind R1Kind, cc cache.Config) netsim.Addr {
+	addr := b.addr("isp-r1")
+	r := recursive.NewResolver(b.clk, recursive.Config{
+		RootHints:          b.hints,
+		Cache:              cc,
+		Harvest:            b.cfg.Harvest,
+		AnswerFromReferral: b.rng.Float64() < b.cfg.FracAnswerFromReferral,
+		ServeStale:         b.cfg.ServeStaleDirect,
+		Prefetch:           b.cfg.PrefetchDirect,
+		Seed:               b.nextSeed(),
+	})
+	r.Attach(b.net, addr)
+	b.pop.Resolvers = append(b.pop.Resolvers, r)
+	b.pop.R1Meta[addr] = R1Meta{Kind: kind}
+	b.scheduleFlushes(r)
+	return addr
+}
+
+// buildMultiTierR1 creates an uncached forwarder over the current Rn
+// pool, cutting a fresh pool every VPsPerMultiTierGroup vantage points.
+func (b *builder) buildMultiTierR1() netsim.Addr {
+	if b.mtPool == nil || b.mtPoolUsed >= b.cfg.VPsPerMultiTierGroup {
+		b.mtPool = nil
+		b.mtPoolUsed = 0
+		for i := 0; i < b.cfg.MultiTierPoolSize; i++ {
+			rnAddr := b.addr("mt-rn")
+			rn := recursive.NewResolver(b.clk, recursive.Config{
+				RootHints: b.hints,
+				Harvest:   b.cfg.Harvest,
+				Seed:      b.nextSeed(),
+			})
+			rn.Attach(b.net, rnAddr)
+			b.pop.Resolvers = append(b.pop.Resolvers, rn)
+			b.scheduleFlushes(rn)
+			b.mtPool = append(b.mtPool, rnAddr)
+		}
+		if b.rng.Float64() < b.cfg.FracMultiTierViaGoogle {
+			b.mtPool = append(b.mtPool, b.googleLB)
+		}
+	}
+	b.mtPoolUsed++
+
+	addr := b.addr("mt-r1")
+	r1 := recursive.NewResolver(b.clk, recursive.Config{
+		Forwarders:      b.mtPool,
+		NoCache:         true,
+		ExplorationProb: 1, // spread over the pool
+		MaxAttempts:     6,
+		Seed:            b.nextSeed(),
+	})
+	r1.Attach(b.net, addr)
+	b.pop.Resolvers = append(b.pop.Resolvers, r1)
+	b.pop.R1Meta[addr] = R1Meta{Kind: MultiTier}
+	return addr
+}
+
+// scheduleFlushes arms random cache flushes over the next 12 hours,
+// modeling resolver restarts (§3.1).
+func (b *builder) scheduleFlushes(r *recursive.Resolver) {
+	if b.cfg.FlushPerHour <= 0 {
+		return
+	}
+	for h := 0; h < 12; h++ {
+		if b.rng.Float64() < b.cfg.FlushPerHour {
+			at := time.Duration(h)*time.Hour +
+				time.Duration(b.rng.Int63n(int64(time.Hour)))
+			b.clk.AfterFunc(at, func() { r.Cache().Flush() })
+		}
+	}
+}
+
+// KindOf returns the R1 kind behind addr.
+func (p *Population) KindOf(addr netsim.Addr) R1Kind {
+	return p.R1Meta[addr].Kind
+}
+
+// VPCount returns the total number of vantage points.
+func (p *Population) VPCount() int {
+	n := 0
+	for _, probe := range p.Probes {
+		n += len(probe.Recursives)
+	}
+	return n
+}

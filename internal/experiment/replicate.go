@@ -1,0 +1,15 @@
+package experiment
+
+import "repro/internal/stats"
+
+// Replicate runs metric across n different seeds and summarizes the
+// distribution — the harness's answer to "is this result an artifact of
+// one seed?". Used by the robustness tests and the
+// BenchmarkReplicationVariance target.
+func Replicate(n int, baseSeed int64, metric func(seed int64) float64) stats.Summary {
+	values := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		values = append(values, metric(baseSeed+int64(i)*1000))
+	}
+	return stats.Summarize(values)
+}

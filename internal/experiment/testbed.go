@@ -1,0 +1,263 @@
+// Package experiment reproduces the paper's measurement campaigns: the
+// caching baseline (§3, Tables 1–3, Figures 3/13), the DDoS emulations
+// (§5–6, Table 4, Figures 6–12, 14–15), and the glue-vs-authoritative TTL
+// study (Appendix A, Table 5). Each runner assembles a testbed — the DNS
+// hierarchy root → .nl → cachetest.nl plus a calibrated population of
+// recursive resolvers — on the deterministic simulator and returns the
+// rows/series the paper reports.
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/recursive"
+	"repro/internal/vantage"
+	"repro/internal/zone"
+)
+
+// Well-known addresses of the emulated hierarchy.
+const (
+	RootAddr = "198.41.0.4"
+	TLDAddr  = "194.0.28.53"
+)
+
+// Domain is the test zone, as in the paper.
+const Domain = "cachetest.nl."
+
+// RotationInterval is the zone-file rotation period (§3.2: serial
+// incremented and zone reloaded every 10 minutes).
+const RotationInterval = 10 * time.Minute
+
+// AuthEvent is one query arrival at an authoritative, observed by the
+// pre-drop tap (§6.1: the paper measures queries before the DDoS drops
+// them).
+type AuthEvent struct {
+	At      time.Time
+	Src     netsim.Addr
+	Dst     netsim.Addr
+	QName   string
+	QType   dnswire.Type
+	Dropped bool
+}
+
+// TestbedConfig sizes a testbed.
+type TestbedConfig struct {
+	// Probes is the number of emulated Atlas probes.
+	Probes int
+	// TTL is the record TTL of the probe AAAA records.
+	TTL uint32
+	// NegTTL is the zone's negative TTL (SOA minimum); the paper uses
+	// 60 s.
+	NegTTL uint32
+	// Auths is the number of cachetest.nl authoritatives (the paper runs
+	// two).
+	Auths int
+	// Seed drives every random choice in the testbed.
+	Seed int64
+	// Population tunes the resolver mix; zero value uses the calibrated
+	// defaults.
+	Population PopulationConfig
+	// KeepAuthLog retains the per-query authoritative tap (needed for
+	// Figures 10–12 and Table 3; costs memory on large runs).
+	KeepAuthLog bool
+}
+
+func (c TestbedConfig) withDefaults() TestbedConfig {
+	if c.Probes == 0 {
+		c.Probes = 1200
+	}
+	if c.TTL == 0 {
+		c.TTL = 3600
+	}
+	if c.NegTTL == 0 {
+		c.NegTTL = 60
+	}
+	if c.Auths == 0 {
+		c.Auths = 2
+	}
+	c.Population = c.Population.withDefaults()
+	return c
+}
+
+// Testbed is a fully assembled simulated DNS ecosystem.
+type Testbed struct {
+	Cfg   TestbedConfig
+	Clk   *clock.Virtual
+	Net   *netsim.Network
+	Start time.Time
+
+	AuthAddrs []netsim.Addr
+	AuthZone  *zone.Zone // shared by all cachetest.nl authoritatives
+	Auths     []*authoritative.Server
+	Pop       *Population
+	Fleet     *vantage.Fleet
+
+	serial0 uint16
+	AuthLog []AuthEvent
+}
+
+// NewTestbed builds the hierarchy, resolver population, and probe fleet.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	cfg = cfg.withDefaults()
+	tb := &Testbed{
+		Cfg:   cfg,
+		Start: time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC),
+	}
+	tb.Clk = clock.NewVirtual(tb.Start)
+	tb.Net = netsim.New(tb.Clk, cfg.Seed)
+
+	for i := 0; i < cfg.Auths; i++ {
+		tb.AuthAddrs = append(tb.AuthAddrs, netsim.Addr("192.0.2."+itoa(i+1)))
+	}
+
+	tb.buildZones()
+	tb.installTap()
+
+	tb.Pop = BuildPopulation(tb.Clk, tb.Net, cfg.Probes, Domain,
+		[]recursive.ServerHint{{Name: "a.root-servers.net.", Addr: RootAddr}},
+		cfg.Population, cfg.Seed+1)
+	tb.Fleet = vantage.NewFleet(tb.Clk, tb.Pop.Probes, cfg.Seed+2)
+	return tb
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// buildZones constructs root, nl, and cachetest.nl and attaches the
+// servers.
+func (tb *Testbed) buildZones() {
+	rootZone := zone.New(".")
+	rootZone.MustAdd(dnswire.RR{Name: ".", TTL: 518400, Data: dnswire.SOA{
+		MName: "a.root-servers.net.", RName: "nstld.verisign-grs.com.",
+		Serial: 2018050100, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+	}})
+	rootZone.MustAdd(dnswire.RR{Name: ".", TTL: 518400, Data: dnswire.NS{Host: "a.root-servers.net."}})
+	rootZone.MustAdd(dnswire.RR{Name: "a.root-servers.net.", TTL: 518400,
+		Data: dnswire.A{Addr: dnswire.MustAddr(RootAddr)}})
+	rootZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 172800, Data: dnswire.NS{Host: "ns1.dns.nl."}})
+	rootZone.MustAdd(dnswire.RR{Name: "ns1.dns.nl.", TTL: 172800,
+		Data: dnswire.A{Addr: dnswire.MustAddr(TLDAddr)}})
+	rootZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 86400, Data: dnswire.DS{
+		KeyTag: 34112, Algorithm: 8, DigestType: 2, Digest: []byte{0xaa, 0xbb},
+	}})
+
+	nlZone := zone.New("nl.")
+	nlZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.dns.nl.", RName: "hostmaster.dns.nl.",
+		Serial: 2018050100, Refresh: 3600, Retry: 600, Expire: 2419200, Minimum: 3600,
+	}})
+	nlZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 3600, Data: dnswire.NS{Host: "ns1.dns.nl."}})
+	nlZone.MustAdd(dnswire.RR{Name: "ns1.dns.nl.", TTL: 3600,
+		Data: dnswire.A{Addr: dnswire.MustAddr(TLDAddr)}})
+	// Delegation of the test domain, glue with the paper's 3600 s
+	// referral TTL (Appendix A).
+	for i, addr := range tb.AuthAddrs {
+		host := "ns" + itoa(i+1) + "." + Domain
+		nlZone.MustAdd(dnswire.RR{Name: Domain, TTL: 3600, Data: dnswire.NS{Host: host}})
+		nlZone.MustAdd(dnswire.RR{Name: host, TTL: 3600,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
+	}
+
+	tb.AuthZone = zone.New(Domain)
+	tb.AuthZone.MustAdd(dnswire.RR{Name: Domain, TTL: tb.Cfg.TTL, Data: dnswire.SOA{
+		MName: "ns1." + Domain, RName: "hostmaster." + Domain,
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 864000, Minimum: tb.Cfg.NegTTL,
+	}})
+	tb.serial0 = 1
+	for i, addr := range tb.AuthAddrs {
+		host := "ns" + itoa(i+1) + "." + Domain
+		tb.AuthZone.MustAdd(dnswire.RR{Name: Domain, TTL: tb.Cfg.TTL, Data: dnswire.NS{Host: host}})
+		tb.AuthZone.MustAdd(dnswire.RR{Name: host, TTL: tb.Cfg.TTL,
+			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
+	}
+	for id := 1; id <= tb.Cfg.Probes; id++ {
+		tb.AuthZone.MustAdd(dnswire.RR{
+			Name: vantage.QName(uint16(id), Domain), TTL: tb.Cfg.TTL,
+			Data: dnswire.AAAA{Addr: vantage.EncodeAAAA(tb.serial0, uint16(id), tb.Cfg.TTL)},
+		})
+	}
+
+	authoritative.New(rootZone).Attach(tb.Net, RootAddr)
+	authoritative.New(nlZone).Attach(tb.Net, TLDAddr)
+	for _, addr := range tb.AuthAddrs {
+		srv := authoritative.New(tb.AuthZone)
+		srv.Attach(tb.Net, addr)
+		tb.Auths = append(tb.Auths, srv)
+	}
+}
+
+// installTap records every query arriving at a cachetest.nl authoritative,
+// including ones the emulated DDoS drops.
+func (tb *Testbed) installTap() {
+	isAuth := make(map[netsim.Addr]bool, len(tb.AuthAddrs))
+	for _, a := range tb.AuthAddrs {
+		isAuth[a] = true
+	}
+	tb.Net.AddTap(func(ev netsim.Event) {
+		if !isAuth[ev.Dst] || !tb.Cfg.KeepAuthLog {
+			return
+		}
+		m, err := dnswire.Unpack(ev.Payload)
+		if err != nil || m.Response || len(m.Questions) != 1 {
+			return
+		}
+		tb.AuthLog = append(tb.AuthLog, AuthEvent{
+			At: ev.Time, Src: ev.Src, Dst: ev.Dst,
+			QName:   dnswire.CanonicalName(m.Questions[0].Name),
+			QType:   m.Questions[0].Type,
+			Dropped: ev.Dropped,
+		})
+	})
+}
+
+// ScheduleRotations arms the 10-minute zone rotations for the run length:
+// each rotation bumps the serial and re-encodes every probe's AAAA record
+// (§3.2).
+func (tb *Testbed) ScheduleRotations(total time.Duration) {
+	for at := RotationInterval; at <= total; at += RotationInterval {
+		at := at
+		tb.Clk.AfterFunc(at, func() { tb.rotate() })
+	}
+}
+
+func (tb *Testbed) rotate() {
+	serial := tb.CurrentSerial()
+	for id := 1; id <= tb.Cfg.Probes; id++ {
+		name := vantage.QName(uint16(id), Domain)
+		if err := tb.AuthZone.Replace(name, dnswire.TypeAAAA, tb.Cfg.TTL,
+			dnswire.AAAA{Addr: vantage.EncodeAAAA(serial, uint16(id), tb.Cfg.TTL)}); err != nil {
+			panic(err)
+		}
+	}
+	tb.AuthZone.BumpSerial()
+}
+
+// CurrentSerial returns the serial the zone serves at the current virtual
+// time.
+func (tb *Testbed) CurrentSerial() uint16 {
+	return tb.SerialAt(tb.Clk.Now())
+}
+
+// SerialAt returns the serial the zone served at t. Rotations are exact,
+// so this is a pure function of time.
+func (tb *Testbed) SerialAt(t time.Time) uint16 {
+	if t.Before(tb.Start) {
+		return tb.serial0
+	}
+	return tb.serial0 + uint16(t.Sub(tb.Start)/RotationInterval)
+}

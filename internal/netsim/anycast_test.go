@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestAnycastCatchmentIsStable(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := New(clk, 1)
+	received := map[Addr]int{}
+	for _, site := range []Addr{"site-1", "site-2", "site-3"} {
+		site := site
+		net.Bind(site, func(Addr, []byte) { received[site]++ })
+	}
+	net.BindAnycast("9.9.9.9", []Addr{"site-1", "site-2", "site-3"}, nil)
+
+	// The same source always lands at the same site.
+	for i := 0; i < 10; i++ {
+		net.Send("client-a", "9.9.9.9", nil)
+	}
+	clk.Run()
+	sites := 0
+	for _, n := range received {
+		if n > 0 {
+			sites++
+			if n != 10 {
+				t.Errorf("catchment unstable: %v", received)
+			}
+		}
+	}
+	if sites != 1 {
+		t.Fatalf("one source hit %d sites", sites)
+	}
+
+	// Different sources spread over sites.
+	for i := 0; i < 64; i++ {
+		net.Send(Addr("client-"+string(rune('a'+i))), "9.9.9.9", nil)
+	}
+	clk.Run()
+	spread := 0
+	for _, n := range received {
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("catchments did not spread: %v", received)
+	}
+}
+
+func TestAnycastExplicitCatchment(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := New(clk, 1)
+	hits := map[Addr]int{}
+	net.Bind("east", func(Addr, []byte) { hits["east"]++ })
+	net.Bind("west", func(Addr, []byte) { hits["west"]++ })
+	net.BindAnycast("svc", []Addr{"east", "west"}, func(src Addr) int {
+		if src == "tokyo" {
+			return 1
+		}
+		return 0
+	})
+	net.Send("tokyo", "svc", nil)
+	net.Send("boston", "svc", nil)
+	clk.Run()
+	if hits["west"] != 1 || hits["east"] != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestAnycastPerSiteLoss(t *testing.T) {
+	// An attack saturating one site leaves other catchments clean — the
+	// uneven per-letter damage of the root events.
+	clk := clock.NewVirtual(epoch)
+	net := New(clk, 1)
+	hits := map[Addr]int{}
+	net.Bind("dirty", func(Addr, []byte) { hits["dirty"]++ })
+	net.Bind("clean", func(Addr, []byte) { hits["clean"]++ })
+	net.BindAnycast("svc", []Addr{"dirty", "clean"}, func(src Addr) int {
+		if src == "victim" {
+			return 0
+		}
+		return 1
+	})
+	net.SetInboundLoss("dirty", 1)
+	for i := 0; i < 20; i++ {
+		net.Send("victim", "svc", nil)
+		net.Send("lucky", "svc", nil)
+	}
+	clk.Run()
+	if hits["dirty"] != 0 {
+		t.Errorf("saturated site delivered %d", hits["dirty"])
+	}
+	if hits["clean"] != 20 {
+		t.Errorf("clean site delivered %d, want 20", hits["clean"])
+	}
+}
+
+func TestAnycastReplyFromServiceAddr(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := New(clk, 1)
+	var port *Port
+	net.Bind("site-1", func(src Addr, payload []byte) {
+		port.Send(src, payload) // reply from the anycast address
+	})
+	port = net.BindAnycast("svc", []Addr{"site-1"}, nil)
+
+	var replySrc Addr
+	net.Bind("client", func(src Addr, _ []byte) { replySrc = src })
+	net.Send("client", "svc", []byte("ping"))
+	clk.Run()
+	if replySrc != "svc" {
+		t.Errorf("reply came from %q, want the anycast address", replySrc)
+	}
+}
+
+func TestAnycastEmptyPanics(t *testing.T) {
+	clk := clock.NewVirtual(time.Time{})
+	net := New(clk, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty anycast group did not panic")
+		}
+	}()
+	net.BindAnycast("svc", nil, nil)
+}

@@ -1,0 +1,233 @@
+// Package netsim is a message-level network simulator. Hosts are identified
+// by string addresses; packets are delivered through a clock.Clock with a
+// deterministic per-pair latency model, per-host inbound loss (the knob used
+// to emulate volumetric DDoS, mirroring the paper's random iptables drop of
+// queries arriving at the authoritatives), and taps that observe traffic
+// before the drop decision (the paper measures queries "before they are
+// dropped by our simulated DDoS", §6.1).
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Addr identifies a host on the simulated network (by convention an IP
+// address literal, but any non-empty string works).
+type Addr string
+
+// Event describes one packet arrival as seen by a tap, before the inbound
+// loss decision is applied.
+type Event struct {
+	Time    time.Time
+	Src     Addr
+	Dst     Addr
+	Payload []byte
+	Dropped bool
+}
+
+// LatencyFunc samples the one-way delay for a packet from src to dst.
+type LatencyFunc func(src, dst Addr, rng *rand.Rand) time.Duration
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // lost to inbound loss
+	Dead      int64 // destination not attached
+}
+
+// Network simulates a lossy packet network on top of a Clock.
+type Network struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	hosts   map[Addr]func(src Addr, payload []byte)
+	inLoss  map[Addr]float64
+	pairs   map[[2]Addr]time.Duration
+	latency LatencyFunc
+	taps    []func(Event)
+	anycast map[Addr]*anycastGroup
+	stats   Stats
+}
+
+// New creates a network on clk with a seeded RNG; identical seeds give
+// identical packet fates.
+func New(clk clock.Clock, seed int64) *Network {
+	n := &Network{
+		clk:    clk,
+		rng:    rand.New(rand.NewSource(seed)),
+		hosts:  make(map[Addr]func(src Addr, payload []byte)),
+		inLoss: make(map[Addr]float64),
+		pairs:  make(map[[2]Addr]time.Duration),
+	}
+	n.latency = n.defaultLatency
+	return n
+}
+
+// Clock returns the clock the network delivers on.
+func (n *Network) Clock() clock.Clock { return n.clk }
+
+// defaultLatency derives a stable base one-way delay in [2 ms, 52 ms] from
+// the address pair, plus up to 15% jitter per packet.
+func (n *Network) defaultLatency(src, dst Addr, rng *rand.Rand) time.Duration {
+	h := fnv.New32a()
+	h.Write([]byte(src))
+	h.Write([]byte{'|'})
+	h.Write([]byte(dst))
+	base := 2*time.Millisecond + time.Duration(h.Sum32()%50_000)*time.Microsecond
+	jitter := time.Duration(rng.Int63n(int64(base)/6 + 1))
+	return base + jitter
+}
+
+// Bind attaches recv at addr and returns a Port for sending from it.
+// Binding an already-bound address replaces the handler.
+func (n *Network) Bind(addr Addr, recv func(src Addr, payload []byte)) *Port {
+	if addr == "" {
+		panic("netsim: empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[addr] = recv
+	return &Port{net: n, addr: addr}
+}
+
+// Detach removes the host at addr; in-flight packets to it are counted as
+// Dead on arrival.
+func (n *Network) Detach(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, addr)
+}
+
+// SetInboundLoss sets the probability in [0,1] that a packet arriving at
+// dst is dropped. This is the DDoS dial: the paper's emulation drops
+// incoming DNS queries at the authoritative with iptables (§5.1).
+func (n *Network) SetInboundLoss(dst Addr, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of range", p))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == 0 {
+		delete(n.inLoss, dst)
+	} else {
+		n.inLoss[dst] = p
+	}
+}
+
+// InboundLoss returns the current inbound loss probability for dst.
+func (n *Network) InboundLoss(dst Addr) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inLoss[dst]
+}
+
+// SetLatency replaces the latency model.
+func (n *Network) SetLatency(fn LatencyFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = fn
+}
+
+// SetPairDelay fixes the one-way delay between a and b in both directions,
+// overriding the latency model for that pair.
+func (n *Network) SetPairDelay(a, b Addr, oneWay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pairs[[2]Addr{a, b}] = oneWay
+	n.pairs[[2]Addr{b, a}] = oneWay
+}
+
+// AddTap registers an observer called for every packet arrival, including
+// ones dropped by inbound loss.
+func (n *Network) AddTap(tap func(Event)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, tap)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Send schedules delivery of payload from src to dst after the modeled
+// one-way delay. The loss decision is made at arrival time, so loss-rate
+// changes (DDoS onset/end) apply to packets already in flight, as they
+// would at a congested last-hop router.
+func (n *Network) Send(src, dst Addr, payload []byte) {
+	n.mu.Lock()
+	// Anycast destinations resolve to the catchment-selected site; both
+	// latency and the inbound loss decision are the site's.
+	site, _ := n.anycastSite(src, dst)
+	delay := n.pairDelayLocked(src, site)
+	n.stats.Sent++
+	n.mu.Unlock()
+
+	n.clk.AfterFunc(delay, func() { n.arrive(src, site, payload) })
+}
+
+func (n *Network) pairDelayLocked(src, dst Addr) time.Duration {
+	if d, ok := n.pairs[[2]Addr{src, dst}]; ok {
+		return d
+	}
+	return n.latency(src, dst, n.rng)
+}
+
+func (n *Network) arrive(src, dst Addr, payload []byte) {
+	n.mu.Lock()
+	loss := n.inLoss[dst]
+	dropped := loss > 0 && n.rng.Float64() < loss
+	recv := n.hosts[dst]
+	taps := n.taps
+	switch {
+	case dropped:
+		n.stats.Dropped++
+	case recv == nil:
+		n.stats.Dead++
+	default:
+		n.stats.Delivered++
+	}
+	now := n.clk.Now()
+	n.mu.Unlock()
+
+	ev := Event{Time: now, Src: src, Dst: dst, Payload: payload, Dropped: dropped}
+	for _, tap := range taps {
+		tap(ev)
+	}
+	if !dropped && recv != nil {
+		recv(src, payload)
+	}
+}
+
+// Port is a bound address on the network.
+type Port struct {
+	net  *Network
+	addr Addr
+}
+
+// Addr returns the bound address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Send transmits payload from this port's address to dst.
+func (p *Port) Send(dst Addr, payload []byte) {
+	p.net.Send(p.addr, dst, payload)
+}
+
+// Conn is the transport contract the DNS engines program against: the
+// simulator's Port implements it, and cmd/ wraps real UDP sockets in it.
+type Conn interface {
+	Addr() Addr
+	Send(dst Addr, payload []byte)
+}
+
+var _ Conn = (*Port)(nil)

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+var epoch = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func newNet() (*clock.Virtual, *Network) {
+	clk := clock.NewVirtual(epoch)
+	return clk, New(clk, 42)
+}
+
+func TestDelivery(t *testing.T) {
+	clk, net := newNet()
+	var got []byte
+	var from Addr
+	net.Bind("b", func(src Addr, payload []byte) { got, from = payload, src })
+	net.Bind("a", nil)
+	net.Send("a", "b", []byte("hello"))
+	clk.Run()
+	if string(got) != "hello" || from != "a" {
+		t.Fatalf("got %q from %q", got, from)
+	}
+	s := net.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.Dropped != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLatencyIsPositiveAndStablePerPair(t *testing.T) {
+	clk, net := newNet()
+	var times []time.Time
+	net.Bind("b", func(Addr, []byte) { times = append(times, clk.Now()) })
+	for i := 0; i < 10; i++ {
+		net.Send("a", "b", nil)
+	}
+	clk.Run()
+	if len(times) != 10 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	var min, max time.Duration
+	for _, at := range times {
+		d := at.Sub(epoch)
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	// Jitter is bounded to base/6, so max/min stays within ~17%.
+	if float64(max) > float64(min)*1.25 {
+		t.Errorf("per-pair delay too variable: min %v max %v", min, max)
+	}
+}
+
+func TestSetPairDelay(t *testing.T) {
+	clk, net := newNet()
+	var at time.Time
+	net.Bind("b", func(Addr, []byte) { at = clk.Now() })
+	net.SetPairDelay("a", "b", 7*time.Millisecond)
+	net.Send("a", "b", nil)
+	clk.Run()
+	if got := at.Sub(epoch); got != 7*time.Millisecond {
+		t.Errorf("delay = %v, want 7ms", got)
+	}
+	// And the reverse direction.
+	var at2 time.Time
+	net.Bind("a", func(Addr, []byte) { at2 = clk.Now() })
+	net.Send("b", "a", nil)
+	clk.Run()
+	if got := at2.Sub(at); got != 7*time.Millisecond {
+		t.Errorf("reverse delay = %v, want 7ms", got)
+	}
+}
+
+func TestInboundLossRate(t *testing.T) {
+	clk, net := newNet()
+	delivered := 0
+	net.Bind("b", func(Addr, []byte) { delivered++ })
+	net.SetInboundLoss("b", 0.9)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		net.Send("a", "b", nil)
+	}
+	clk.Run()
+	rate := 1 - float64(delivered)/total
+	if math.Abs(rate-0.9) > 0.02 {
+		t.Errorf("observed loss %.3f, want ~0.9", rate)
+	}
+	s := net.Stats()
+	if s.Dropped+s.Delivered != total {
+		t.Errorf("dropped %d + delivered %d != %d", s.Dropped, s.Delivered, total)
+	}
+}
+
+func TestLossAppliedAtArrival(t *testing.T) {
+	clk, net := newNet()
+	delivered := 0
+	net.Bind("b", func(Addr, []byte) { delivered++ })
+	net.SetPairDelay("a", "b", 10*time.Millisecond)
+	// Packet is in flight when loss switches to 100%.
+	net.Send("a", "b", nil)
+	clk.RunFor(time.Millisecond)
+	net.SetInboundLoss("b", 1)
+	clk.Run()
+	if delivered != 0 {
+		t.Error("packet in flight should have been dropped at arrival")
+	}
+}
+
+func TestLossZeroAndOne(t *testing.T) {
+	clk, net := newNet()
+	delivered := 0
+	net.Bind("b", func(Addr, []byte) { delivered++ })
+	net.SetInboundLoss("b", 1)
+	for i := 0; i < 100; i++ {
+		net.Send("a", "b", nil)
+	}
+	clk.Run()
+	if delivered != 0 {
+		t.Errorf("100%% loss delivered %d packets", delivered)
+	}
+	net.SetInboundLoss("b", 0)
+	if got := net.InboundLoss("b"); got != 0 {
+		t.Errorf("InboundLoss = %v after reset", got)
+	}
+	for i := 0; i < 100; i++ {
+		net.Send("a", "b", nil)
+	}
+	clk.Run()
+	if delivered != 100 {
+		t.Errorf("0%% loss delivered %d/100", delivered)
+	}
+}
+
+func TestTapSeesDroppedPackets(t *testing.T) {
+	clk, net := newNet()
+	net.Bind("b", func(Addr, []byte) {})
+	net.SetInboundLoss("b", 1)
+	var events []Event
+	net.AddTap(func(ev Event) { events = append(events, ev) })
+	net.Send("a", "b", []byte("q"))
+	clk.Run()
+	if len(events) != 1 {
+		t.Fatalf("tap saw %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.Dropped || ev.Src != "a" || ev.Dst != "b" || string(ev.Payload) != "q" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestDeadDestination(t *testing.T) {
+	clk, net := newNet()
+	net.Send("a", "nowhere", nil)
+	clk.Run()
+	if s := net.Stats(); s.Dead != 1 {
+		t.Errorf("Dead = %d, want 1", s.Dead)
+	}
+	// Detach makes a live host dead.
+	net.Bind("b", func(Addr, []byte) { t.Error("detached host received packet") })
+	net.Detach("b")
+	net.Send("a", "b", nil)
+	clk.Run()
+	if s := net.Stats(); s.Dead != 2 {
+		t.Errorf("Dead = %d, want 2", s.Dead)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (delivered int) {
+		clk := clock.NewVirtual(epoch)
+		net := New(clk, 7)
+		net.Bind("b", func(Addr, []byte) { delivered++ })
+		net.SetInboundLoss("b", 0.5)
+		for i := 0; i < 1000; i++ {
+			net.Send("a", "b", nil)
+		}
+		clk.Run()
+		return
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed gave different outcomes: %d vs %d", a, b)
+	}
+}
+
+func TestPortSend(t *testing.T) {
+	clk, net := newNet()
+	var from Addr
+	net.Bind("b", func(src Addr, _ []byte) { from = src })
+	p := net.Bind("a", nil)
+	if p.Addr() != "a" {
+		t.Errorf("Addr = %q", p.Addr())
+	}
+	p.Send("b", nil)
+	clk.Run()
+	if from != "a" {
+		t.Errorf("src = %q, want a", from)
+	}
+}
+
+func TestBadLossPanics(t *testing.T) {
+	_, net := newNet()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetInboundLoss(1.5) did not panic")
+		}
+	}()
+	net.SetInboundLoss("b", 1.5)
+}

@@ -1,0 +1,85 @@
+package recursive
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// forward relays the query to the configured upstream resolvers, trying
+// them in a random rotation with backoff. This is the R1 behavior of the
+// paper's Figure 1; during a DDoS its retries fan a single client query
+// out over many Rn resolvers (§6.2, Figure 11).
+func (t *task) forward() {
+	t.timeout = t.r.cfg.InitialTimeout * 2 // upstream does full resolution
+	t.tried = make(map[netsim.Addr]bool)
+	t.attempt = 0
+	t.servers = append([]netsim.Addr(nil), t.r.cfg.Forwarders...)
+	t.r.rng.Shuffle(len(t.servers), func(i, j int) {
+		t.servers[i], t.servers[j] = t.servers[j], t.servers[i]
+	})
+	t.forwardNext()
+}
+
+func (t *task) forwardNext() {
+	if t.done {
+		return
+	}
+	if t.attempt >= t.r.cfg.MaxAttempts || *t.budget <= 0 {
+		t.fail()
+		return
+	}
+	server, ok := t.r.pickServer(t.servers, t.tried)
+	if !ok {
+		t.tried = make(map[netsim.Addr]bool)
+		server, ok = t.r.pickServer(t.servers, t.tried)
+		if !ok {
+			t.fail()
+			return
+		}
+	}
+	t.tried[server] = true
+	t.attempt++
+	*t.budget--
+	if t.attempt > 1 {
+		t.r.stats.UpstreamRetries++
+	}
+	timeout := t.timeout
+	t.timeout *= 2
+	if t.timeout > t.r.cfg.MaxTimeout {
+		t.timeout = t.r.cfg.MaxTimeout
+	}
+	t.r.send(server, t.name, t.qtype, true, timeout,
+		func(m *dnswire.Message) { t.handleForwardResponse(m) },
+		func() { t.forwardNext() })
+}
+
+func (t *task) handleForwardResponse(m *dnswire.Message) {
+	if t.done {
+		return
+	}
+	switch m.RCode {
+	case dnswire.RCodeNoError:
+		if len(m.Answers) > 0 {
+			t.cacheRRs(m.Answers, cache.RankAnswer)
+			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: m.Answers})
+			return
+		}
+		// NODATA passthrough.
+		if soa := soaOf(m); soa.Data != nil {
+			t.cacheNegative(m, false)
+			t.finish(Result{RCode: dnswire.RCodeNoError, SOA: soa})
+			return
+		}
+		t.finish(Result{RCode: dnswire.RCodeNoError})
+		return
+	case dnswire.RCodeNXDomain:
+		t.cacheNegative(m, true)
+		t.finish(Result{RCode: dnswire.RCodeNXDomain, SOA: soaOf(m)})
+		return
+	default:
+		// Upstream failed: rotate to the next one.
+		t.r.stats.Lame++
+		t.forwardNext()
+	}
+}

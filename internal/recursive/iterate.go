@@ -1,0 +1,707 @@
+package recursive
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// timeSecond avoids importing time twice in TTL math call sites.
+const timeSecond = time.Second
+
+// task tracks one resolution (a client query, a CNAME restart, or an
+// NS-address subtask). Tasks form a tree sharing one work budget.
+type task struct {
+	r      *Resolver
+	name   string
+	qtype  dnswire.Type
+	shard  int
+	depth  int
+	chain  int // CNAME links consumed so far
+	budget *int
+	prefix []dnswire.RR // CNAME chain accumulated before this task
+	done   bool
+	// skipCacheLookup forces an upstream fetch even when the cache holds
+	// data (used by the NS harvest to replace glue with authoritative
+	// records, Appendix A).
+	skipCacheLookup bool
+	cb              func(Result)
+
+	// fetch state for the current zone iteration
+	zoneName string
+	servers  []netsim.Addr
+	tried    map[netsim.Addr]bool
+	attempt  int
+	timeout  time.Duration
+}
+
+// Resolve answers (name, qtype) using the cache and, on a miss, upstream
+// resolution. The shard hint selects the backend cache in fragmented
+// deployments; callers without an opinion pass a random value. cb runs
+// exactly once.
+func (r *Resolver) Resolve(name string, qtype dnswire.Type, shard int, cb func(Result)) {
+	r.stats.ClientQueries++
+	budget := r.cfg.WorkBudget
+	t := &task{
+		r: r, name: dnswire.CanonicalName(name), qtype: qtype,
+		shard: shard, budget: &budget, cb: cb,
+	}
+	deadline := r.clk.AfterFunc(r.cfg.ClientTimeout, func() { t.fail() })
+	inner := t.cb
+	t.cb = func(res Result) {
+		deadline.Stop()
+		r.stats.ClientResponses++
+		inner(res)
+	}
+	t.run()
+}
+
+func (t *task) run() {
+	if t.cacheAnswer() {
+		return
+	}
+	t.r.stats.CacheMisses++
+	t.armStaleTimer()
+	if len(t.r.cfg.Forwarders) > 0 {
+		t.forward()
+		return
+	}
+	if !t.initFetch() {
+		t.fail()
+		return
+	}
+	t.tryNextServer()
+}
+
+// armStaleTimer makes a serve-stale resolver answer the client with
+// expired data after the client-response delay while the refresh keeps
+// running (draft-tale-dnsop-serve-stale; the paper observed exactly this
+// from public resolvers during outages, §5.3).
+func (t *task) armStaleTimer() {
+	if !t.r.cfg.ServeStale || t.r.cfg.NoCache {
+		return
+	}
+	v := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard)
+	if !v.Hit || !v.Stale || v.Negative {
+		return
+	}
+	t.r.clk.AfterFunc(t.r.cfg.StaleAnswerDelay, func() {
+		if t.done {
+			return
+		}
+		sv := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard)
+		if !sv.Hit || !sv.Stale || sv.Negative {
+			return
+		}
+		t.r.stats.StaleServes++
+		t.finish(Result{RCode: dnswire.RCodeNoError, Answers: sv.Records,
+			Stale: true, FromCache: true})
+	})
+}
+
+// finish delivers res exactly once. Fresh upstream answers get their TTLs
+// rewritten per the cache's cap/floor, since that is what the resolver
+// would serve for the rest of the record's life (§3.4 TTL rewriting).
+func (t *task) finish(res Result) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if len(t.prefix) > 0 {
+		res.Answers = append(append([]dnswire.RR(nil), t.prefix...), res.Answers...)
+	}
+	if !res.FromCache && !t.r.cfg.NoCache {
+		maxTTL := uint32(t.r.cfg.Cache.MaxTTL / timeSecond)
+		minTTL := uint32(t.r.cfg.Cache.MinTTL / timeSecond)
+		if maxTTL > 0 || minTTL > 0 {
+			res.Answers = append([]dnswire.RR(nil), res.Answers...)
+			for i := range res.Answers {
+				if maxTTL > 0 && res.Answers[i].TTL > maxTTL {
+					res.Answers[i].TTL = maxTTL
+				}
+				if minTTL > 0 && res.Answers[i].TTL < minTTL {
+					res.Answers[i].TTL = minTTL
+				}
+			}
+		}
+	}
+	t.cb(res)
+}
+
+// fail ends the task with serve-stale if available, else SERVFAIL.
+func (t *task) fail() {
+	if t.done {
+		return
+	}
+	if t.r.cfg.ServeStale && !t.r.cfg.NoCache {
+		if v := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard); v.Hit && !v.Negative {
+			t.r.stats.StaleServes++
+			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, Stale: true, FromCache: true})
+			return
+		}
+	}
+	t.r.stats.ServFails++
+	t.finish(Result{RCode: dnswire.RCodeServFail, ServFail: true})
+}
+
+// cacheAnswer tries to answer entirely from cache, chasing CNAMEs. It
+// returns true when the task was finished. A partial CNAME chain found in
+// cache becomes the task prefix and resolution restarts at the dangling
+// target.
+func (t *task) cacheAnswer() bool {
+	if t.r.cfg.NoCache || t.skipCacheLookup {
+		return false
+	}
+	minRank := cache.RankAnswer
+	if t.r.cfg.AnswerFromReferral {
+		minRank = cache.RankAdditional
+	}
+	cur := t.name
+	for hop := 0; hop <= t.r.cfg.MaxCNAME; hop++ {
+		v := t.r.cache.Get(cache.Key{Name: cur, Type: t.qtype}, t.shard)
+		if v.Hit && !v.Negative && v.Rank < minRank {
+			// Referral-learned data is good enough to guide resolution
+			// but not to answer clients (RFC 2181 §5.4.1).
+			v = cache.View{}
+		}
+		if v.Hit {
+			if v.Negative {
+				t.r.stats.NegativeHits++
+				rcode := dnswire.RCodeNoError
+				if v.NXDomain {
+					rcode = dnswire.RCodeNXDomain
+				}
+				t.finish(Result{RCode: rcode, SOA: v.SOA, FromCache: true})
+				return true
+			}
+			t.r.stats.CacheHits++
+			t.r.maybePrefetch(cur, t.qtype, t.shard, v)
+			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, FromCache: true})
+			return true
+		}
+		if t.qtype == dnswire.TypeCNAME {
+			break
+		}
+		cv := t.r.cache.Get(cache.Key{Name: cur, Type: dnswire.TypeCNAME}, t.shard)
+		if !cv.Hit || cv.Negative {
+			break
+		}
+		t.prefix = append(t.prefix, cv.Records...)
+		cur = dnswire.CanonicalName(cv.Records[0].Data.(dnswire.CNAME).Target)
+		t.chain++
+		if t.chain > t.r.cfg.MaxCNAME {
+			t.fail()
+			return true
+		}
+	}
+	t.name = cur
+	return false
+}
+
+// initFetch seeds the fetch state from the deepest cached delegation with
+// usable addresses, falling back to the root hints.
+func (t *task) initFetch() bool {
+	t.timeout = t.r.cfg.InitialTimeout
+	t.tried = make(map[netsim.Addr]bool)
+	t.attempt = 0
+
+	if !t.r.cfg.NoCache {
+		for z := t.name; ; z = dnswire.Parent(z) {
+			if addrs := t.zoneServersFromCache(z); len(addrs) > 0 {
+				t.zoneName, t.servers = z, addrs
+				return true
+			}
+			if z == "." {
+				break
+			}
+		}
+	}
+	if len(t.r.cfg.RootHints) == 0 {
+		return false
+	}
+	t.zoneName = "."
+	t.servers = nil
+	for _, h := range t.r.cfg.RootHints {
+		t.servers = append(t.servers, h.Addr)
+	}
+	return true
+}
+
+// zoneServersFromCache returns cached addresses for zone's NS set.
+func (t *task) zoneServersFromCache(zone string) []netsim.Addr {
+	ns := t.r.cache.Get(cache.Key{Name: zone, Type: dnswire.TypeNS}, t.shard)
+	if !ns.Hit || ns.Negative {
+		return nil
+	}
+	var addrs []netsim.Addr
+	for _, rr := range ns.Records {
+		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
+		a := t.r.cache.Get(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
+		if a.Hit && !a.Negative {
+			for _, arr := range a.Records {
+				addrs = append(addrs, netsim.Addr(arr.Data.(dnswire.A).Addr.String()))
+			}
+		}
+	}
+	return addrs
+}
+
+// tryNextServer sends the query to the next candidate for the current
+// zone, handling retry bookkeeping.
+func (t *task) tryNextServer() {
+	if t.done {
+		return
+	}
+	if t.attempt >= t.r.cfg.MaxAttempts {
+		t.fail()
+		return
+	}
+	if *t.budget <= 0 {
+		t.fail()
+		return
+	}
+	server, ok := t.r.pickServer(t.servers, t.tried)
+	if !ok {
+		// All candidates tried this round; start another round with a
+		// longer timeout (exponential backoff across rounds).
+		t.tried = make(map[netsim.Addr]bool)
+		server, ok = t.r.pickServer(t.servers, t.tried)
+		if !ok {
+			t.fail()
+			return
+		}
+	}
+	t.tried[server] = true
+	t.attempt++
+	*t.budget--
+	if t.attempt > 1 {
+		t.r.stats.UpstreamRetries++
+	}
+
+	timeout := t.timeout
+	t.timeout *= 2
+	if t.timeout > t.r.cfg.MaxTimeout {
+		t.timeout = t.r.cfg.MaxTimeout
+	}
+	t.r.send(server, t.name, t.qtype, false, timeout,
+		func(m *dnswire.Message) { t.handleResponse(server, m) },
+		func() { t.tryNextServer() })
+}
+
+// handleResponse processes an upstream reply for the current fetch.
+func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
+	if t.done {
+		return
+	}
+	switch m.RCode {
+	case dnswire.RCodeNoError:
+	case dnswire.RCodeNXDomain:
+		t.cacheNegative(m, true)
+		t.finish(Result{RCode: dnswire.RCodeNXDomain, SOA: soaOf(m)})
+		return
+	default:
+		// SERVFAIL, REFUSED, lame servers: try the next one.
+		t.r.stats.Lame++
+		t.tryNextServer()
+		return
+	}
+
+	if len(m.Answers) > 0 {
+		t.handleAnswer(m)
+		return
+	}
+	if ns := referralNS(m, t.zoneName, t.name); len(ns) > 0 {
+		t.handleReferral(m, ns)
+		return
+	}
+	if m.Authoritative {
+		// NODATA.
+		t.cacheNegative(m, false)
+		t.finish(Result{RCode: dnswire.RCodeNoError, SOA: soaOf(m)})
+		return
+	}
+	// Empty, non-authoritative, no referral: lame.
+	t.r.stats.Lame++
+	t.tryNextServer()
+}
+
+// handleAnswer caches the answer RRsets and finishes or restarts on a
+// dangling CNAME.
+func (t *task) handleAnswer(m *dnswire.Message) {
+	if !t.validateAnswer(m) {
+		// Bogus data: a validating resolver refuses it and tries another
+		// server, then fails hard.
+		t.r.stats.Bogus++
+		t.tryNextServer()
+		return
+	}
+	t.cacheRRs(m.Answers, cache.RankAnswer)
+	// Also cache authority NS sets delivered alongside answers.
+	t.cacheAuthorityAndGlue(m)
+
+	var collected []dnswire.RR
+	cur := t.name
+	for hop := 0; hop <= t.r.cfg.MaxCNAME; hop++ {
+		matched := false
+		for _, rr := range m.Answers {
+			if dnswire.CanonicalName(rr.Name) != cur {
+				continue
+			}
+			if rr.Type() == t.qtype {
+				// Collect the full RRset for cur/qtype.
+				for _, rr2 := range m.Answers {
+					if dnswire.CanonicalName(rr2.Name) == cur && rr2.Type() == t.qtype {
+						collected = append(collected, rr2)
+					}
+				}
+				t.finish(Result{RCode: dnswire.RCodeNoError, Answers: collected})
+				return
+			}
+			if rr.Type() == dnswire.TypeCNAME && t.qtype != dnswire.TypeCNAME {
+				collected = append(collected, rr)
+				cur = dnswire.CanonicalName(rr.Data.(dnswire.CNAME).Target)
+				t.chain++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+		if t.chain > t.r.cfg.MaxCNAME {
+			t.fail()
+			return
+		}
+	}
+	if len(collected) > 0 {
+		// Dangling CNAME: restart resolution at the target.
+		t.prefix = append(t.prefix, collected...)
+		t.name = cur
+		if !t.initFetch() {
+			t.fail()
+			return
+		}
+		t.tryNextServer()
+		return
+	}
+	// Answers that do not relate to the question: lame.
+	t.r.stats.Lame++
+	t.tryNextServer()
+}
+
+// handleReferral descends into the delegated zone.
+func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
+	newZone := dnswire.CanonicalName(ns[0].Name)
+	t.cacheAuthorityAndGlue(m)
+
+	var addrs []netsim.Addr
+	glueHosts := make(map[string][]netsim.Addr)
+	for _, rr := range m.Additionals {
+		if a, ok := rr.Data.(dnswire.A); ok {
+			host := dnswire.CanonicalName(rr.Name)
+			glueHosts[host] = append(glueHosts[host], netsim.Addr(a.Addr.String()))
+		}
+	}
+	var hosts []string
+	for _, rr := range ns {
+		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
+		hosts = append(hosts, host)
+		addrs = append(addrs, glueHosts[host]...)
+	}
+	if !t.r.cfg.NoCache && len(addrs) == 0 {
+		// Try cache for the NS host addresses (they may be out of
+		// bailiwick but already known).
+		for _, host := range hosts {
+			v := t.r.cache.Get(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
+			if v.Hit && !v.Negative {
+				for _, rr := range v.Records {
+					addrs = append(addrs, netsim.Addr(rr.Data.(dnswire.A).Addr.String()))
+				}
+			}
+		}
+	}
+
+	if len(addrs) == 0 {
+		t.resolveNSAddrs(hosts, newZone)
+		return
+	}
+
+	t.descend(newZone, addrs)
+}
+
+func (t *task) descend(newZone string, addrs []netsim.Addr) {
+	t.zoneName = newZone
+	t.servers = addrs
+	t.tried = make(map[netsim.Addr]bool)
+	// Referral progress resets the attempt counter; the shared budget
+	// still bounds total work.
+	t.attempt = 0
+	t.timeout = t.r.cfg.InitialTimeout
+	// The client's own query goes out before any background harvesting,
+	// so a tight work budget is spent on the answer first.
+	t.tryNextServer()
+	if t.r.cfg.Harvest != HarvestNone {
+		t.r.maybeHarvest(newZone, t.shard, t.budget)
+	}
+}
+
+// resolveNSAddrs resolves the address of a delegated zone's nameservers
+// via a subtask, then descends.
+func (t *task) resolveNSAddrs(hosts []string, newZone string) {
+	if t.depth >= t.r.cfg.MaxDepth || len(hosts) == 0 {
+		t.fail()
+		return
+	}
+	// Try hosts in order until one yields addresses.
+	var tryHost func(i int)
+	tryHost = func(i int) {
+		if t.done {
+			return
+		}
+		if i >= len(hosts) || *t.budget <= 0 {
+			t.fail()
+			return
+		}
+		sub := &task{
+			r: t.r, name: hosts[i], qtype: dnswire.TypeA,
+			shard: t.shard, depth: t.depth + 1, budget: t.budget,
+			cb: func(res Result) {
+				var addrs []netsim.Addr
+				for _, rr := range res.Answers {
+					if a, ok := rr.Data.(dnswire.A); ok {
+						addrs = append(addrs, netsim.Addr(a.Addr.String()))
+					}
+				}
+				if len(addrs) > 0 {
+					t.descend(newZone, addrs)
+					return
+				}
+				tryHost(i + 1)
+			},
+		}
+		sub.run()
+	}
+	tryHost(0)
+}
+
+// maybeHarvest issues background NS/A/AAAA queries for a zone's
+// nameservers, at most once per negative-TTL-ish interval. This reproduces
+// the authoritative-side query mix of Figure 10: the AAAA-for-NS records
+// do not exist, so their negative entries expire quickly and the harvest
+// repeats. The harvest runs on its own bounded budget so it never starves
+// the client's query.
+func (r *Resolver) maybeHarvest(zone string, shard int, _ *int) {
+	const harvestInterval = 60 * time.Second
+	now := r.clk.Now()
+	if last, ok := r.harvests[zone]; ok && now.Sub(last) < harvestInterval {
+		return
+	}
+	r.harvests[zone] = now
+	pool := r.cfg.WorkBudget/4 + 2
+	budget := &pool
+
+	ns := r.cache.Get(cache.Key{Name: zone, Type: dnswire.TypeNS}, shard)
+	if !ns.Hit || ns.Negative {
+		return
+	}
+	// Re-fetch the zone's nameserver records. Entries already confirmed
+	// by an authoritative answer (RankAnswer) are not re-fetched. In
+	// HarvestAAAA mode only the (usually missing) AAAA records are
+	// chased; HarvestFull also replaces the referral NS set and glue with
+	// child-side data (Appendix A).
+	if r.cfg.Harvest == HarvestFull {
+		r.background(zone, dnswire.TypeNS, shard, budget, false)
+	}
+	for _, rr := range ns.Records {
+		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
+		if r.cfg.Harvest == HarvestFull {
+			r.background(host, dnswire.TypeA, shard, budget, false)
+		}
+		r.background(host, dnswire.TypeAAAA, shard, budget, false)
+	}
+}
+
+// maybePrefetch refreshes an entry nearing expiry (Unbound-style
+// prefetch): when a hit finds less than cfg.Prefetch of the original TTL
+// remaining, the record is refetched in the background so popular names
+// never leave the cache.
+func (r *Resolver) maybePrefetch(name string, qtype dnswire.Type, shard int, v cache.View) {
+	if r.cfg.Prefetch <= 0 || len(v.Records) == 0 {
+		return
+	}
+	remaining := time.Duration(v.Records[0].TTL) * time.Second
+	original := v.Age + remaining
+	if original <= 0 || float64(remaining) > r.cfg.Prefetch*float64(original) {
+		return
+	}
+	pool := 4
+	r.background(name, qtype, shard, &pool, true)
+}
+
+// background runs a fire-and-forget resolution sharing the parent budget,
+// bypassing cache entries that were not authoritatively confirmed. force
+// refetches even over confirmed data (prefetch).
+func (r *Resolver) background(name string, qtype dnswire.Type, shard int, budget *int, force bool) {
+	if *budget <= 0 {
+		return
+	}
+	name = dnswire.CanonicalName(name)
+	if !force {
+		if v := r.cache.Get(cache.Key{Name: name, Type: qtype}, shard); v.Hit && v.Rank >= cache.RankAnswer {
+			return // authoritative data already cached
+		}
+	}
+	t := &task{
+		r: r, name: name, qtype: qtype,
+		shard: shard, depth: r.cfg.MaxDepth, // no nested subtasks
+		budget:          budget,
+		skipCacheLookup: true,
+		cb:              func(Result) {},
+	}
+	if !t.initFetch() {
+		return
+	}
+	t.tryNextServer()
+}
+
+// validateAnswer checks the DNSSEC signatures of every answer RRset whose
+// signer zone has a trust anchor. Unsigned data from unanchored zones
+// passes (insecure), matching a validator without a chain to it; signed
+// or anchored data must verify.
+func (t *task) validateAnswer(m *dnswire.Message) bool {
+	anchors := t.r.cfg.TrustAnchors
+	if len(anchors) == 0 {
+		return true
+	}
+	type setKey struct {
+		name string
+		typ  dnswire.Type
+	}
+	sets := make(map[setKey][]dnswire.RR)
+	sigs := make(map[setKey]dnswire.RR)
+	for _, rr := range m.Answers {
+		name := dnswire.CanonicalName(rr.Name)
+		if sig, ok := rr.Data.(dnswire.RRSIG); ok {
+			sigs[setKey{name, sig.TypeCovered}] = rr
+			continue
+		}
+		k := setKey{name, rr.Type()}
+		sets[k] = append(sets[k], rr)
+	}
+	for k, rrs := range sets {
+		// Which anchor zone encloses this owner?
+		anchorZone, key, found := "", dnswire.DNSKEY{}, false
+		for zone, dk := range anchors {
+			zone = dnswire.CanonicalName(zone)
+			if dnswire.IsSubdomain(k.name, zone) &&
+				(!found || dnswire.CountLabels(zone) > dnswire.CountLabels(anchorZone)) {
+				anchorZone, key, found = zone, dk, true
+			}
+		}
+		if !found {
+			continue // no anchor: insecure, accepted
+		}
+		sig, ok := sigs[k]
+		if !ok {
+			return false // anchored zone data without a signature: bogus
+		}
+		if err := dnssec.Verify(key, sig, rrs, t.r.clk.Now()); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheRRs groups records into RRsets and stores them at the given rank.
+func (t *task) cacheRRs(rrs []dnswire.RR, rank cache.Rank) {
+	if t.r.cfg.NoCache {
+		return
+	}
+	groups := make(map[cache.Key][]dnswire.RR)
+	for _, rr := range rrs {
+		k := cache.Key{Name: dnswire.CanonicalName(rr.Name), Type: rr.Type()}
+		groups[k] = append(groups[k], rr)
+	}
+	for k, set := range groups {
+		t.r.cache.Put(k, cache.Entry{Records: set, Rank: rank}, t.shard)
+	}
+}
+
+// cacheAuthorityAndGlue stores referral NS sets and glue addresses.
+func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
+	if t.r.cfg.NoCache {
+		return
+	}
+	var nsRRs []dnswire.RR
+	for _, rr := range m.Authorities {
+		if rr.Type() == dnswire.TypeNS {
+			nsRRs = append(nsRRs, rr)
+		}
+	}
+	rank := cache.RankAuthority
+	if m.Authoritative {
+		rank = cache.RankAnswer
+	}
+	t.cacheRRs(nsRRs, rank)
+	t.cacheRRs(m.Additionals, cache.RankAdditional)
+}
+
+// cacheNegative stores an NXDOMAIN or NODATA entry for the current name.
+func (t *task) cacheNegative(m *dnswire.Message, nxdomain bool) {
+	if t.r.cfg.NoCache {
+		return
+	}
+	soa := soaOf(m)
+	if soa.Data == nil {
+		return // unusable without a SOA (RFC 2308)
+	}
+	t.r.cache.Put(cache.Key{Name: t.name, Type: t.qtype}, cache.Entry{
+		Negative: true, NXDomain: nxdomain, SOA: soa, Rank: cache.RankAnswer,
+	}, t.shard)
+}
+
+// soaOf extracts the authority SOA from a negative response.
+func soaOf(m *dnswire.Message) dnswire.RR {
+	for _, rr := range m.Authorities {
+		if rr.Type() == dnswire.TypeSOA {
+			return rr
+		}
+	}
+	return dnswire.RR{}
+}
+
+// referralNS returns the NS set of a referral that makes downward
+// progress: owned by a name deeper than the current zone and enclosing
+// the query name.
+func referralNS(m *dnswire.Message, currentZone, qname string) []dnswire.RR {
+	if m.Authoritative {
+		return nil
+	}
+	var ns []dnswire.RR
+	owner := ""
+	for _, rr := range m.Authorities {
+		if rr.Type() != dnswire.TypeNS {
+			continue
+		}
+		name := dnswire.CanonicalName(rr.Name)
+		if owner == "" {
+			owner = name
+		}
+		if name == owner {
+			ns = append(ns, rr)
+		}
+	}
+	if owner == "" {
+		return nil
+	}
+	if !dnswire.IsSubdomain(qname, owner) {
+		return nil
+	}
+	if dnswire.CountLabels(owner) <= dnswire.CountLabels(currentZone) {
+		return nil // upward or sideways referral: lame
+	}
+	return ns
+}

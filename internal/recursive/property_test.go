@@ -1,0 +1,84 @@
+package recursive
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// TestQuickResolveAlwaysTerminatesOnce: for random loss rates on every
+// server, a resolution always completes, invokes its callback exactly
+// once, and never panics.
+func TestQuickResolveAlwaysTerminatesOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := newWorld(t, Config{Seed: seed})
+		for _, addr := range []netsim.Addr{rootAddr, nlAddr, ns1Addr, ns2Addr} {
+			w.net.SetInboundLoss(addr, float64(r.Intn(101))/100)
+		}
+		callbacks := 0
+		w.res.Resolve("1414.cachetest.nl.", dnswire.TypeAAAA, 0, func(Result) {
+			callbacks++
+		})
+		w.clk.RunFor(2 * time.Minute)
+		if callbacks != 1 {
+			return false
+		}
+		// No timers or packets left doing work after the deadline (the
+		// run must quiesce).
+		w.clk.RunFor(10 * time.Minute)
+		return callbacks == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterministicOutcomes: the same seed gives bit-identical
+// resolver statistics under partial loss.
+func TestQuickDeterministicOutcomes(t *testing.T) {
+	run := func(seed int64) Stats {
+		w := newWorld(t, Config{Seed: seed})
+		w.net.SetInboundLoss(ns1Addr, 0.7)
+		w.net.SetInboundLoss(ns2Addr, 0.7)
+		for i := 0; i < 10; i++ {
+			name := dnswire.CanonicalName(itoa(9000+i) + ".cachetest.nl.")
+			w.res.Resolve(name, dnswire.TypeAAAA, 0, func(Result) {})
+		}
+		w.clk.RunFor(5 * time.Minute)
+		return w.res.Stats()
+	}
+	f := func(seed int64) bool {
+		return run(seed) == run(seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMalformedPacketsNeverCrash: the resolver survives arbitrary
+// bytes arriving at its port.
+func TestQuickMalformedPacketsNeverCrash(t *testing.T) {
+	w := newWorld(t, Config{})
+	f := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		w.res.Receive(netsim.Addr("junk-src"), junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// And it still works afterwards.
+	res := w.resolve(t, "1414.cachetest.nl.", dnswire.TypeAAAA)
+	if res.ServFail {
+		t.Errorf("resolver broken after junk: %+v", res)
+	}
+}

@@ -1,0 +1,383 @@
+// Package recursive implements a caching recursive DNS resolver engine.
+//
+// The engine supports the two deployment shapes the paper studies:
+//
+//   - Iterative mode: full resolution from root hints, chasing referrals
+//     and CNAMEs, with per-server SRTT tracking, retries with exponential
+//     backoff, a bounded work budget per client query, RFC 2308 negative
+//     caching, RFC 2181 credibility ranking, and optional serve-stale
+//     (§5.3 of the paper).
+//
+//   - Forwarding mode: a first-level recursive (R1 in the paper's Figure 1)
+//     that relays queries to one or more upstream resolvers (Rn), retrying
+//     across them on failure — the behavior that amplifies legitimate
+//     traffic during DDoS (§6.2, Figure 11/12).
+//
+// The engine is event-driven against clock.Clock and netsim.Conn, so the
+// same code runs inside the deterministic simulation and on real UDP
+// sockets (cmd/recursived).
+package recursive
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// ServerHint names a root (or forwarder) server.
+type ServerHint struct {
+	Name string
+	Addr netsim.Addr
+}
+
+// HarvestMode selects how eagerly a resolver re-fetches a delegated
+// zone's nameserver records (§6.2: part of why implementations differ in
+// their query mix).
+type HarvestMode int
+
+const (
+	// HarvestNone never issues background NS-record fetches (BIND-like).
+	HarvestNone HarvestMode = iota
+	// HarvestAAAA fetches only the missing AAAA records of a zone's
+	// nameservers (the Unbound behavior Appendix E measures: its extra
+	// queries over BIND are AAAA-for-NS lookups).
+	HarvestAAAA
+	// HarvestFull re-fetches the NS set and both address types whenever
+	// the cached copies are not authoritatively confirmed, replacing glue
+	// with child data (Appendix A) and producing the full Figure 10 mix.
+	HarvestFull
+)
+
+// Config tunes a Resolver. NewResolver fills zero fields with defaults.
+type Config struct {
+	// Cache configures the resolver cache (TTL caps, shards, serve-stale,
+	// capacity). Cache.ServeStale is forced to match ServeStale.
+	Cache cache.Config
+	// RootHints seed iterative resolution. Required unless forwarding.
+	RootHints []ServerHint
+	// Forwarders, when non-empty, puts the resolver in forwarding mode.
+	Forwarders []netsim.Addr
+	// NoCache disables caching entirely (a pass-through R1, one of the
+	// cache-miss causes in §3.5).
+	NoCache bool
+
+	// InitialTimeout is the first per-upstream-query timeout; it doubles
+	// on every retry up to MaxTimeout. Default 750 ms / 3 s.
+	InitialTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxAttempts bounds upstream tries per fetch (across servers).
+	// Default 7, matching the ~6-7 retries prior work and §6.2 observe
+	// when authoritatives are dead.
+	MaxAttempts int
+	// WorkBudget bounds total upstream queries spawned by one client
+	// query, including NS-address harvesting. Default 40.
+	WorkBudget int
+	// MaxCNAME bounds alias chains. Default 8.
+	MaxCNAME int
+	// MaxDepth bounds nested NS-address resolutions. Default 3.
+	MaxDepth int
+	// ClientTimeout is the deadline after which a client query is
+	// answered SERVFAIL (or stale). Default 8 s.
+	ClientTimeout time.Duration
+	// ServeStale enables answering with expired cache entries (TTL 0)
+	// when resolution fails, per draft-tale-dnsop-serve-stale.
+	ServeStale bool
+	// StaleAnswerDelay is how long a serve-stale resolver keeps trying
+	// upstream before answering the client with expired data (the
+	// draft's client-response timer, ~1.8 s). The refresh continues in
+	// the background. Default 1.8 s.
+	StaleAnswerDelay time.Duration
+	// Prefetch, when positive, refreshes a cache entry in the background
+	// whenever a hit finds less than this fraction of the original TTL
+	// remaining (Unbound's prefetch uses 0.1). Prefetching keeps popular
+	// names continuously cached, which extends DDoS protection past one
+	// TTL — an extension experiment beyond the paper. 0 disables.
+	Prefetch float64
+	// TrustAnchors enables DNSSEC validation: upstream queries carry the
+	// EDNS0 DO bit, and answers from any zone listed here must carry an
+	// RRSIG that verifies against the anchored DNSKEY (simplified
+	// validation: per-zone anchors instead of DS-chain chasing; no
+	// authenticated denial). Bogus answers become SERVFAIL, as validating
+	// resolvers do.
+	TrustAnchors map[string]dnswire.DNSKEY
+	// Harvest controls background fetching of a newly learned zone's
+	// NS / A-for-NS / AAAA-for-NS records, the behavior that produces the
+	// paper's Figure 10 query mix at the authoritatives.
+	Harvest HarvestMode
+	// ExplorationProb is the probability of querying a random candidate
+	// server instead of the lowest-SRTT one, modeling the "recursives
+	// query all authoritatives over time" behavior of [27]. Default 0.25.
+	ExplorationProb float64
+	// AnswerFromReferral lets cached referral data (NS sets and glue
+	// learned from parent-side responses, credibility below RankAnswer)
+	// be returned directly to clients. Standards-conforming resolvers do
+	// not do this (RFC 2181 §5.4.1); the paper's Appendix A finds a small
+	// minority of deployed resolvers that answer with the parent's TTL,
+	// which this flag models.
+	AnswerFromReferral bool
+	// Seed makes the resolver's random choices reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialTimeout == 0 {
+		c.InitialTimeout = 750 * time.Millisecond
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 3 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 7
+	}
+	if c.WorkBudget == 0 {
+		c.WorkBudget = 40
+	}
+	if c.MaxCNAME == 0 {
+		c.MaxCNAME = 8
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	if c.ClientTimeout == 0 {
+		c.ClientTimeout = 8 * time.Second
+	}
+	if c.ExplorationProb == 0 {
+		c.ExplorationProb = 0.25
+	}
+	if c.StaleAnswerDelay == 0 {
+		c.StaleAnswerDelay = 1800 * time.Millisecond
+	}
+	c.Cache.ServeStale = c.ServeStale
+	return c
+}
+
+// Stats counts resolver activity.
+type Stats struct {
+	ClientQueries   int64
+	ClientResponses int64
+	CacheHits       int64
+	CacheMisses     int64
+	NegativeHits    int64
+	StaleServes     int64
+	UpstreamQueries int64
+	UpstreamRetries int64
+	Timeouts        int64
+	ServFails       int64
+	Lame            int64
+	Bogus           int64
+}
+
+// Result is the outcome of a Resolve call.
+type Result struct {
+	RCode   dnswire.RCode
+	Answers []dnswire.RR
+	SOA     dnswire.RR // present on negative answers
+	// Stale marks answers served from expired cache entries.
+	Stale bool
+	// FromCache reports that no upstream query was needed.
+	FromCache bool
+	// ServFail is true when resolution failed outright.
+	ServFail bool
+}
+
+// Resolver is a caching recursive resolver bound to one network address.
+type Resolver struct {
+	clk   clock.Clock
+	cfg   Config
+	cache *cache.Cache
+	rng   *rand.Rand
+	conn  netsim.Conn
+
+	nextID   uint16
+	inflight map[uint16]*outquery
+	srtt     map[netsim.Addr]time.Duration
+	coalesce map[coalesceKey]*clientJob
+	harvests map[string]time.Time // zone -> last NS harvest
+	stats    Stats
+}
+
+type coalesceKey struct {
+	name  string
+	qtype dnswire.Type
+	shard int
+}
+
+// NewResolver creates a resolver on clk. Call Attach (or SetConn) before
+// resolving.
+func NewResolver(clk clock.Clock, cfg Config) *Resolver {
+	cfg = cfg.withDefaults()
+	return &Resolver{
+		clk:      clk,
+		cfg:      cfg,
+		cache:    cache.New(clk, cfg.Cache),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		inflight: make(map[uint16]*outquery),
+		srtt:     make(map[netsim.Addr]time.Duration),
+		coalesce: make(map[coalesceKey]*clientJob),
+		harvests: make(map[string]time.Time),
+	}
+}
+
+// Cache exposes the resolver cache (tests and the Appendix A cache-dump
+// reproduction use it).
+func (r *Resolver) Cache() *cache.Cache { return r.cache }
+
+// Stats returns a snapshot of the counters.
+func (r *Resolver) Stats() Stats { return r.stats }
+
+// Addr returns the resolver's bound address, or "" before Attach.
+func (r *Resolver) Addr() netsim.Addr {
+	if r.conn == nil {
+		return ""
+	}
+	return r.conn.Addr()
+}
+
+// SetConn binds the resolver to an existing transport.
+func (r *Resolver) SetConn(conn netsim.Conn) { r.conn = conn }
+
+// Attach binds the resolver at addr on the simulated network. Inbound
+// packets are dispatched to the client-serving or upstream-response paths
+// by the QR bit.
+func (r *Resolver) Attach(net *netsim.Network, addr netsim.Addr) {
+	r.conn = net.Bind(addr, r.Receive)
+}
+
+// Receive is the raw packet entry point (exported for custom transports).
+func (r *Resolver) Receive(src netsim.Addr, payload []byte) {
+	m, err := dnswire.Unpack(payload)
+	if err != nil {
+		return
+	}
+	if m.Response {
+		r.handleUpstream(m)
+		return
+	}
+	r.serveClient(src, m)
+}
+
+// allocID returns a message ID not currently in flight.
+func (r *Resolver) allocID() uint16 {
+	for {
+		r.nextID++
+		if _, busy := r.inflight[r.nextID]; !busy && r.nextID != 0 {
+			return r.nextID
+		}
+	}
+}
+
+// outquery is one upstream query awaiting a response or timeout.
+type outquery struct {
+	id     uint16
+	server netsim.Addr
+	sentAt time.Time
+	timer  clock.Timer
+	onResp func(*dnswire.Message)
+	onFail func()
+}
+
+// send transmits (name, qtype) to server and arms a timeout. rd sets the
+// recursion-desired bit (true only when the upstream is itself a
+// recursive, i.e. forwarding mode).
+func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
+	rd bool, timeout time.Duration, onResp func(*dnswire.Message), onFail func()) {
+
+	id := r.allocID()
+	oq := &outquery{id: id, server: server, sentAt: r.clk.Now(), onResp: onResp, onFail: onFail}
+	r.inflight[id] = oq
+	r.stats.UpstreamQueries++
+
+	q := dnswire.NewQuery(id, name, qtype)
+	q.RecursionDesired = rd
+	if len(r.cfg.TrustAnchors) > 0 {
+		q.AddEDNS(4096, true)
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		delete(r.inflight, id)
+		onFail()
+		return
+	}
+	oq.timer = r.clk.AfterFunc(timeout, func() {
+		if r.inflight[id] != oq {
+			return
+		}
+		delete(r.inflight, id)
+		r.stats.Timeouts++
+		r.srttPenalty(server)
+		oq.onFail()
+	})
+	r.conn.Send(server, wire)
+}
+
+// handleUpstream routes a response to its pending query.
+func (r *Resolver) handleUpstream(m *dnswire.Message) {
+	oq, ok := r.inflight[m.ID]
+	if !ok {
+		return // late or spoofed; ignore
+	}
+	delete(r.inflight, m.ID)
+	oq.timer.Stop()
+	r.srttUpdate(oq.server, r.clk.Now().Sub(oq.sentAt))
+	oq.onResp(m)
+}
+
+// srttUpdate folds a new RTT sample into the server's smoothed RTT.
+func (r *Resolver) srttUpdate(server netsim.Addr, sample time.Duration) {
+	if old, ok := r.srtt[server]; ok {
+		r.srtt[server] = (old*7 + sample*3) / 10
+	} else {
+		r.srtt[server] = sample
+	}
+}
+
+// srttPenalty doubles a server's SRTT after a timeout so selection drifts
+// away from unresponsive servers (BIND-style decay).
+func (r *Resolver) srttPenalty(server netsim.Addr) {
+	if old, ok := r.srtt[server]; ok {
+		penalized := old * 2
+		if penalized > 10*time.Second {
+			penalized = 10 * time.Second
+		}
+		r.srtt[server] = penalized
+	} else {
+		r.srtt[server] = time.Second
+	}
+}
+
+// pickServer chooses the next candidate address, preferring low SRTT but
+// exploring randomly with ExplorationProb, and avoiding addresses in
+// tried.
+func (r *Resolver) pickServer(candidates []netsim.Addr, tried map[netsim.Addr]bool) (netsim.Addr, bool) {
+	var avail []netsim.Addr
+	for _, a := range candidates {
+		if !tried[a] {
+			avail = append(avail, a)
+		}
+	}
+	if len(avail) == 0 {
+		return "", false
+	}
+	if r.rng.Float64() < r.cfg.ExplorationProb {
+		return avail[r.rng.Intn(len(avail))], true
+	}
+	best := avail[0]
+	bestRTT, ok := r.srtt[best]
+	if !ok {
+		return best, true // unknown servers get tried eagerly
+	}
+	for _, a := range avail[1:] {
+		rtt, ok := r.srtt[a]
+		if !ok {
+			return a, true
+		}
+		if rtt < bestRTT {
+			best, bestRTT = a, rtt
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,121 @@
+package recursive
+
+import (
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// clientJob tracks identical in-flight client queries that share one
+// resolution (query coalescing).
+type clientJob struct {
+	waiters []waiter
+}
+
+type waiter struct {
+	src netsim.Addr
+	q   *dnswire.Message
+}
+
+// serveClient answers a query received from a stub (or a downstream R1).
+func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
+	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
+		resp := dnswire.NewResponse(q)
+		resp.RecursionAvailable = true
+		resp.RCode = dnswire.RCodeNotImp
+		r.respond(src, resp)
+		return
+	}
+	question := q.Questions[0]
+	if question.Class != dnswire.ClassIN {
+		resp := dnswire.NewResponse(q)
+		resp.RecursionAvailable = true
+		resp.RCode = dnswire.RCodeRefused
+		r.respond(src, resp)
+		return
+	}
+	name := dnswire.CanonicalName(question.Name)
+
+	// Fragmented deployments land each query on an arbitrary backend
+	// cache (§3.5): pick the shard here so coalescing is per-backend.
+	shard := 0
+	if n := r.cache.Shards(); n > 1 {
+		shard = r.rng.Intn(n)
+	}
+
+	key := coalesceKey{name: name, qtype: question.Type, shard: shard}
+	if job, ok := r.coalesce[key]; ok {
+		job.waiters = append(job.waiters, waiter{src: src, q: q})
+		return
+	}
+	job := &clientJob{waiters: []waiter{{src: src, q: q}}}
+	r.coalesce[key] = job
+
+	r.Resolve(name, question.Type, shard, func(res Result) {
+		delete(r.coalesce, key)
+		for _, w := range job.waiters {
+			r.respond(w.src, r.buildResponse(w.q, res))
+		}
+	})
+}
+
+// HandleQuery answers a parsed client query transport-independently:
+// cb receives the complete response message exactly once. cmd/recursived
+// uses it to serve DNS over TCP alongside the packet path.
+func (r *Resolver) HandleQuery(q *dnswire.Message, cb func(*dnswire.Message)) {
+	if q.Response {
+		return
+	}
+	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
+		resp := dnswire.NewResponse(q)
+		resp.RecursionAvailable = true
+		resp.RCode = dnswire.RCodeNotImp
+		cb(resp)
+		return
+	}
+	question := q.Questions[0]
+	if question.Class != dnswire.ClassIN {
+		resp := dnswire.NewResponse(q)
+		resp.RecursionAvailable = true
+		resp.RCode = dnswire.RCodeRefused
+		cb(resp)
+		return
+	}
+	shard := 0
+	if n := r.cache.Shards(); n > 1 {
+		shard = r.rng.Intn(n)
+	}
+	r.Resolve(dnswire.CanonicalName(question.Name), question.Type, shard,
+		func(res Result) { cb(r.buildResponse(q, res)) })
+}
+
+// buildResponse renders a Result as a DNS response to q.
+func (r *Resolver) buildResponse(q *dnswire.Message, res Result) *dnswire.Message {
+	resp := dnswire.NewResponse(q)
+	resp.RecursionAvailable = true
+	resp.RCode = res.RCode
+	resp.Answers = append(resp.Answers, res.Answers...)
+	if res.SOA.Data != nil {
+		resp.Authorities = append(resp.Authorities, res.SOA)
+	}
+	return resp
+}
+
+// maxUDPPayload mirrors the classic DNS-over-UDP limit; oversized
+// responses are truncated with the TC bit so clients retry over TCP.
+const maxUDPPayload = 512
+
+func (r *Resolver) respond(dst netsim.Addr, resp *dnswire.Message) {
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	if len(wire) > maxUDPPayload {
+		trunc := *resp
+		trunc.Truncated = true
+		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+		if wire, err = trunc.Pack(); err != nil {
+			return
+		}
+	}
+	r.conn.Send(dst, wire)
+}

@@ -1,0 +1,112 @@
+package recursive
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// signedWorld builds the standard hierarchy with cachetest.nl signed, and
+// returns the zone key.
+func signedWorld(t *testing.T, validate bool) (*world, *dnssec.Key) {
+	t.Helper()
+	key, err := dnssec.GenerateKey("cachetest.nl.", dnssec.FlagZone,
+		detRand{rand.New(rand.NewSource(11))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}
+	if validate {
+		cfg.TrustAnchors = map[string]dnswire.DNSKEY{"cachetest.nl.": key.Public}
+	}
+	w := newWorld(t, cfg)
+	for _, srv := range []*struct{ z *zone.Zone }{
+		{w.ns1.Zones()[0]}, {w.ns2.Zones()[0]},
+	} {
+		if err := dnssec.SignZone(srv.z, key, epoch, 7*24*time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, key
+}
+
+// TestValidationAcceptsSignedAnswers: a validating resolver resolves a
+// signed zone normally and keeps the signatures with the answer.
+func TestValidationAcceptsSignedAnswers(t *testing.T) {
+	w, _ := signedWorld(t, true)
+	res := w.resolve(t, "1414.cachetest.nl.", dnswire.TypeAAAA)
+	if res.ServFail {
+		t.Fatalf("signed resolution failed: %+v", res)
+	}
+	// The client did not set DO, so it gets plain answers; the resolver
+	// caches the signature alongside the data.
+	sig := w.res.Cache().Get(cacheKeyRRSIG("1414.cachetest.nl."), 0)
+	if !sig.Hit {
+		t.Error("RRSIG not cached with the validated answer")
+	}
+	if w.res.Stats().Bogus != 0 {
+		t.Errorf("bogus count = %d", w.res.Stats().Bogus)
+	}
+}
+
+// TestValidationRejectsForgedAnswers: when the authoritatives serve
+// altered data whose signatures no longer match, the validating resolver
+// answers SERVFAIL; a non-validating one accepts the forgery.
+func TestValidationRejectsForgedAnswers(t *testing.T) {
+	forge := func(w *world) {
+		// Change the record *after* signing: the RRSIG no longer covers
+		// the data (a cache-poisoning / tampering stand-in).
+		for _, z := range []*zone.Zone{w.ns1.Zones()[0], w.ns2.Zones()[0]} {
+			if err := z.Replace("1414.cachetest.nl.", dnswire.TypeAAAA, 60,
+				dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::bad")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	w, _ := signedWorld(t, true)
+	forge(w)
+	res := w.resolve(t, "1414.cachetest.nl.", dnswire.TypeAAAA)
+	if !res.ServFail {
+		t.Fatalf("validating resolver accepted a forged answer: %+v", res)
+	}
+	if w.res.Stats().Bogus == 0 {
+		t.Error("no bogus answers counted")
+	}
+
+	wPlain, _ := signedWorld(t, false)
+	forge(wPlain)
+	res = wPlain.resolve(t, "1414.cachetest.nl.", dnswire.TypeAAAA)
+	if res.ServFail {
+		t.Fatalf("non-validating resolver should accept: %+v", res)
+	}
+}
+
+// TestValidationIgnoresUnanchoredZones: answers from zones without a
+// trust anchor pass through a validating resolver unsigned (insecure).
+func TestValidationIgnoresUnanchoredZones(t *testing.T) {
+	w, _ := signedWorld(t, true)
+	// other.nl is unsigned and unanchored.
+	res := w.resolve(t, "www.other.nl.", dnswire.TypeAAAA)
+	if res.ServFail {
+		t.Fatalf("insecure zone rejected: %+v", res)
+	}
+}
+
+func cacheKeyRRSIG(name string) cache.Key {
+	return cache.Key{Name: name, Type: dnswire.TypeRRSIG}
+}

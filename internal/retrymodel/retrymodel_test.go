@@ -1,0 +1,77 @@
+package retrymodel
+
+import "testing"
+
+func TestBINDLikeNormalOperation(t *testing.T) {
+	res := Run(BINDLike(), false, 20, 1)
+	if res.Answered != 20 {
+		t.Fatalf("answered %d/20", res.Answered)
+	}
+	// The paper: BIND resolves with 3 queries (1 root, 1 net, 1 target).
+	if res.Mean.Root != 1 || res.Mean.Net != 1 {
+		t.Errorf("root/net queries = %.1f/%.1f, want 1/1", res.Mean.Root, res.Mean.Net)
+	}
+	if res.Mean.Target < 1 || res.Mean.Target > 2 {
+		t.Errorf("target queries = %.1f, want ~1", res.Mean.Target)
+	}
+	if res.Mean.Total() > 4 {
+		t.Errorf("total = %.1f, want ~3", res.Mean.Total())
+	}
+}
+
+func TestUnboundLikeNormalOperation(t *testing.T) {
+	res := Run(UnboundLike(), false, 20, 1)
+	if res.Answered != 20 {
+		t.Fatalf("answered %d/20", res.Answered)
+	}
+	// The paper: Unbound sends ~5-8 queries (target + NS/A/AAAA
+	// harvesting).
+	if res.Mean.Total() < 4 || res.Mean.Total() > 10 {
+		t.Errorf("total = %.1f, want 5-8", res.Mean.Total())
+	}
+	bind := Run(BINDLike(), false, 20, 1)
+	if res.Mean.Total() <= bind.Mean.Total() {
+		t.Errorf("unbound (%.1f) should send more than bind (%.1f) normally",
+			res.Mean.Total(), bind.Mean.Total())
+	}
+}
+
+func TestFailureAmplification(t *testing.T) {
+	bindUp := Run(BINDLike(), false, 20, 1)
+	bindDown := Run(BINDLike(), true, 20, 1)
+	if bindDown.Answered != 0 {
+		t.Fatalf("answered %d with servers dead", bindDown.Answered)
+	}
+	// The paper: BIND 3 -> 12 (4x); allow 2.5-6x.
+	mult := bindDown.Mean.Total() / bindUp.Mean.Total()
+	if mult < 2 || mult > 8 {
+		t.Errorf("bind amplification = %.1fx, want ~4x", mult)
+	}
+
+	unboundUp := Run(UnboundLike(), false, 20, 1)
+	unboundDown := Run(UnboundLike(), true, 20, 1)
+	umult := unboundDown.Mean.Total() / unboundUp.Mean.Total()
+	if umult < 2 {
+		t.Errorf("unbound amplification = %.1fx, want larger", umult)
+	}
+	// Unbound's absolute downtime traffic exceeds BIND's (46 vs 12 in
+	// the paper).
+	if unboundDown.Mean.Total() <= bindDown.Mean.Total() {
+		t.Errorf("unbound down (%.1f) should exceed bind down (%.1f)",
+			unboundDown.Mean.Total(), bindDown.Mean.Total())
+	}
+	// Retries hit the target zone, not the (healthy) parents: target
+	// queries dominate the increase.
+	if bindDown.Mean.Target <= bindUp.Mean.Target*2 {
+		t.Errorf("bind target queries %.1f -> %.1f, want clear growth",
+			bindUp.Mean.Target, bindDown.Mean.Target)
+	}
+}
+
+func TestDeterministicTrials(t *testing.T) {
+	a := Run(UnboundLike(), true, 5, 9)
+	b := Run(UnboundLike(), true, 5, 9)
+	if a.Mean != b.Mean {
+		t.Errorf("same seed differs: %+v vs %+v", a.Mean, b.Mean)
+	}
+}

@@ -1,0 +1,273 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to render the paper's tables and figures: quantiles, means,
+// empirical CDFs, histograms, and round-binned time series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between order statistics. It returns 0 for an empty slice.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Median is Quantile(values, 0.5).
+func Median(values []float64) float64 { return Quantile(values, 0.5) }
+
+// Summary holds the latency quantiles the paper's Figure 9 plots.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P75    float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary in one pass over a copy of values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Median: quantileSorted(sorted, 0.5),
+		P75:    quantileSorted(sorted, 0.75),
+		P90:    quantileSorted(sorted, 0.90),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from values (copied).
+func NewECDF(values []float64) *ECDF {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// InverseAt returns the smallest x with P(X <= x) >= p.
+func (e *ECDF) InverseAt(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.sorted) {
+		i = len(e.sorted) - 1
+	}
+	return e.sorted[i]
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Points renders the ECDF at n evenly spaced probabilities, for printing a
+// figure as a series.
+func (e *ECDF) Points(n int) []Point {
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		p := float64(i) / float64(n)
+		pts = append(pts, Point{X: e.InverseAt(p), Y: p})
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a rendered series.
+type Point struct{ X, Y float64 }
+
+// Histogram counts values into fixed-width bins starting at Min.
+type Histogram struct {
+	Min    float64
+	Width  float64
+	Counts []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram creates a histogram with n bins of the given width.
+func NewHistogram(min, width float64, n int) *Histogram {
+	return &Histogram{Min: min, Width: width, Counts: make([]int, n)}
+}
+
+// Add counts v into its bin.
+func (h *Histogram) Add(v float64) {
+	if v < h.Min {
+		h.Under++
+		return
+	}
+	i := int((v - h.Min) / h.Width)
+	if i >= len(h.Counts) {
+		h.Over++
+		return
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of added values, including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// RoundSeries accumulates per-round (time-binned) counters keyed by a
+// label, producing the "answers over time" series of Figures 6, 8, 10, 12.
+type RoundSeries struct {
+	Start    time.Time
+	Interval time.Duration
+	rounds   map[int]map[string]float64
+	maxRound int
+}
+
+// NewRoundSeries bins observations into intervals from start.
+func NewRoundSeries(start time.Time, interval time.Duration) *RoundSeries {
+	return &RoundSeries{
+		Start: start, Interval: interval,
+		rounds: make(map[int]map[string]float64),
+	}
+}
+
+// RoundOf maps a timestamp to its bin index; times before Start map to -1.
+func (s *RoundSeries) RoundOf(at time.Time) int {
+	if at.Before(s.Start) {
+		return -1
+	}
+	return int(at.Sub(s.Start) / s.Interval)
+}
+
+// Add accumulates delta into (round at, label).
+func (s *RoundSeries) Add(at time.Time, label string, delta float64) {
+	s.AddRound(s.RoundOf(at), label, delta)
+}
+
+// AddRound accumulates delta into the explicit round index.
+func (s *RoundSeries) AddRound(round int, label string, delta float64) {
+	if round < 0 {
+		return
+	}
+	m, ok := s.rounds[round]
+	if !ok {
+		m = make(map[string]float64)
+		s.rounds[round] = m
+	}
+	m[label] += delta
+	if round > s.maxRound {
+		s.maxRound = round
+	}
+}
+
+// Rounds returns the number of rounds (max index + 1).
+func (s *RoundSeries) Rounds() int {
+	if len(s.rounds) == 0 {
+		return 0
+	}
+	return s.maxRound + 1
+}
+
+// Get returns the accumulated value at (round, label).
+func (s *RoundSeries) Get(round int, label string) float64 {
+	return s.rounds[round][label]
+}
+
+// Labels returns all labels seen, sorted.
+func (s *RoundSeries) Labels() []string {
+	seen := make(map[string]bool)
+	for _, m := range s.rounds {
+		for l := range m {
+			seen[l] = true
+		}
+	}
+	labels := make([]string, 0, len(seen))
+	for l := range seen {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// Table renders the series as an aligned text table with one row per round
+// and one column per label, in the order given (or Labels() if nil).
+func (s *RoundSeries) Table(labels []string) string {
+	if labels == nil {
+		labels = s.Labels()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s", "minute")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, " %12s", l)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < s.Rounds(); r++ {
+		fmt.Fprintf(&sb, "%8.0f", float64(r)*s.Interval.Minutes())
+		for _, l := range labels {
+			fmt.Fprintf(&sb, " %12.0f", s.Get(r, l))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,142 @@
+// Package stub implements the client side of DNS resolution: a minimal
+// stub resolver that sends one query to a recursive resolver and waits for
+// the answer with a timeout, like the RIPE Atlas probes the paper measures
+// from (5 s timeout, reporting "no answer" on expiry, §3.2).
+package stub
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// ErrTimeout is reported when no response arrives within the deadline.
+var ErrTimeout = errors.New("stub: query timed out")
+
+// DefaultTimeout matches the Atlas probe DNS timeout.
+const DefaultTimeout = 5 * time.Second
+
+// Result is the outcome of one query.
+type Result struct {
+	// Msg is the response, nil on timeout.
+	Msg *dnswire.Message
+	// Err is non-nil on timeout.
+	Err error
+	// RTT is the time from send to response (or to the timeout).
+	RTT time.Duration
+	// Server is the recursive that was queried.
+	Server netsim.Addr
+}
+
+// Config tunes a Client.
+type Config struct {
+	// Timeout per attempt; default DefaultTimeout.
+	Timeout time.Duration
+	// Retries re-sends the query on timeout this many extra times.
+	// Atlas probes use 0.
+	Retries int
+}
+
+// Client is a stub resolver bound to one address.
+type Client struct {
+	clk    clock.Clock
+	cfg    Config
+	conn   netsim.Conn
+	nextID uint16
+	// inflight maps message IDs to pending queries.
+	inflight map[uint16]*pending
+}
+
+type pending struct {
+	id      uint16
+	server  netsim.Addr
+	sentAt  time.Time
+	timer   clock.Timer
+	retries int
+	name    string
+	qtype   dnswire.Type
+	started time.Time
+	cb      func(Result)
+}
+
+// New creates a stub client on clk.
+func New(clk clock.Clock, cfg Config) *Client {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Client{clk: clk, cfg: cfg, inflight: make(map[uint16]*pending)}
+}
+
+// Attach binds the client at addr on the simulated network.
+func (c *Client) Attach(net *netsim.Network, addr netsim.Addr) {
+	c.conn = net.Bind(addr, c.Receive)
+}
+
+// SetConn binds the client to an existing transport.
+func (c *Client) SetConn(conn netsim.Conn) { c.conn = conn }
+
+// Receive is the raw packet entry point.
+func (c *Client) Receive(src netsim.Addr, payload []byte) {
+	m, err := dnswire.Unpack(payload)
+	if err != nil || !m.Response {
+		return
+	}
+	p, ok := c.inflight[m.ID]
+	if !ok || p.server != src {
+		return
+	}
+	delete(c.inflight, m.ID)
+	p.timer.Stop()
+	p.cb(Result{Msg: m, RTT: c.clk.Now().Sub(p.started), Server: src})
+}
+
+// Query sends a recursive query for (name, qtype) to server. cb runs
+// exactly once with the response or a timeout error.
+func (c *Client) Query(server netsim.Addr, name string, qtype dnswire.Type, cb func(Result)) {
+	p := &pending{
+		server: server, retries: c.cfg.Retries,
+		name: name, qtype: qtype,
+		started: c.clk.Now(), cb: cb,
+	}
+	c.sendAttempt(p)
+}
+
+func (c *Client) sendAttempt(p *pending) {
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID++
+	}
+	for {
+		if _, busy := c.inflight[c.nextID]; !busy {
+			break
+		}
+		c.nextID++
+	}
+	p.id = c.nextID
+	p.sentAt = c.clk.Now()
+	c.inflight[p.id] = p
+
+	q := dnswire.NewQuery(p.id, p.name, p.qtype)
+	wire, err := q.Pack()
+	if err != nil {
+		delete(c.inflight, p.id)
+		p.cb(Result{Err: err, Server: p.server})
+		return
+	}
+	p.timer = c.clk.AfterFunc(c.cfg.Timeout, func() {
+		if c.inflight[p.id] != p {
+			return
+		}
+		delete(c.inflight, p.id)
+		if p.retries > 0 {
+			p.retries--
+			c.sendAttempt(p)
+			return
+		}
+		p.cb(Result{Err: ErrTimeout, RTT: c.clk.Now().Sub(p.started), Server: p.server})
+	})
+	c.conn.Send(p.server, wire)
+}

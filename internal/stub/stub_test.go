@@ -1,0 +1,137 @@
+package stub
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+var epoch = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// echoServer answers every query with a fixed AAAA record.
+func echoServer(t *testing.T, net *netsim.Network, addr netsim.Addr) {
+	t.Helper()
+	var port *netsim.Port
+	port = net.Bind(addr, func(src netsim.Addr, payload []byte) {
+		q, err := dnswire.Unpack(payload)
+		if err != nil || q.Response {
+			return
+		}
+		resp := dnswire.NewResponse(q)
+		resp.RecursionAvailable = true
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: q.Question1().Name, Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::1")},
+		})
+		wire, err := resp.Pack()
+		if err != nil {
+			t.Errorf("pack: %v", err)
+			return
+		}
+		port.Send(src, wire)
+	})
+}
+
+func TestQueryAnswered(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	echoServer(t, net, "10.0.0.53")
+	c := New(clk, Config{})
+	c.Attach(net, "10.9.0.1")
+
+	var got Result
+	c.Query("10.0.0.53", "probe1.cachetest.nl.", dnswire.TypeAAAA, func(r Result) { got = r })
+	clk.Run()
+	if got.Err != nil {
+		t.Fatalf("err = %v", got.Err)
+	}
+	if len(got.Msg.Answers) != 1 {
+		t.Fatalf("answers = %v", got.Msg.Answers)
+	}
+	if got.RTT <= 0 {
+		t.Errorf("RTT = %v", got.RTT)
+	}
+	if got.Server != "10.0.0.53" {
+		t.Errorf("server = %v", got.Server)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	c := New(clk, Config{})
+	c.Attach(net, "10.9.0.1")
+	var got Result
+	c.Query("10.0.0.53", "x.nl.", dnswire.TypeA, func(r Result) { got = r })
+	clk.Run()
+	if got.Err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", got.Err)
+	}
+	if got.RTT != DefaultTimeout {
+		t.Errorf("RTT = %v, want %v", got.RTT, DefaultTimeout)
+	}
+}
+
+func TestQueryRetries(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	received := 0
+	net.Bind("10.0.0.53", func(netsim.Addr, []byte) { received++ })
+	c := New(clk, Config{Timeout: time.Second, Retries: 2})
+	c.Attach(net, "10.9.0.1")
+	var got Result
+	c.Query("10.0.0.53", "x.nl.", dnswire.TypeA, func(r Result) { got = r })
+	clk.Run()
+	if received != 3 {
+		t.Errorf("server received %d queries, want 3", received)
+	}
+	if got.Err != ErrTimeout {
+		t.Errorf("err = %v", got.Err)
+	}
+}
+
+func TestLateAndForeignResponsesIgnored(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	// Server replies from a different address than queried.
+	var port *netsim.Port
+	port = net.Bind("10.0.0.53", func(src netsim.Addr, payload []byte) {
+		q, _ := dnswire.Unpack(payload)
+		resp := dnswire.NewResponse(q)
+		wire, _ := resp.Pack()
+		// Send from the wrong source.
+		net.Send("10.0.0.99", src, wire)
+		_ = port
+	})
+	c := New(clk, Config{Timeout: time.Second})
+	c.Attach(net, "10.9.0.1")
+	var got Result
+	c.Query("10.0.0.53", "x.nl.", dnswire.TypeA, func(r Result) { got = r })
+	clk.Run()
+	if got.Err != ErrTimeout {
+		t.Errorf("accepted response from wrong server: %+v", got)
+	}
+}
+
+func TestConcurrentQueriesKeepIDsDistinct(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	echoServer(t, net, "10.0.0.53")
+	c := New(clk, Config{})
+	c.Attach(net, "10.9.0.1")
+	results := 0
+	for i := 0; i < 100; i++ {
+		c.Query("10.0.0.53", "x.nl.", dnswire.TypeAAAA, func(r Result) {
+			if r.Err == nil {
+				results++
+			}
+		})
+	}
+	clk.Run()
+	if results != 100 {
+		t.Errorf("answered %d/100", results)
+	}
+}

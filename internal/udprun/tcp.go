@@ -1,0 +1,107 @@
+package udprun
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// DNS over TCP (RFC 7766): each message is prefixed with a 2-octet
+// big-endian length. Clients fall back to TCP when a UDP response has the
+// TC bit set; authd serves both transports from the same engine.
+
+// maxTCPMessage bounds accepted message sizes.
+const maxTCPMessage = 1 << 16
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, payload []byte) error {
+	if len(payload) >= maxTCPMessage {
+		return fmt.Errorf("udprun: message too large for TCP framing (%d)", len(payload))
+	}
+	var lenbuf [2]byte
+	binary.BigEndian.PutUint16(lenbuf[:], uint16(len(payload)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var lenbuf [2]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenbuf[:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// TCPQuery sends one query over a fresh TCP connection and returns the
+// response payload. This is the stub's TC-bit fallback path.
+func TCPQuery(server string, payload []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteTCPMessage(conn, payload); err != nil {
+		return nil, err
+	}
+	return ReadTCPMessage(conn)
+}
+
+// ServeTCP accepts DNS-over-TCP connections on ln, answering each message
+// with handler until the listener closes. Each connection may carry
+// multiple queries (RFC 7766 pipelining); handler runs on the connection's
+// goroutine, so it must be safe for concurrent use (authoritative.Server
+// is; pass engine calls through a Loop if not).
+func ServeTCP(ln net.Listener, handler func(payload []byte) []byte) error {
+	return ServeTCPStream(ln, func(payload []byte) [][]byte {
+		out := handler(payload)
+		if out == nil {
+			return nil
+		}
+		return [][]byte{out}
+	})
+}
+
+// ServeTCPStream is ServeTCP for handlers that answer one query with a
+// sequence of messages (zone transfers, RFC 5936).
+func ServeTCPStream(ln net.Listener, handler func(payload []byte) [][]byte) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			for {
+				if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+					return
+				}
+				payload, err := ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				for _, out := range handler(payload) {
+					if out == nil {
+						continue
+					}
+					if err := WriteTCPMessage(conn, out); err != nil {
+						return
+					}
+				}
+			}
+		}(conn)
+	}
+}

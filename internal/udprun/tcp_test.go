@@ -1,0 +1,104 @@
+package udprun
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+func TestTCPMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{{1, 2, 3}, {}, bytes.Repeat([]byte{0xab}, 4096)}
+	for _, m := range msgs {
+		if err := WriteTCPMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadTCPMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("message %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if err := WriteTCPMessage(&buf, make([]byte, maxTCPMessage)); err == nil {
+		t.Error("oversized message accepted")
+	}
+	if _, err := ReadTCPMessage(strings.NewReader("\x00\x05abc")); err == nil {
+		t.Error("short message accepted")
+	}
+}
+
+// TestDNSOverTCPEndToEnd serves a zone over TCP and queries it, including
+// the TC-bit fallback flow: big answer truncated over UDP, complete over
+// TCP.
+func TestDNSOverTCPEndToEnd(t *testing.T) {
+	z, err := zone.ParseString(udpTestZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		z.MustAdd(dnswire.RR{Name: "big.cachetest.nl.", TTL: 60, Data: dnswire.TXT{
+			Strings: []string{fmt.Sprintf("%02d-%s", i, strings.Repeat("x", 40))},
+		}})
+	}
+	srv := authoritative.New(z)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ServeTCP(ln, srv.HandleWireTCP)
+
+	q := dnswire.NewQuery(3, "big.cachetest.nl.", dnswire.TypeTXT)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over UDP the answer would be truncated (verified in the
+	// authoritative tests); over TCP it comes back whole.
+	out, err := TCPQuery(ln.Addr().String(), wire, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated || len(m.Answers) != 25 {
+		t.Errorf("TCP answer: TC=%v answers=%d, want full", m.Truncated, len(m.Answers))
+	}
+
+	// Pipelining: two queries on one connection.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	small, _ := dnswire.NewQuery(4, "host.cachetest.nl.", dnswire.TypeAAAA).Pack()
+	for i := 0; i < 2; i++ {
+		if err := WriteTCPMessage(conn, small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		out, err := ReadTCPMessage(conn)
+		if err != nil {
+			t.Fatalf("pipelined read %d: %v", i, err)
+		}
+		m, err := dnswire.Unpack(out)
+		if err != nil || len(m.Answers) != 1 {
+			t.Fatalf("pipelined answer %d: %v %v", i, m, err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package udprun runs the DNS engines on real UDP sockets. The engines
+// are written against clock.Clock and netsim.Conn and are not internally
+// locked (the simulator is single-threaded), so this package provides an
+// event loop that serializes packet receipt and timer callbacks onto one
+// goroutine, plus a Conn backed by a net.UDPConn whose peer addresses are
+// "ip:port" strings.
+package udprun
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+// Loop serializes callbacks onto a single goroutine.
+type Loop struct {
+	events chan func()
+	done   chan struct{}
+}
+
+// NewLoop creates a loop with a buffered event queue.
+func NewLoop() *Loop {
+	return &Loop{events: make(chan func(), 1024), done: make(chan struct{})}
+}
+
+// Post enqueues f for execution on the loop goroutine. It blocks when the
+// queue is full (backpressure) and drops events after Close.
+func (l *Loop) Post(f func()) {
+	select {
+	case <-l.done:
+	case l.events <- f:
+	}
+}
+
+// Run processes events until Close. It must be called exactly once.
+func (l *Loop) Run() {
+	for {
+		select {
+		case <-l.done:
+			return
+		case f := <-l.events:
+			f()
+		}
+	}
+}
+
+// Close stops the loop.
+func (l *Loop) Close() {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+}
+
+// Clock is a wall clock whose timer callbacks run on a Loop, so they are
+// serialized with packet handling.
+type Clock struct {
+	Loop *Loop
+}
+
+// Now implements clock.Clock.
+func (c Clock) Now() time.Time { return time.Now() }
+
+// AfterFunc implements clock.Clock; f is posted to the loop when the
+// timer fires.
+func (c Clock) AfterFunc(d time.Duration, f func()) clock.Timer {
+	return realTimer{time.AfterFunc(d, func() { c.Loop.Post(f) })}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Conn is a netsim.Conn over a real UDP socket. Peer addresses are
+// "ip:port" strings.
+type Conn struct {
+	pc   *net.UDPConn
+	loop *Loop
+}
+
+// Listen binds a UDP socket on listen (e.g. ":5300" or "127.0.0.1:0").
+func Listen(listen string, loop *Loop) (*Conn, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("udprun: resolve %q: %w", listen, err)
+	}
+	pc, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprun: listen %q: %w", listen, err)
+	}
+	return &Conn{pc: pc, loop: loop}, nil
+}
+
+// Addr implements netsim.Conn with the socket's local address.
+func (c *Conn) Addr() netsim.Addr { return netsim.Addr(c.pc.LocalAddr().String()) }
+
+// Send implements netsim.Conn. Errors (unresolvable peers, closed socket)
+// are dropped, matching UDP semantics.
+func (c *Conn) Send(dst netsim.Addr, payload []byte) {
+	addr, err := net.ResolveUDPAddr("udp", string(dst))
+	if err != nil {
+		return
+	}
+	_, _ = c.pc.WriteToUDP(payload, addr)
+}
+
+// Serve reads packets and posts handler calls to the loop until the
+// socket is closed. Call it on its own goroutine; it returns the first
+// read error.
+func (c *Conn) Serve(handler func(src netsim.Addr, payload []byte)) error {
+	buf := make([]byte, 65535)
+	for {
+		n, src, err := c.pc.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		srcAddr := netsim.Addr(src.String())
+		c.loop.Post(func() { handler(srcAddr, payload) })
+	}
+}
+
+// Close closes the socket.
+func (c *Conn) Close() error { return c.pc.Close() }
+
+var _ netsim.Conn = (*Conn)(nil)
+var _ clock.Clock = Clock{}

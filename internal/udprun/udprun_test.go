@@ -1,0 +1,174 @@
+package udprun
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/recursive"
+	"repro/internal/zone"
+)
+
+const udpTestZone = `
+$ORIGIN cachetest.nl.
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 7200 3600 864000 60
+@    IN NS  ns1
+ns1  IN A   127.0.0.1
+host IN AAAA 2001:db8::7
+`
+
+func TestLoopSerializesAndCloses(t *testing.T) {
+	loop := NewLoop()
+	go loop.Run()
+	done := make(chan int, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		loop.Post(func() { done <- i })
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case got := <-done:
+			if got != i {
+				t.Fatalf("events out of order: got %d want %d", got, i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("event never ran")
+		}
+	}
+	loop.Close()
+	loop.Post(func() { t.Error("event ran after Close") })
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestClockAfterFuncOnLoop(t *testing.T) {
+	loop := NewLoop()
+	go loop.Run()
+	defer loop.Close()
+	clk := Clock{Loop: loop}
+	fired := make(chan struct{})
+	clk.AfterFunc(10*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	// Stop prevents firing.
+	timer := clk.AfterFunc(50*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !timer.Stop() {
+		t.Error("Stop returned false")
+	}
+	time.Sleep(80 * time.Millisecond)
+}
+
+// TestAuthoritativeOverRealUDP serves a zone on a real socket and queries
+// it with a raw UDP exchange.
+func TestAuthoritativeOverRealUDP(t *testing.T) {
+	z, err := zone.ParseString(udpTestZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := authoritative.New(z)
+
+	loop := NewLoop()
+	go loop.Run()
+	defer loop.Close()
+	conn, err := Listen("127.0.0.1:0", loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Serve(func(src netsim.Addr, payload []byte) {
+		if out := srv.HandleWire(payload); out != nil {
+			conn.Send(src, out)
+		}
+	})
+
+	// Client side: second socket.
+	cliLoop := NewLoop()
+	go cliLoop.Run()
+	defer cliLoop.Close()
+	cli, err := Listen("127.0.0.1:0", cliLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	got := make(chan *dnswire.Message, 1)
+	go cli.Serve(func(src netsim.Addr, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil {
+			got <- m
+		}
+	})
+	q := dnswire.NewQuery(7, "host.cachetest.nl.", dnswire.TypeAAAA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Send(conn.Addr(), wire)
+
+	select {
+	case m := <-got:
+		if len(m.Answers) != 1 || !m.Authoritative {
+			t.Fatalf("answer = %v", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no response over UDP")
+	}
+}
+
+// TestRecursiveOverRealUDP runs an authoritative and a recursive resolver
+// on real sockets end to end.
+func TestRecursiveOverRealUDP(t *testing.T) {
+	z, err := zone.ParseString(udpTestZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	authLoop := NewLoop()
+	go authLoop.Run()
+	defer authLoop.Close()
+	authConn, err := Listen("127.0.0.1:0", authLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authConn.Close()
+	srv := authoritative.New(z)
+	go authConn.Serve(func(src netsim.Addr, payload []byte) {
+		if out := srv.HandleWire(payload); out != nil {
+			authConn.Send(src, out)
+		}
+	})
+
+	resLoop := NewLoop()
+	go resLoop.Run()
+	defer resLoop.Close()
+	resConn, err := Listen("127.0.0.1:0", resLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resConn.Close()
+	// The "root hint" points straight at the zone's server, which is
+	// authoritative for everything we ask.
+	res := recursive.NewResolver(Clock{Loop: resLoop}, recursive.Config{
+		RootHints: []recursive.ServerHint{{Name: "ns1.cachetest.nl.", Addr: authConn.Addr()}},
+	})
+	res.SetConn(resConn)
+	go resConn.Serve(res.Receive)
+
+	done := make(chan recursive.Result, 1)
+	resLoop.Post(func() {
+		res.Resolve("host.cachetest.nl.", dnswire.TypeAAAA, 0, func(r recursive.Result) {
+			done <- r
+		})
+	})
+	select {
+	case r := <-done:
+		if r.ServFail || len(r.Answers) != 1 {
+			t.Fatalf("result = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recursive resolution over UDP timed out")
+	}
+}

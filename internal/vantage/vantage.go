@@ -1,0 +1,235 @@
+// Package vantage emulates the paper's measurement platform: a fleet of
+// RIPE-Atlas-like probes, each querying its recursive resolvers for a
+// probe-unique AAAA record at a fixed pacing (§3.2). Every (probe,
+// recursive) pair is one vantage point (VP). Answers encode
+// (serial, probeID, ttl) in the AAAA RDATA so the classifier can tell
+// cached data from fresh data.
+package vantage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/stub"
+)
+
+// Prefix is the fixed 64-bit prefix of encoded answers
+// (fd0f:3897:faf7:a375::/64), as in §3.2 of the paper.
+var Prefix = [8]byte{0xfd, 0x0f, 0x38, 0x97, 0xfa, 0xf7, 0xa3, 0x75}
+
+// EncodeAAAA packs (serial, probeID, ttl) into an answer address:
+// prefix:serial:probeid:ttl-high:ttl-low. The TTL field is 32 bits so a
+// day-long TTL (86400 s) fits, as in the paper's fifth experiment.
+func EncodeAAAA(serial, probeID uint16, ttl uint32) netip.Addr {
+	var b [16]byte
+	copy(b[:8], Prefix[:])
+	binary.BigEndian.PutUint16(b[8:], serial)
+	binary.BigEndian.PutUint16(b[10:], probeID)
+	binary.BigEndian.PutUint32(b[12:], ttl)
+	return netip.AddrFrom16(b)
+}
+
+// DecodeAAAA unpacks an encoded answer address. ok is false when the
+// address does not carry the experiment prefix.
+func DecodeAAAA(addr netip.Addr) (serial, probeID uint16, ttl uint32, ok bool) {
+	b := addr.As16()
+	for i := range Prefix {
+		if b[i] != Prefix[i] {
+			return 0, 0, 0, false
+		}
+	}
+	return binary.BigEndian.Uint16(b[8:]),
+		binary.BigEndian.Uint16(b[10:]),
+		binary.BigEndian.Uint32(b[12:]), true
+}
+
+// QName returns the probe-unique query name under domain, e.g.
+// "1414.cachetest.nl.".
+func QName(probeID uint16, domain string) string {
+	return dnswire.CanonicalName(fmt.Sprintf("%d.%s", probeID, domain))
+}
+
+// Answer is one VP observation: the outcome of a single query from a probe
+// to one of its recursives.
+type Answer struct {
+	ProbeID   uint16
+	Recursive netsim.Addr
+	Round     int
+	SentAt    time.Time
+	RTT       time.Duration
+
+	// Timeout marks the Atlas "no answer" outcome (5 s without reply).
+	Timeout bool
+	RCode   dnswire.RCode
+	// Valid is true when the reply carried an AAAA record with the
+	// experiment prefix and the right probe ID.
+	Valid bool
+	// Discard marks errored or non-answer replies (SERVFAIL, REFUSED,
+	// referrals), the paper's "answers (disc.)" row in Table 1.
+	Discard bool
+
+	Serial    uint16
+	EncTTL    uint32 // TTL the zone configured, as encoded in the RDATA
+	AnswerTTL uint32 // TTL the recursive returned on the record
+}
+
+// Ok reports whether the answer is a usable measurement.
+func (a Answer) Ok() bool { return !a.Timeout && a.Valid && !a.Discard }
+
+// Probe is one emulated Atlas probe: a stub resolver with a set of local
+// recursives.
+type Probe struct {
+	ID         uint16
+	Addr       netsim.Addr
+	Recursives []netsim.Addr
+	Domain     string
+
+	client  *stub.Client
+	rng     *rand.Rand
+	clk     clock.Clock
+	answers []Answer
+	// Dead marks a probe whose queries never get answered (the ~4.5%
+	// discarded probes of Table 1 have unusable local resolvers).
+	Dead bool
+}
+
+// NewProbe creates and attaches a probe at addr.
+func NewProbe(clk clock.Clock, net *netsim.Network, id uint16, addr netsim.Addr,
+	recursives []netsim.Addr, domain string, seed int64) *Probe {
+
+	p := &Probe{
+		ID: id, Addr: addr, Recursives: recursives,
+		Domain: domain,
+		client: stub.New(clk, stub.Config{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		clk:    clk,
+	}
+	p.client.Attach(net, addr)
+	return p
+}
+
+// QueryRound sends this round's query to every local recursive (each is a
+// separate VP measurement).
+func (p *Probe) QueryRound(round int) {
+	name := QName(p.ID, p.Domain)
+	for _, rec := range p.Recursives {
+		rec := rec
+		sentAt := p.clk.Now()
+		p.client.Query(rec, name, dnswire.TypeAAAA, func(res stub.Result) {
+			p.answers = append(p.answers, p.interpret(round, rec, sentAt, res))
+		})
+	}
+}
+
+// interpret converts a stub result into an Answer.
+func (p *Probe) interpret(round int, rec netsim.Addr, sentAt time.Time, res stub.Result) Answer {
+	a := Answer{
+		ProbeID: p.ID, Recursive: rec, Round: round,
+		SentAt: sentAt, RTT: res.RTT,
+	}
+	if res.Err != nil {
+		a.Timeout = true
+		return a
+	}
+	a.RCode = res.Msg.RCode
+	if res.Msg.RCode != dnswire.RCodeNoError {
+		a.Discard = true
+		return a
+	}
+	for _, rr := range res.Msg.Answers {
+		aaaa, ok := rr.Data.(dnswire.AAAA)
+		if !ok {
+			continue
+		}
+		serial, probeID, encTTL, ok := DecodeAAAA(aaaa.Addr)
+		if !ok || probeID != p.ID {
+			continue
+		}
+		a.Valid = true
+		a.Serial = serial
+		a.EncTTL = encTTL
+		a.AnswerTTL = rr.TTL
+		return a
+	}
+	// NOERROR without a usable AAAA (e.g. a referral leaked through).
+	a.Discard = true
+	return a
+}
+
+// Answers returns the probe's observation log.
+func (p *Probe) Answers() []Answer { return p.answers }
+
+// Fleet is a set of probes sharing a probing schedule.
+type Fleet struct {
+	Probes []*Probe
+	clk    clock.Clock
+	rng    *rand.Rand
+}
+
+// NewFleet groups probes for scheduling. seed drives the per-round smear.
+func NewFleet(clk clock.Clock, probes []*Probe, seed int64) *Fleet {
+	return &Fleet{Probes: probes, clk: clk, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Schedule arms timers for rounds of queries: round r fires at
+// start + r*interval + smear, where smear is uniform in [0, smear) per
+// probe per round (Atlas spreads queries over ~5 minutes, §5.2).
+func (f *Fleet) Schedule(start time.Time, interval, smear time.Duration, rounds int) {
+	now := f.clk.Now()
+	for _, p := range f.Probes {
+		if p.Dead {
+			continue
+		}
+		p := p
+		for r := 0; r < rounds; r++ {
+			r := r
+			at := start.Add(time.Duration(r) * interval)
+			if smear > 0 {
+				at = at.Add(time.Duration(f.rng.Int63n(int64(smear))))
+			}
+			f.clk.AfterFunc(at.Sub(now), func() { p.QueryRound(r) })
+		}
+	}
+}
+
+// AllAnswers gathers every probe's log.
+func (f *Fleet) AllAnswers() []Answer {
+	var out []Answer
+	for _, p := range f.Probes {
+		out = append(out, p.answers...)
+	}
+	return out
+}
+
+// VPKey identifies a vantage point.
+type VPKey struct {
+	ProbeID   uint16
+	Recursive netsim.Addr
+}
+
+// ByVP groups answers per vantage point, each sorted by send time.
+func ByVP(answers []Answer) map[VPKey][]Answer {
+	m := make(map[VPKey][]Answer)
+	for _, a := range answers {
+		k := VPKey{ProbeID: a.ProbeID, Recursive: a.Recursive}
+		m[k] = append(m[k], a)
+	}
+	for _, list := range m {
+		sortAnswers(list)
+	}
+	return m
+}
+
+func sortAnswers(list []Answer) {
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].SentAt.Before(list[j-1].SentAt); j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+const sampleZone = `
+$ORIGIN cachetest.nl.
+$TTL 3600
+@   IN SOA ns1 hostmaster (
+        2018052201 ; serial
+        7200       ; refresh
+        3600       ; retry
+        864000     ; expire
+        60 )       ; negative TTL
+@       IN NS  ns1
+@       IN NS  ns2.cachetest.nl.
+ns1     IN A   192.0.2.1
+ns2     IN A   192.0.2.2
+1414 60 IN AAAA fd0f:3897:faf7:a375:1:586::3c
+www     IN CNAME 1414
+mail    IN MX 10 mx.cachetest.nl.
+mx      IN A   192.0.2.9
+txt     IN TXT "hello world"
+sub     IN NS  ns.sub
+sub     IN DS  12345 8 2 deadbeef
+ns.sub  IN A   192.0.2.53
+`
+
+func TestParseSampleZone(t *testing.T) {
+	z, err := ParseString(sampleZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin() != "cachetest.nl." {
+		t.Errorf("origin = %q", z.Origin())
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		t.Fatal("no SOA parsed")
+	}
+	s := soa.Data.(dnswire.SOA)
+	if s.Serial != 2018052201 || s.Minimum != 60 || s.MName != "ns1.cachetest.nl." {
+		t.Errorf("SOA = %+v", s)
+	}
+	if got := len(z.RRSet("cachetest.nl.", dnswire.TypeNS)); got != 2 {
+		t.Errorf("NS count = %d", got)
+	}
+	aaaa := z.RRSet("1414.cachetest.nl.", dnswire.TypeAAAA)
+	if len(aaaa) != 1 || aaaa[0].TTL != 60 {
+		t.Fatalf("AAAA = %v", aaaa)
+	}
+	cname := z.RRSet("www.cachetest.nl.", dnswire.TypeCNAME)
+	if len(cname) != 1 || cname[0].Data.(dnswire.CNAME).Target != "1414.cachetest.nl." {
+		t.Errorf("CNAME = %v", cname)
+	}
+	mx := z.RRSet("mail.cachetest.nl.", dnswire.TypeMX)
+	if len(mx) != 1 || mx[0].Data.(dnswire.MX).Pref != 10 {
+		t.Errorf("MX = %v", mx)
+	}
+	ds := z.RRSet("sub.cachetest.nl.", dnswire.TypeDS)
+	if len(ds) != 1 || ds[0].Data.(dnswire.DS).KeyTag != 12345 {
+		t.Errorf("DS = %v", ds)
+	}
+	txt := z.RRSet("txt.cachetest.nl.", dnswire.TypeTXT)
+	if len(txt) != 1 {
+		t.Errorf("TXT = %v", txt)
+	}
+}
+
+func TestParseRootishZone(t *testing.T) {
+	text := `
+$ORIGIN .
+$TTL 518400
+.    IN SOA a.root-servers.net. nstld.verisign-grs.com. 2018052200 1800 900 604800 86400
+.    IN NS a.root-servers.net.
+nl.  172800 IN NS ns1.dns.nl.
+nl.  86400  IN DS 34112 8 2 aabbcc
+a.root-servers.net. 518400 IN A 198.41.0.4
+ns1.dns.nl. 172800 IN A 194.0.28.53
+`
+	z, err := ParseString(text, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup("www.example.nl.", dnswire.TypeA)
+	if res.Kind != Delegation {
+		t.Fatalf("root lookup under nl: %s", res.Kind)
+	}
+	if len(res.Glue) != 1 {
+		t.Errorf("glue = %v", res.Glue)
+	}
+	// DS at the nl cut comes from the parent.
+	res = z.Lookup("nl.", dnswire.TypeDS)
+	if res.Kind != Success {
+		t.Errorf("nl DS: %s", res.Kind)
+	}
+}
+
+func TestParseTTLForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		err  bool
+	}{
+		{"3600", 3600, false},
+		{"1h", 3600, false},
+		{"1h30m", 5400, false},
+		{"2d", 172800, false},
+		{"1w", 604800, false},
+		{"90s", 90, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"1x", 0, true},
+		{"h1", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseTTL(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseTTL(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("parseTTL(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unterminated parens", "$ORIGIN x.\n@ 60 IN SOA a. b. (1 2 3 4 5\n"},
+		{"unknown directive", "$BOGUS foo\n"},
+		{"unknown type", "$ORIGIN x.\n@ 60 IN WKS data\n"},
+		{"no TTL", "$ORIGIN x.\n@ IN A 10.0.0.1\n"},
+		{"bad A", "$ORIGIN x.\n@ 60 IN A nonsense\n"},
+		{"A with v6", "$ORIGIN x.\n@ 60 IN A ::1\n"},
+		{"AAAA with v4", "$ORIGIN x.\n@ 60 IN AAAA 10.0.0.1\n"},
+		{"relative origin", "$ORIGIN x\n"},
+		{"bad DS digest", "$ORIGIN x.\n@ 60 IN DS 1 8 2 zz\n"},
+		{"blank first record", "$ORIGIN x.\n  60 IN A 10.0.0.1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.text, ""); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestParseInheritsOwnerAndTTL(t *testing.T) {
+	text := `$ORIGIN example.nl.
+$TTL 300
+host IN A 10.0.0.1
+     IN A 10.0.0.2
+     IN AAAA ::1
+`
+	z, err := ParseString(text, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(z.RRSet("host.example.nl.", dnswire.TypeA)); got != 2 {
+		t.Errorf("A count = %d, want 2", got)
+	}
+	if got := len(z.RRSet("host.example.nl.", dnswire.TypeAAAA)); got != 1 {
+		t.Errorf("AAAA count = %d, want 1", got)
+	}
+}
+
+func TestParseDefaultOrigin(t *testing.T) {
+	z, err := Parse(strings.NewReader("@ 60 IN A 10.0.0.1\n"), "example.nl.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(z.RRSet("example.nl.", dnswire.TypeA)); got != 1 {
+		t.Errorf("A count = %d", got)
+	}
+}

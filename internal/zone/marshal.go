@@ -1,0 +1,67 @@
+package zone
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// Marshal writes the zone in RFC 1035 master-file format: the $ORIGIN
+// directive, the SOA first, then all other records sorted by owner name
+// and type. The output round-trips through Parse.
+func (z *Zone) Marshal(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "$ORIGIN %s\n", z.origin); err != nil {
+		return err
+	}
+
+	z.mu.RLock()
+	keys := make([]Key, 0, len(z.rrsets))
+	for k := range z.rrsets {
+		keys = append(keys, k)
+	}
+	sets := make(map[Key][]dnswire.RR, len(z.rrsets))
+	for k, set := range z.rrsets {
+		sets[k] = append([]dnswire.RR(nil), set...)
+	}
+	z.mu.RUnlock()
+
+	sort.Slice(keys, func(i, j int) bool {
+		// SOA first, then apex, then by name/type.
+		si := keys[i].Type == dnswire.TypeSOA
+		sj := keys[j].Type == dnswire.TypeSOA
+		if si != sj {
+			return si
+		}
+		if keys[i].Name != keys[j].Name {
+			if keys[i].Name == z.origin {
+				return true
+			}
+			if keys[j].Name == z.origin {
+				return false
+			}
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Type < keys[j].Type
+	})
+
+	for _, k := range keys {
+		for _, rr := range sets[k] {
+			line := fmt.Sprintf("%s %d %s %s %s\n",
+				rr.Name, rr.TTL, rr.Class, rr.Type(), rr.Data)
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalString renders the zone as a master-file string.
+func (z *Zone) MarshalString() string {
+	var sb strings.Builder
+	_ = z.Marshal(&sb)
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnswire"
+)
+
+// randomZone builds a random zone under example.nl with nested names,
+// delegations, and mixed record types.
+func randomZone(r *rand.Rand) (*Zone, []string) {
+	z := New("example.nl.")
+	z.MustAdd(dnswire.RR{Name: "example.nl.", TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.example.nl.", RName: "h.example.nl.", Minimum: 60}})
+	z.MustAdd(dnswire.RR{Name: "example.nl.", TTL: 3600, Data: dnswire.NS{Host: "ns1.example.nl."}})
+
+	labels := []string{"a", "b", "c", "d"}
+	var names []string
+	for i := 0; i < 20; i++ {
+		depth := 1 + r.Intn(3)
+		name := ""
+		for d := 0; d < depth; d++ {
+			name += labels[r.Intn(len(labels))] + "."
+		}
+		name += "example.nl."
+		names = append(names, name)
+		switch r.Intn(4) {
+		case 0:
+			z.MustAdd(dnswire.RR{Name: name, TTL: 60, Data: dnswire.A{
+				Addr: dnswire.MustAddr(fmt.Sprintf("10.0.%d.%d", r.Intn(256), r.Intn(256)))}})
+		case 1:
+			z.MustAdd(dnswire.RR{Name: name, TTL: 60, Data: dnswire.TXT{
+				Strings: []string{fmt.Sprintf("t%d", i)}}})
+		case 2:
+			z.MustAdd(dnswire.RR{Name: name, TTL: 60, Data: dnswire.AAAA{
+				Addr: dnswire.MustAddr("2001:db8::1")}})
+		case 3:
+			// A delegation (only if not the apex).
+			z.MustAdd(dnswire.RR{Name: name, TTL: 60, Data: dnswire.NS{
+				Host: "ns." + name}})
+		}
+	}
+	return z, names
+}
+
+// TestQuickLookupInvariants: for random zones and random query names,
+// Lookup never panics and its outcomes are internally consistent.
+func TestQuickLookupInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		z, names := randomZone(r)
+		queries := append([]string{}, names...)
+		// Plus names that likely do not exist, and out-of-zone ones.
+		queries = append(queries, "zz.example.nl.", "a.zz.q.example.nl.", "example.com.", ".")
+		for _, q := range queries {
+			for _, qt := range []dnswire.Type{dnswire.TypeA, dnswire.TypeTXT, dnswire.TypeNS} {
+				res := z.Lookup(q, qt)
+				switch res.Kind {
+				case Success:
+					if len(res.Records) == 0 {
+						return false
+					}
+					for _, rr := range res.Records {
+						if rr.Type() != qt {
+							return false
+						}
+					}
+				case Delegation:
+					if len(res.Records) == 0 {
+						return false
+					}
+					for _, rr := range res.Records {
+						if rr.Type() != dnswire.TypeNS {
+							return false
+						}
+					}
+				case NXDomain, NoData:
+					if res.SOA.Data == nil {
+						return false
+					}
+				case NotInZone:
+					if dnswire.IsSubdomain(q, "example.nl.") {
+						return false
+					}
+				case CName:
+					if len(res.Records) == 0 || res.Records[0].Type() != dnswire.TypeCNAME {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMarshalRoundTripRandomZones: random zones survive
+// marshal-parse round trips with identical record counts.
+func TestQuickMarshalRoundTripRandomZones(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		z, _ := randomZone(r)
+		z2, err := ParseString(z.MarshalString(), "")
+		if err != nil {
+			return false
+		}
+		return z2.Len() == z.Len() && z2.Origin() == z.Origin()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

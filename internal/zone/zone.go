@@ -1,0 +1,371 @@
+// Package zone stores authoritative DNS zone data and implements the
+// RFC 1034 §4.3.2 lookup algorithm: authoritative answers, referrals with
+// glue, CNAME indirection, wildcard synthesis, and negative answers
+// (NXDOMAIN / NODATA) carrying the SOA for RFC 2308 negative caching.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dnswire"
+)
+
+// Key identifies an RRset within a zone.
+type Key struct {
+	Name string
+	Type dnswire.Type
+}
+
+// ResultKind classifies the outcome of a zone lookup.
+type ResultKind int
+
+// Lookup outcomes.
+const (
+	// Success: Records holds the answer RRset.
+	Success ResultKind = iota
+	// Delegation: the name is at or below a zone cut; Records holds the NS
+	// set of the cut, Glue the in-zone addresses of those servers.
+	Delegation
+	// NXDomain: the name does not exist; SOA is populated.
+	NXDomain
+	// NoData: the name exists but has no RRset of the queried type; SOA is
+	// populated.
+	NoData
+	// CName: the name owns a CNAME and the query was for another type;
+	// Records holds the CNAME RRset.
+	CName
+	// NotInZone: the name is not within this zone's origin.
+	NotInZone
+)
+
+func (k ResultKind) String() string {
+	switch k {
+	case Success:
+		return "Success"
+	case Delegation:
+		return "Delegation"
+	case NXDomain:
+		return "NXDomain"
+	case NoData:
+		return "NoData"
+	case CName:
+		return "CName"
+	case NotInZone:
+		return "NotInZone"
+	}
+	return fmt.Sprintf("ResultKind(%d)", int(k))
+}
+
+// Result is the outcome of Zone.Lookup.
+type Result struct {
+	Kind    ResultKind
+	Records []dnswire.RR
+	Glue    []dnswire.RR
+	SOA     dnswire.RR // valid for NXDomain and NoData
+}
+
+// Zone is a set of RRsets under a common origin. It is safe for concurrent
+// use.
+type Zone struct {
+	origin string
+
+	mu      sync.RWMutex
+	rrsets  map[Key][]dnswire.RR
+	nodes   map[string]bool // names that exist (own data or have descendants)
+	withers map[string]int  // descendant counts for node bookkeeping
+}
+
+// New creates an empty zone rooted at origin.
+func New(origin string) *Zone {
+	return &Zone{
+		origin:  dnswire.CanonicalName(origin),
+		rrsets:  make(map[Key][]dnswire.RR),
+		nodes:   make(map[string]bool),
+		withers: make(map[string]int),
+	}
+}
+
+// Origin returns the zone apex name.
+func (z *Zone) Origin() string { return z.origin }
+
+// Add inserts rr into the zone. All records of one RRset must share a TTL;
+// Add normalizes later records to the first one's TTL. Duplicate data is
+// ignored.
+func (z *Zone) Add(rr dnswire.RR) error {
+	rr.Name = dnswire.CanonicalName(rr.Name)
+	if rr.Data == nil {
+		return fmt.Errorf("zone %s: record %q has no data", z.origin, rr.Name)
+	}
+	if !dnswire.IsSubdomain(rr.Name, z.origin) {
+		return fmt.Errorf("zone %s: record %q out of zone", z.origin, rr.Name)
+	}
+	if err := dnswire.ValidName(rr.Name); err != nil {
+		return fmt.Errorf("zone %s: record %q: %w", z.origin, rr.Name, err)
+	}
+	if rr.Class == 0 {
+		rr.Class = dnswire.ClassIN
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := Key{Name: rr.Name, Type: rr.Type()}
+	set := z.rrsets[k]
+	for _, have := range set {
+		if have.Data.Equal(rr.Data) {
+			return nil
+		}
+	}
+	if len(set) > 0 {
+		rr.TTL = set[0].TTL
+	}
+	z.rrsets[k] = append(set, rr)
+	z.addNodeLocked(rr.Name)
+	return nil
+}
+
+// addNodeLocked marks name and every ancestor up to the origin as existing.
+func (z *Zone) addNodeLocked(name string) {
+	for n := name; ; n = dnswire.Parent(n) {
+		z.nodes[n] = true
+		z.withers[n]++
+		if n == z.origin || n == "." {
+			break
+		}
+	}
+}
+
+func (z *Zone) removeNodeLocked(name string) {
+	for n := name; ; n = dnswire.Parent(n) {
+		z.withers[n]--
+		if z.withers[n] <= 0 {
+			delete(z.withers, n)
+			delete(z.nodes, n)
+		}
+		if n == z.origin || n == "." {
+			break
+		}
+	}
+}
+
+// MustAdd is Add, panicking on error. For fixture construction.
+func (z *Zone) MustAdd(rr dnswire.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the RRset (name, t). Removing a non-existent set is a
+// no-op.
+func (z *Zone) Remove(name string, t dnswire.Type) {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := Key{Name: name, Type: t}
+	set, ok := z.rrsets[k]
+	if !ok {
+		return
+	}
+	delete(z.rrsets, k)
+	for range set {
+		z.removeNodeLocked(name)
+	}
+}
+
+// Replace atomically swaps the RRset (name, t) for the given records, all
+// owned by name with TTL ttl. Used by the experiment harness to rotate the
+// serial-encoded AAAA answers every zone-file round (§3.2).
+func (z *Zone) Replace(name string, t dnswire.Type, ttl uint32, data ...dnswire.RData) error {
+	z.Remove(name, t)
+	for _, d := range data {
+		if d.RType() != t {
+			return fmt.Errorf("zone %s: replace %s with %s data", z.origin, t, d.RType())
+		}
+		if err := z.Add(dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: ttl, Data: d}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SOA returns the zone's SOA record.
+func (z *Zone) SOA() (dnswire.RR, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	set := z.rrsets[Key{Name: z.origin, Type: dnswire.TypeSOA}]
+	if len(set) == 0 {
+		return dnswire.RR{}, false
+	}
+	return set[0], true
+}
+
+// Serial returns the zone serial from the SOA, or 0 if there is none.
+func (z *Zone) Serial() uint32 {
+	rr, ok := z.SOA()
+	if !ok {
+		return 0
+	}
+	return rr.Data.(dnswire.SOA).Serial
+}
+
+// BumpSerial increments the SOA serial, returning the new value.
+func (z *Zone) BumpSerial() uint32 {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := Key{Name: z.origin, Type: dnswire.TypeSOA}
+	set := z.rrsets[k]
+	if len(set) == 0 {
+		return 0
+	}
+	soa := set[0].Data.(dnswire.SOA)
+	soa.Serial++
+	set[0].Data = soa
+	return soa.Serial
+}
+
+// RRSet returns a copy of the RRset (name, t).
+func (z *Zone) RRSet(name string, t dnswire.Type) []dnswire.RR {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]dnswire.RR(nil), z.rrsets[Key{Name: name, Type: t}]...)
+}
+
+// Names returns all owner names in the zone, sorted.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	seen := make(map[string]bool)
+	for k := range z.rrsets {
+		seen[k.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the total number of records in the zone.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, set := range z.rrsets {
+		n += len(set)
+	}
+	return n
+}
+
+// Lookup resolves (name, qtype) within the zone per RFC 1034 §4.3.2.
+func (z *Zone) Lookup(name string, qtype dnswire.Type) Result {
+	name = dnswire.CanonicalName(name)
+	if !dnswire.IsSubdomain(name, z.origin) {
+		return Result{Kind: NotInZone}
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	// Zone cut? Walk from just below the apex toward the name. A NS set at
+	// an intermediate (or the queried) name that is not the apex marks a
+	// delegation. DS queries are answered by the parent side of the cut.
+	if cut := z.cutLocked(name, qtype); cut != "" {
+		ns := z.rrsets[Key{Name: cut, Type: dnswire.TypeNS}]
+		return Result{Kind: Delegation, Records: copyRRs(ns), Glue: z.glueLocked(ns)}
+	}
+
+	if set := z.rrsets[Key{Name: name, Type: qtype}]; len(set) > 0 {
+		return Result{Kind: Success, Records: copyRRs(set)}
+	}
+	if qtype != dnswire.TypeCNAME {
+		if set := z.rrsets[Key{Name: name, Type: dnswire.TypeCNAME}]; len(set) > 0 {
+			return Result{Kind: CName, Records: copyRRs(set)}
+		}
+	}
+	if z.nodes[name] {
+		return z.negativeLocked(NoData)
+	}
+	// Wildcard synthesis: find the closest encloser and test *.<encloser>.
+	if res, ok := z.wildcardLocked(name, qtype); ok {
+		return res
+	}
+	return z.negativeLocked(NXDomain)
+}
+
+// cutLocked returns the name of the zone cut covering name, or "".
+func (z *Zone) cutLocked(name string, qtype dnswire.Type) string {
+	labels := dnswire.SplitLabels(name)
+	originCount := dnswire.CountLabels(z.origin)
+	// Candidate cut names from shallowest (just below apex) to the name.
+	for i := len(labels) - originCount - 1; i >= 0; i-- {
+		candidate := strings.Join(labels[i:], ".") + "."
+		if candidate == z.origin {
+			continue
+		}
+		if len(z.rrsets[Key{Name: candidate, Type: dnswire.TypeNS}]) == 0 {
+			continue
+		}
+		// The parent is authoritative for DS at the cut itself.
+		if candidate == name && qtype == dnswire.TypeDS {
+			continue
+		}
+		return candidate
+	}
+	return ""
+}
+
+func (z *Zone) glueLocked(ns []dnswire.RR) []dnswire.RR {
+	var glue []dnswire.RR
+	for _, rr := range ns {
+		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
+		if !dnswire.IsSubdomain(host, z.origin) {
+			continue
+		}
+		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeA}]...)
+		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeAAAA}]...)
+	}
+	return copyRRs(glue)
+}
+
+func (z *Zone) wildcardLocked(name string, qtype dnswire.Type) (Result, bool) {
+	for n := dnswire.Parent(name); dnswire.IsSubdomain(n, z.origin); n = dnswire.Parent(n) {
+		wc := dnswire.Join("*", n)
+		if set := z.rrsets[Key{Name: wc, Type: qtype}]; len(set) > 0 {
+			out := copyRRs(set)
+			for i := range out {
+				out[i].Name = name
+			}
+			return Result{Kind: Success, Records: out}, true
+		}
+		if z.nodes[wc] {
+			// A wildcard exists but not for this type: NODATA.
+			return z.negativeLocked(NoData), true
+		}
+		if z.nodes[n] {
+			// The closest encloser exists without a matching wildcard:
+			// stop, the answer is NXDOMAIN.
+			return Result{}, false
+		}
+		if n == z.origin || n == "." {
+			break
+		}
+	}
+	return Result{}, false
+}
+
+func (z *Zone) negativeLocked(kind ResultKind) Result {
+	res := Result{Kind: kind}
+	if set := z.rrsets[Key{Name: z.origin, Type: dnswire.TypeSOA}]; len(set) > 0 {
+		res.SOA = set[0]
+	}
+	return res
+}
+
+func copyRRs(rrs []dnswire.RR) []dnswire.RR {
+	if len(rrs) == 0 {
+		return nil
+	}
+	return append([]dnswire.RR(nil), rrs...)
+}
