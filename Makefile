@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke check bench-snapshot
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the small parallel matrix: proves the worker-pool fan-out
+# runs end to end without paying for a full benchmark session.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkParallelMatrix$$' -benchtime=1x .
+
+check: vet build race bench-smoke
+
+# Writes BENCH_parallel.json (benchmark name -> ns/op, B/op, allocs/op)
+# for the hot-path micro-benchmarks. See scripts/bench_snapshot.sh.
+bench-snapshot:
+	./scripts/bench_snapshot.sh

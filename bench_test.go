@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/dnswire"
+	"repro/internal/parallel"
 	"repro/internal/zone"
 
 	dikes "repro"
@@ -156,11 +157,36 @@ func runSpec(b *testing.B, name string) *dikes.DDoSResult {
 
 func BenchmarkTable4DDoSMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		var results []*dikes.DDoSResult
-		for _, spec := range dikes.PaperExperiments {
-			results = append(results, dikes.RunDDoS(spec, benchProbes/2, 7, dikes.PopulationConfig{}))
-		}
+		results := dikes.RunDDoSMatrix(dikes.PaperExperiments, benchProbes/2, 7, dikes.PopulationConfig{}, 0)
 		printOnce(b, i, "Table 4: DDoS experiment matrix A-I", dikes.RenderTable4(results))
+	}
+}
+
+// BenchmarkTable4DDoSMatrixSequential is the same matrix pinned to one
+// worker — the benchstat baseline for the parallel speedup.
+func BenchmarkTable4DDoSMatrixSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := dikes.RunDDoSMatrix(dikes.PaperExperiments, benchProbes/2, 7, dikes.PopulationConfig{}, 1)
+		printOnce(b, i, "Table 4 (sequential): DDoS experiment matrix A-I", dikes.RenderTable4(results))
+	}
+}
+
+// BenchmarkParallelMatrix is a down-scaled matrix for the `make check`
+// smoke run: three experiments at a quarter of the bench probe count.
+func BenchmarkParallelMatrix(b *testing.B) {
+	specs := []dikes.DDoSSpec{}
+	for _, name := range []string{"A", "E", "I"} {
+		spec, ok := dikes.SpecByName(name)
+		if !ok {
+			b.Fatalf("unknown experiment %q", name)
+		}
+		specs = append(specs, spec)
+	}
+	for i := 0; i < b.N; i++ {
+		results := dikes.RunDDoSMatrix(specs, benchProbes/4, 7, dikes.PopulationConfig{}, 0)
+		if len(results) != len(specs) {
+			b.Fatalf("got %d results for %d specs", len(results), len(specs))
+		}
 	}
 }
 
@@ -361,12 +387,19 @@ func BenchmarkSection8RootVsCDN(b *testing.B) {
 func BenchmarkAblationServeStale(b *testing.B) {
 	spec, _ := dikes.SpecByName("A") // complete failure
 	for i := 0; i < b.N; i++ {
-		base := dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{
-			FracFarmOther: 0.0001, // effectively no serve-stale farms
-		})
-		stale := dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{
-			ServeStaleDirect: true, // universal serve-stale adoption
-		})
+		var base, stale *dikes.DDoSResult
+		parallel.Do(
+			func() {
+				base = dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{
+					FracFarmOther: 0.0001, // effectively no serve-stale farms
+				})
+			},
+			func() {
+				stale = dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{
+					ServeStaleDirect: true, // universal serve-stale adoption
+				})
+			},
+		)
 		body := fmt.Sprintf("post-expiry failure: no-stale=%.1f%% universal-stale=%.1f%%\n",
 			100*base.FailureRate(9), 100*stale.FailureRate(9))
 		printOnce(b, i, "Ablation: serve-stale adoption vs survival in complete failure", body)
@@ -396,9 +429,14 @@ func BenchmarkAblationCacheFragmentation(b *testing.B) {
 func BenchmarkAblationTTLUnderAttack(b *testing.B) {
 	// Experiments H (TTL 1800) vs I (TTL 60) isolate the TTL's value
 	// during a 90% DDoS — the paper's §8 CDN recommendation.
+	specH, _ := dikes.SpecByName("H")
+	specI, _ := dikes.SpecByName("I")
 	for i := 0; i < b.N; i++ {
-		long := runSpec(b, "H")
-		short := runSpec(b, "I")
+		var long, short *dikes.DDoSResult
+		parallel.Do(
+			func() { long = dikes.RunDDoS(specH, benchProbes, 7, dikes.PopulationConfig{}) },
+			func() { short = dikes.RunDDoS(specI, benchProbes, 7, dikes.PopulationConfig{}) },
+		)
 		body := fmt.Sprintf("failure under 90%% loss: TTL1800=%.1f%% TTL60=%.1f%%\n",
 			100*long.FailureRate(9), 100*short.FailureRate(9))
 		body += fmt.Sprintf("median latency: TTL1800=%.0fms TTL60=%.0fms\n",
@@ -448,8 +486,11 @@ func BenchmarkAblationOverprovisioning(b *testing.B) {
 func BenchmarkAblationPrefetch(b *testing.B) {
 	spec, _ := dikes.SpecByName("B")
 	for i := 0; i < b.N; i++ {
-		base := dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{})
-		pre := dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{PrefetchDirect: 0.9})
+		var base, pre *dikes.DDoSResult
+		parallel.Do(
+			func() { base = dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{}) },
+			func() { pre = dikes.RunDDoS(spec, benchProbes, 7, dikes.PopulationConfig{PrefetchDirect: 0.9}) },
+		)
 		body := fmt.Sprintf("failure 30min into the outage: plain=%.1f%% prefetch=%.1f%%\n",
 			100*base.FailureRate(9), 100*pre.FailureRate(9))
 		printOnce(b, i, "Ablation: prefetch vs cache age at attack onset (exp B)", body)
@@ -524,6 +565,23 @@ func BenchmarkCachePutGet(b *testing.B) {
 		k := cache.Key{Name: fmt.Sprintf("%d.cachetest.nl.", i%5000), Type: dnswire.TypeAAAA}
 		c.Put(k, cache.Entry{Records: []dnswire.RR{rr}, Rank: cache.RankAnswer}, 0)
 		if v := c.Get(k, 0); !v.Hit {
+			b.Fatal("miss after put")
+		}
+	}
+}
+
+// BenchmarkCachePutPeek is BenchmarkCachePutGet with the clone-free
+// read path the resolver's internal lookups use.
+func BenchmarkCachePutPeek(b *testing.B) {
+	clk := clock.NewVirtual(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
+	c := cache.New(clk, cache.Config{Capacity: 10000})
+	rr := dnswire.RR{Name: "a.cachetest.nl.", Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.AAAA{Addr: dikes.MustAddr("2001:db8::1")}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := cache.Key{Name: fmt.Sprintf("%d.cachetest.nl.", i%5000), Type: dnswire.TypeAAAA}
+		c.Put(k, cache.Entry{Records: []dnswire.RR{rr}, Rank: cache.RankAnswer}, 0)
+		if v := c.Peek(k, 0); !v.Hit {
 			b.Fatal("miss after put")
 		}
 	}

@@ -1,0 +1,91 @@
+// Command benchsnap converts `go test -bench` output on stdin into a JSON
+// snapshot: {"BenchmarkName": {"ns_per_op": ..., "bytes_per_op": ...,
+// "allocs_per_op": ...}}. Only fields present in a line are emitted, so it
+// works with and without -benchmem. Used by scripts/bench_snapshot.sh to
+// record BENCH_parallel.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	results := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Emit with sorted keys so snapshots diff cleanly.
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]result, len(results))
+	for _, name := range names {
+		ordered[name] = results[name]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts one benchmark result line, e.g.
+//
+//	BenchmarkWirePack-4   3734720   319.6 ns/op   96 B/op   2 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so snapshots compare across hosts.
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var r result
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		parsed, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		v := parsed // each unit keeps its own pointee
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, found = &v, true
+		case "B/op":
+			r.BytesPerOp, found = &v, true
+		case "allocs/op":
+			r.AllocsPerOp, found = &v, true
+		}
+	}
+	return name, r, found
+}

@@ -28,6 +28,7 @@ func main() {
 	exps := flag.String("exp", "A,B,C,D,E,F,G,H,I", "comma-separated DDoS experiments for the ddos subcommand")
 	harvest := flag.Bool("harvest", true, "enable NS-record harvesting (Unbound-like population)")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+	workers := flag.Int("workers", 0, "experiment runs in flight at once (0 = one per core); results are identical for any value")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|all>\n")
 		flag.PrintDefaults()
@@ -54,9 +55,9 @@ func main() {
 	start := time.Now()
 	switch cmd {
 	case "caching":
-		runCaching(*probes, *seed)
+		runCaching(*probes, *seed, *workers)
 	case "ddos":
-		runDDoS(*probes, *seed, *exps, pop)
+		runDDoS(*probes, *seed, *exps, pop, *workers)
 	case "glue":
 		runGlue(*probes, *seed)
 	case "passive":
@@ -68,8 +69,8 @@ func main() {
 	case "check":
 		runCheck(*probes, *seed)
 	case "all":
-		runCaching(*probes, *seed)
-		runDDoS(*probes, *seed, *exps, pop)
+		runCaching(*probes, *seed, *workers)
+		runDDoS(*probes, *seed, *exps, pop, *workers)
 		runGlue(*probes, *seed)
 		runPassive(*seed)
 		runRetries(*seed)
@@ -99,9 +100,8 @@ func writeCSV(name, content string) {
 	fmt.Printf("wrote %s\n", path)
 }
 
-func runCaching(probes int, seed int64) {
+func runCaching(probes int, seed int64, workers int) {
 	header("§3 caching baseline (Tables 1-3, Figures 3/13)")
-	var results []*dikes.CachingResult
 	configs := []struct {
 		ttl      uint32
 		interval time.Duration
@@ -112,13 +112,15 @@ func runCaching(probes int, seed int64) {
 		{86400, 20 * time.Minute},
 		{3600, 10 * time.Minute},
 	}
+	var cfgs []dikes.CachingConfig
 	for _, c := range configs {
 		fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
-		results = append(results, dikes.RunCaching(dikes.CachingConfig{
+		cfgs = append(cfgs, dikes.CachingConfig{
 			Probes: probes, TTL: c.ttl, ProbeInterval: c.interval,
 			Rounds: 6, Seed: seed,
-		}))
+		})
 	}
+	results := dikes.RunCachingSweep(cfgs, workers)
 	fmt.Printf("\nTable 1: caching baseline\n%s", dikes.RenderTable1(results))
 	fmt.Printf("\nTable 2: answer classification\n%s", dikes.RenderTable2(results))
 	fmt.Printf("\nTable 3: AC answers by public resolver\n%s", dikes.RenderTable3(results))
@@ -126,9 +128,9 @@ func runCaching(probes int, seed int64) {
 		results[1].Fig13.Table([]string{"AA", "CC", "AC", "CA", "Warmup"}))
 }
 
-func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig) {
+func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig, workers int) {
 	header("§5-6 DDoS emulations (Table 4, Figures 6-12, 14-15)")
-	var results []*dikes.DDoSResult
+	var specs []dikes.DDoSSpec
 	for _, name := range strings.Split(exps, ",") {
 		name = strings.TrimSpace(name)
 		spec, ok := dikes.SpecByName(name)
@@ -138,8 +140,11 @@ func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig) {
 		}
 		fmt.Printf("running experiment %s (TTL %d, %.0f%% loss) ...\n",
 			spec.Name, spec.TTL, spec.Loss*100)
-		res, tb := dikes.RunDDoSWithTestbed(spec, probes, seed, pop)
-		results = append(results, res)
+		specs = append(specs, spec)
+	}
+	results, testbeds := dikes.RunDDoSMatrixWithTestbeds(specs, probes, seed, pop, workers)
+	for i, res := range results {
+		spec, tb := specs[i], testbeds[i]
 
 		fmt.Printf("\nFigure 6/8/14 (exp %s): answers per round\n%s", spec.Name,
 			res.Answers.Table([]string{"OK", "SERVFAIL", "NoAnswer"}))

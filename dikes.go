@@ -274,10 +274,18 @@ type (
 var (
 	// RunCaching executes one §3 caching baseline (Tables 1–3).
 	RunCaching = experiment.RunCaching
+	// RunCachingSweep executes several §3 baselines concurrently.
+	RunCachingSweep = experiment.RunCachingSweep
 	// RunDDoS executes one Table 4 attack emulation.
 	RunDDoS = experiment.RunDDoS
 	// RunDDoSWithTestbed also returns the testbed for drill-downs.
 	RunDDoSWithTestbed = experiment.RunDDoSWithTestbed
+	// RunDDoSMatrix executes several Table 4 attacks concurrently.
+	RunDDoSMatrix = experiment.RunDDoSMatrix
+	// RunDDoSMatrixWithTestbeds is RunDDoSMatrix plus drill-down testbeds.
+	RunDDoSMatrixWithTestbeds = experiment.RunDDoSMatrixWithTestbeds
+	// Replicate runs a metric across seeds in parallel and summarizes it.
+	Replicate = experiment.Replicate
 	// RunGlueVsAuth executes the Appendix A TTL-trust experiment.
 	RunGlueVsAuth = experiment.RunGlueVsAuth
 	// PerProbe computes the Appendix F Table 7 for one probe.

@@ -130,11 +130,19 @@ func New(clk clock.Clock, cfg Config) *Cache {
 // Shards returns the number of independent shards.
 func (c *Cache) Shards() int { return len(c.shards) }
 
-func (c *Cache) shard(hint int) *shard {
-	if hint < 0 {
-		hint = -hint
+// shardIndex maps a possibly-negative hint onto [0, n). Negating the hint
+// would overflow for math.MinInt (-MinInt == MinInt), so the reduction is
+// done with a Euclidean-style modulo instead.
+func shardIndex(hint, n int) int {
+	i := hint % n
+	if i < 0 {
+		i += n
 	}
-	return c.shards[hint%len(c.shards)]
+	return i
+}
+
+func (c *Cache) shard(hint int) *shard {
+	return c.shards[shardIndex(hint, len(c.shards))]
 }
 
 // effectiveTTL applies the configured floor/cap to a record TTL.
@@ -155,7 +163,8 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 	sh := c.shard(shardHint)
 	now := c.clk.Now()
 
-	if el, ok := sh.entries[key]; ok {
+	el, exists := sh.entries[key]
+	if exists {
 		have := el.Value.(*cached)
 		if have.entry.Rank > e.Rank && have.expires.After(now) {
 			return
@@ -188,18 +197,22 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 		ttl = c.effectiveTTL(min)
 	}
 
-	item := &cached{key: key, entry: e, storedAt: now, expires: now.Add(ttl)}
-	if el, ok := sh.entries[key]; ok {
-		el.Value = item
+	if exists {
+		// Overwrite the resident struct rather than allocating a fresh one.
+		// Callers aliasing the old Records via Peek keep their (now old)
+		// slice; only the header in the cache is replaced.
+		item := el.Value.(*cached)
+		item.entry, item.storedAt, item.expires = e, now, now.Add(ttl)
 		sh.lru.MoveToFront(el)
-	} else {
-		sh.entries[key] = sh.lru.PushFront(item)
-		if c.cfg.Capacity > 0 {
-			for sh.lru.Len() > c.cfg.Capacity {
-				oldest := sh.lru.Back()
-				sh.lru.Remove(oldest)
-				delete(sh.entries, oldest.Value.(*cached).key)
-			}
+		return
+	}
+	item := &cached{key: key, entry: e, storedAt: now, expires: now.Add(ttl)}
+	sh.entries[key] = sh.lru.PushFront(item)
+	if c.cfg.Capacity > 0 {
+		for sh.lru.Len() > c.cfg.Capacity {
+			oldest := sh.lru.Back()
+			sh.lru.Remove(oldest)
+			delete(sh.entries, oldest.Value.(*cached).key)
 		}
 	}
 }
@@ -207,6 +220,36 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 // Get returns fresh cached data for key from the hinted shard.
 func (c *Cache) Get(key Key, shardHint int) View {
 	return c.get(key, shardHint, false)
+}
+
+// Peek is Get without the per-hit RRset clone: View.Records aliases the
+// cache-owned slice with TTLs as stored, not decremented to the remaining
+// lifetime. Callers must treat the records as read-only and must not retain
+// them past a subsequent Put. Lookup semantics — freshness, canonicalization,
+// and the LRU touch — are identical to Get, so switching a read-only call
+// site between the two never changes cache behavior.
+func (c *Cache) Peek(key Key, shardHint int) View {
+	key.Name = dnswire.CanonicalName(key.Name)
+	sh := c.shard(shardHint)
+	el, ok := sh.entries[key]
+	if !ok {
+		return View{}
+	}
+	item := el.Value.(*cached)
+	now := c.clk.Now()
+	if !item.expires.After(now) {
+		return View{}
+	}
+	sh.lru.MoveToFront(el)
+	return View{
+		Hit:      true,
+		Records:  item.entry.Records,
+		Rank:     item.entry.Rank,
+		Negative: item.entry.Negative,
+		NXDomain: item.entry.NXDomain,
+		SOA:      item.entry.SOA,
+		Age:      now.Sub(item.storedAt),
+	}
 }
 
 // GetStale is Get but, when the cache is configured for serve-stale, it
@@ -272,10 +315,7 @@ func (c *Cache) Flush() {
 
 // FlushShard empties a single backend cache.
 func (c *Cache) FlushShard(hint int) {
-	if hint < 0 {
-		hint = -hint
-	}
-	c.shards[hint%len(c.shards)] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+	c.shards[shardIndex(hint, len(c.shards))] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
 }
 
 // Len returns the total number of entries across shards, including expired

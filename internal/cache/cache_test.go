@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -217,6 +218,73 @@ func TestShardsAreIndependent(t *testing.T) {
 	c.FlushShard(1)
 	if v := c.Get(k, 1); v.Hit {
 		t.Error("FlushShard left data")
+	}
+}
+
+func TestNegativeShardHints(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{Shards: 4})
+	k := keyA("a.example.nl.")
+	// -hint overflows for math.MinInt; every hint must still map into range.
+	for _, hint := range []int{-1, -4, -5, math.MinInt, math.MinInt + 1, math.MaxInt} {
+		c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, hint)
+		if v := c.Get(k, hint); !v.Hit {
+			t.Errorf("hint %d: stored entry not found", hint)
+		}
+		c.FlushShard(hint)
+		if v := c.Get(k, hint); v.Hit {
+			t.Errorf("hint %d: FlushShard left data", hint)
+		}
+	}
+	// Hints congruent mod Shards address the same backend: -1 ≡ 3 (mod 4).
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, -1)
+	if v := c.Get(k, 3); !v.Hit {
+		t.Error("hint -1 and 3 map to different shards")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{Capacity: 2})
+	k := keyA("a.example.nl.")
+	if v := c.Peek(k, 0); v.Hit {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, Entry{Records: []dnswire.RR{rrA("a.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	clk.RunFor(100 * time.Second)
+	v := c.Peek(k, 0)
+	if !v.Hit || v.Rank != RankAnswer || len(v.Records) != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Records[0].TTL != 300 {
+		t.Errorf("Peek TTL = %d, want the stored 300 (no decrement)", v.Records[0].TTL)
+	}
+	if v.Age != 100*time.Second {
+		t.Errorf("Age = %v, want 100s", v.Age)
+	}
+	// Get still decrements; Peek aliasing must not have corrupted storage.
+	if g := c.Get(k, 0); g.Records[0].TTL != 200 {
+		t.Errorf("Get after Peek TTL = %d, want 200", g.Records[0].TTL)
+	}
+	clk.RunFor(200 * time.Second)
+	if v := c.Peek(k, 0); v.Hit {
+		t.Error("Peek returned expired data")
+	}
+
+	// Peek counts as use for the LRU, exactly like Get.
+	clk2 := clock.NewVirtual(epoch)
+	c2 := New(clk2, Config{Capacity: 2})
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("h%d.example.nl.", i)
+		c2.Put(keyA(name), Entry{Records: []dnswire.RR{rrA(name, 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	}
+	c2.Peek(keyA("h0.example.nl."), 0) // touch h0: h1 becomes eviction candidate
+	c2.Put(keyA("h2.example.nl."), Entry{Records: []dnswire.RR{rrA("h2.example.nl.", 300, "10.0.0.1")}, Rank: RankAnswer}, 0)
+	if v := c2.Peek(keyA("h0.example.nl."), 0); !v.Hit {
+		t.Error("Peek did not refresh LRU position")
+	}
+	if v := c2.Peek(keyA("h1.example.nl."), 0); v.Hit {
+		t.Error("h1 should have been evicted")
 	}
 }
 

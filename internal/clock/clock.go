@@ -30,6 +30,14 @@ type Timer interface {
 	Stop() bool
 }
 
+// ArgScheduler is an optional Clock extension for hot paths: it schedules
+// a fire-and-forget callback with an argument, so the caller pays neither
+// a closure allocation per event nor the Timer interface boxing of
+// AfterFunc. The simulated network delivers every packet through it.
+type ArgScheduler interface {
+	AfterFuncArg(d time.Duration, f func(arg any), arg any)
+}
+
 // Real is a Clock backed by the time package.
 type Real struct{}
 
@@ -41,17 +49,30 @@ func (Real) AfterFunc(d time.Duration, f func()) Timer {
 	return realTimer{time.AfterFunc(d, f)}
 }
 
+// AfterFuncArg implements ArgScheduler (via a closure; the allocation
+// saving only matters on the virtual clock's simulation hot path).
+func (Real) AfterFuncArg(d time.Duration, f func(any), arg any) {
+	time.AfterFunc(d, func() { f(arg) })
+}
+
 type realTimer struct{ t *time.Timer }
 
 func (r realTimer) Stop() bool { return r.t.Stop() }
 
 // Virtual is a deterministic simulated clock. The zero value is not usable;
 // call NewVirtual.
+//
+// Fired and canceled events are recycled through a free list, and the heap
+// is compacted when more than half of it is dead timers, so multi-hour
+// runs with millions of short-lived timers stay allocation- and
+// memory-flat.
 type Virtual struct {
 	mu   sync.Mutex
 	now  time.Time
 	heap eventHeap
 	seq  uint64 // tiebreaker for events at the same instant
+	dead int    // canceled events still sitting in the heap
+	free []*event
 }
 
 // NewVirtual returns a virtual clock starting at start.
@@ -59,11 +80,17 @@ func NewVirtual(start time.Time) *Virtual {
 	return &Virtual{now: start}
 }
 
+// event is a scheduled callback: either a plain closure f or the
+// closure-free pair (fArg, arg). Events are pooled; gen distinguishes the
+// timer a caller holds from a later reuse of the same struct.
 type event struct {
 	at   time.Time
 	seq  uint64
 	f    func()
+	fArg func(any)
+	arg  any
 	dead bool
+	gen  uint32
 }
 
 type eventHeap []*event
@@ -93,31 +120,99 @@ func (v *Virtual) Now() time.Time {
 	return v.now
 }
 
-// AfterFunc implements Clock. Negative durations fire at the current
-// instant (still via the event loop, never synchronously).
-func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+// allocEvent returns a recycled or fresh event. Caller holds v.mu.
+func (v *Virtual) allocEvent() *event {
+	if n := len(v.free); n > 0 {
+		e := v.free[n-1]
+		v.free[n-1] = nil
+		v.free = v.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list, invalidating any Timer
+// still pointing at it. Caller holds v.mu.
+func (v *Virtual) recycle(e *event) {
+	e.gen++
+	e.f, e.fArg, e.arg = nil, nil, nil
+	e.dead = false
+	v.free = append(v.free, e)
+}
+
+// schedule inserts a prepared event. Caller holds v.mu.
+func (v *Virtual) schedule(e *event, d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	e := &event{at: v.now.Add(d), seq: v.seq, f: f}
+	e.at = v.now.Add(d)
+	e.seq = v.seq
 	v.seq++
 	heap.Push(&v.heap, e)
-	return virtualTimer{e: e, v: v}
+}
+
+// AfterFunc implements Clock. Negative durations fire at the current
+// instant (still via the event loop, never synchronously).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := v.allocEvent()
+	e.f = f
+	v.schedule(e, d)
+	return virtualTimer{e: e, gen: e.gen, v: v}
+}
+
+// AfterFuncArg implements ArgScheduler: like AfterFunc but f receives arg
+// and no Timer is returned, so callers with a static callback pay no
+// per-event allocation at all.
+func (v *Virtual) AfterFuncArg(d time.Duration, f func(any), arg any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := v.allocEvent()
+	e.fArg, e.arg = f, arg
+	v.schedule(e, d)
 }
 
 type virtualTimer struct {
-	e *event
-	v *Virtual
+	e   *event
+	v   *Virtual
+	gen uint32
 }
 
 func (t virtualTimer) Stop() bool {
 	t.v.mu.Lock()
 	defer t.v.mu.Unlock()
-	was := !t.e.dead
+	if t.e.gen != t.gen || t.e.dead {
+		return false // already fired (and possibly recycled) or stopped
+	}
 	t.e.dead = true
-	return was
+	t.v.dead++
+	t.v.compact()
+	return true
+}
+
+// compact rebuilds the heap without dead events once they outnumber live
+// ones, so canceled timers with far-future deadlines (resolver client
+// timeouts, mostly) do not accumulate. Caller holds v.mu.
+func (v *Virtual) compact() {
+	const minDead = 64 // below this the dead events are cheaper than a rebuild
+	if v.dead < minDead || v.dead <= len(v.heap)/2 {
+		return
+	}
+	live := v.heap[:0]
+	for _, e := range v.heap {
+		if e.dead {
+			v.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(v.heap); i++ {
+		v.heap[i] = nil
+	}
+	v.heap = live
+	v.dead = 0
+	heap.Init(&v.heap)
 }
 
 // step runs the earliest pending event, if any, and reports whether one ran
@@ -136,12 +231,23 @@ func (v *Virtual) step(limit time.Time, useLimit bool) bool {
 	}
 	heap.Pop(&v.heap)
 	if e.dead {
+		v.dead--
+		v.recycle(e)
 		v.mu.Unlock()
 		return true
 	}
+	f, fArg, arg := e.f, e.fArg, e.arg
 	v.now = e.at
+	v.recycle(e)
 	v.mu.Unlock()
-	e.f() // run without the lock so callbacks can schedule more events
+	// Run without the lock so callbacks can schedule more events. The
+	// event itself is already recycled; a late Stop on its timer sees the
+	// generation bump and reports "too late".
+	if fArg != nil {
+		fArg(arg)
+	} else {
+		f()
+	}
 	return true
 }
 
@@ -168,15 +274,9 @@ func (v *Virtual) RunFor(d time.Duration) {
 	v.RunUntil(v.Now().Add(d))
 }
 
-// Pending returns the number of scheduled (possibly canceled) events.
+// Pending returns the number of scheduled live (not canceled) events.
 func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	n := 0
-	for _, e := range v.heap {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
+	return len(v.heap) - v.dead
 }

@@ -118,6 +118,96 @@ func TestVirtualPending(t *testing.T) {
 	}
 }
 
+func TestVirtualStopAfterFire(t *testing.T) {
+	v := NewVirtual(epoch)
+	tm := v.AfterFunc(time.Second, func() {})
+	v.Run()
+	if tm.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+	// The fired event's struct is recycled; a stale Stop must not cancel
+	// whatever timer reuses it.
+	fired := false
+	v.AfterFunc(time.Second, func() { fired = true })
+	if tm.Stop() {
+		t.Error("stale Stop returned true")
+	}
+	v.Run()
+	if !fired {
+		t.Error("stale Stop canceled a recycled event")
+	}
+}
+
+func TestVirtualAfterFuncArg(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []any
+	f := func(arg any) { got = append(got, arg) }
+	v.AfterFuncArg(2*time.Second, f, "b")
+	v.AfterFuncArg(time.Second, f, "a")
+	v.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("got %v, want [a b]", got)
+	}
+}
+
+func TestVirtualDeadCompaction(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 1000
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, v.AfterFunc(time.Hour, func() {}))
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop returned false for pending timer")
+		}
+	}
+	if got := v.Pending(); got != 0 {
+		t.Errorf("Pending = %d after stopping everything", got)
+	}
+	// Compaction must have dropped the dead events from the heap rather
+	// than retaining them until their far-future deadlines pop.
+	v.mu.Lock()
+	heapLen, dead := len(v.heap), v.dead
+	v.mu.Unlock()
+	if heapLen > n/2 {
+		t.Errorf("heap still holds %d events (%d dead); compaction did not run", heapLen, dead)
+	}
+	fired := false
+	v.AfterFunc(time.Minute, func() { fired = true })
+	v.Run()
+	if !fired {
+		t.Error("event scheduled after compaction did not fire")
+	}
+}
+
+func TestVirtualEventReuseKeepsDeterminism(t *testing.T) {
+	run := func() []int {
+		v := NewVirtual(epoch)
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			v.AfterFunc(time.Duration(i%7)*time.Second, func() {
+				order = append(order, i)
+				if i%3 == 0 {
+					v.AfterFunc(time.Second, func() { order = append(order, 1000+i) })
+				}
+			})
+		}
+		v.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
 func TestRealClock(t *testing.T) {
 	var c Clock = Real{}
 	before := c.Now()

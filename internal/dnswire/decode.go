@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"strings"
 )
 
 // Parsing errors.
@@ -76,9 +75,12 @@ func (p *parser) name() (string, error) {
 }
 
 // readName decodes a name at off in data, returning the canonical name and
-// the offset just past the name's in-place encoding.
+// the offset just past the name's in-place encoding. The presentation form
+// is assembled (and lowercased) in a stack buffer, so decoding costs one
+// string allocation per name regardless of label count.
 func readName(data []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	var buf [MaxNameLen]byte // wire length caps the presentation length too
+	name := buf[:0]
 	ptrBudget := 64 // far more than any legitimate message needs
 	next := -1      // offset after the first pointer, i.e. where parsing resumes
 	wireLen := 0
@@ -92,10 +94,10 @@ func readName(data []byte, off int) (string, int, error) {
 			if next < 0 {
 				next = off + 1
 			}
-			if sb.Len() == 0 {
+			if len(name) == 0 {
 				return ".", next, nil
 			}
-			return sb.String(), next, nil
+			return string(name), next, nil
 		case l&0xC0 == 0xC0:
 			if off+1 >= len(data) {
 				return "", 0, ErrTruncatedMessage
@@ -124,8 +126,13 @@ func readName(data []byte, off int) (string, int, error) {
 			if wireLen+1 > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
-			sb.WriteString(strings.ToLower(string(data[off+1 : off+1+l])))
-			sb.WriteByte('.')
+			for _, c := range data[off+1 : off+1+l] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				name = append(name, c)
+			}
+			name = append(name, '.')
 			off += 1 + l
 		}
 	}

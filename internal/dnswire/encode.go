@@ -3,23 +3,38 @@ package dnswire
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
+	"sync"
 )
 
 // builder accumulates wire-format bytes and tracks name offsets for
-// compression (RFC 1035 §4.1.4).
+// compression (RFC 1035 §4.1.4). Builders are pooled: the byte buffer and
+// the offsets map survive across messages, so a steady-state Pack
+// allocates only the returned slice.
 type builder struct {
 	buf      []byte
-	offsets  map[string]int // canonical name -> offset of its first encoding
+	offsets  map[string]int // canonical name suffix -> offset of its first encoding
 	compress bool
 }
 
-func newBuilder(compress bool) *builder {
+var builderPool = sync.Pool{New: func() any {
 	return &builder{
-		buf:      make([]byte, 0, 512),
-		offsets:  make(map[string]int),
-		compress: compress,
+		buf:     make([]byte, 0, 512),
+		offsets: make(map[string]int, 16),
 	}
+}}
+
+func newBuilder(compress bool) *builder {
+	b := builderPool.Get().(*builder)
+	b.buf = b.buf[:0]
+	clear(b.offsets)
+	b.compress = compress
+	return b
 }
+
+// release returns the builder to the pool. The caller must not touch
+// b.buf afterwards.
+func (b *builder) release() { builderPool.Put(b) }
 
 func (b *builder) byte(v uint8)    { b.buf = append(b.buf, v) }
 func (b *builder) bytes(v []byte)  { b.buf = append(b.buf, v...) }
@@ -28,37 +43,31 @@ func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf
 
 // name appends a (possibly compressed) encoding of the canonical form of n.
 // Compression pointers can only target offsets < 0x4000; beyond that the
-// name is written in full.
+// name is written in full. Suffixes of a canonical name are substrings of
+// it ("cachetest.nl." within "1414.cachetest.nl."), so the offsets table
+// is keyed by shared slices of n — no per-label strings are built.
 func (b *builder) name(n string, allowCompress bool) {
 	n = CanonicalName(n)
-	labels := SplitLabels(n)
-	for i := range labels {
-		suffix := joinFrom(labels, i)
-		if b.compress && allowCompress {
-			if off, ok := b.offsets[suffix]; ok && off < 0x4000 {
-				b.uint16(0xC000 | uint16(off))
-				return
+	if n != "." {
+		for start := 0; start < len(n); {
+			suffix := n[start:]
+			if b.compress && allowCompress {
+				if off, ok := b.offsets[suffix]; ok && off < 0x4000 {
+					b.uint16(0xC000 | uint16(off))
+					return
+				}
 			}
+			if len(b.buf) < 0x4000 {
+				b.offsets[suffix] = len(b.buf)
+			}
+			end := strings.IndexByte(suffix, '.')
+			label := suffix[:end]
+			b.byte(uint8(len(label)))
+			b.buf = append(b.buf, label...)
+			start += end + 1
 		}
-		if len(b.buf) < 0x4000 {
-			b.offsets[suffix] = len(b.buf)
-		}
-		l := labels[i]
-		b.byte(uint8(len(l)))
-		b.bytes([]byte(l))
 	}
 	b.byte(0)
-}
-
-func joinFrom(labels []string, i int) string {
-	s := ""
-	for ; i < len(labels); i++ {
-		s += labels[i] + "."
-	}
-	if s == "" {
-		return "."
-	}
-	return s
 }
 
 // Pack encodes the message into wire format with name compression.
@@ -78,6 +87,7 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 		return nil, fmt.Errorf("dnswire: section too large")
 	}
 	b := newBuilder(compress)
+	defer b.release()
 	b.uint16(m.ID)
 	b.uint16(m.flags())
 	b.uint16(uint16(len(m.Questions)))
@@ -100,7 +110,10 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 			}
 		}
 	}
-	return b.buf, nil
+	// The builder's buffer is pooled; hand the caller an exact-size copy.
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out, nil
 }
 
 func packRR(b *builder, rr RR) error {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/recursive"
 	"repro/internal/retrymodel"
 )
@@ -22,27 +23,79 @@ type CheckResult struct {
 	Pass     bool
 }
 
-// Check executes the verification suite at the given probe scale.
+// Check executes the verification suite at the given probe scale. The
+// component experiments are independent worlds, so they run concurrently;
+// the verdict table is assembled afterwards in the fixed claim order.
 func Check(probes int, seed int64) []CheckResult {
+	specE, okE := SpecByName("E")
+	specH, okH := SpecByName("H")
+	specI, okI := SpecByName("I")
+	specA, okA := SpecByName("A")
+
+	var (
+		caching, short, day    *CachingResult
+		resE, resH, resI, resA *DDoSResult
+		resIHarvest            *DDoSResult
+		bindUp, bindDown       retrymodel.Result
+		glue                   *GlueResult
+		impl                   *ImplicationsResult
+	)
+	runs := []func(){
+		func() {
+			caching = RunCaching(CachingConfig{
+				Probes: probes, TTL: 3600, ProbeInterval: 20 * time.Minute,
+				Rounds: 6, Seed: seed,
+			})
+		},
+		func() {
+			short = RunCaching(CachingConfig{
+				Probes: probes, TTL: 60, ProbeInterval: 20 * time.Minute,
+				Rounds: 4, Seed: seed,
+			})
+		},
+		func() {
+			day = RunCaching(CachingConfig{
+				Probes: probes, TTL: 86400, ProbeInterval: 20 * time.Minute,
+				Rounds: 4, Seed: seed,
+			})
+		},
+		func() {
+			bindUp = retrymodel.Run(retrymodel.BINDLike(), false, 25, seed)
+			bindDown = retrymodel.Run(retrymodel.BINDLike(), true, 25, seed)
+		},
+		func() { glue = RunGlueVsAuth(probes/2, seed, PopulationConfig{}) },
+		func() {
+			impl = RunImplications(ImplicationsConfig{Clients: probes / 4, Recursives: 20, Seed: seed})
+		},
+	}
+	if okE {
+		runs = append(runs, func() { resE = RunDDoS(specE, probes, seed, PopulationConfig{}) })
+	}
+	if okH {
+		runs = append(runs, func() { resH = RunDDoS(specH, probes, seed, PopulationConfig{}) })
+	}
+	if okI {
+		runs = append(runs, func() { resI = RunDDoS(specI, probes, seed, PopulationConfig{}) })
+		runs = append(runs, func() {
+			resIHarvest = RunDDoS(specI, probes, seed, PopulationConfig{Harvest: recursive.HarvestFull})
+		})
+	}
+	if okA {
+		runs = append(runs, func() { resA = RunDDoS(specA, probes, seed, PopulationConfig{}) })
+	}
+	parallel.Do(runs...)
+
 	var out []CheckResult
 	add := func(claim, paper, measured string, pass bool) {
 		out = append(out, CheckResult{Claim: claim, Paper: paper, Measured: measured, Pass: pass})
 	}
 
 	// §3: warm-cache miss rate ~30%.
-	caching := RunCaching(CachingConfig{
-		Probes: probes, TTL: 3600, ProbeInterval: 20 * time.Minute,
-		Rounds: 6, Seed: seed,
-	})
 	add("warm-cache miss rate (TTL 3600)", "28.5-32.9%",
 		fmt.Sprintf("%.1f%%", 100*caching.MissRate),
 		caching.MissRate > 0.18 && caching.MissRate < 0.42)
 
 	// §3: short TTLs never hit the cache at 20-minute probing.
-	short := RunCaching(CachingConfig{
-		Probes: probes, TTL: 60, ProbeInterval: 20 * time.Minute,
-		Rounds: 4, Seed: seed,
-	})
 	total := short.Table2.AA + short.Table2.CC + short.Table2.AC + short.Table2.CA
 	aaShare := 0.0
 	if total > 0 {
@@ -52,10 +105,6 @@ func Check(probes int, seed int64) []CheckResult {
 		fmt.Sprintf("%.1f%%", 100*aaShare), aaShare > 0.9)
 
 	// §3.4: day-long TTLs are truncated for ~30% of VPs.
-	day := RunCaching(CachingConfig{
-		Probes: probes, TTL: 86400, ProbeInterval: 20 * time.Minute,
-		Rounds: 4, Seed: seed,
-	})
 	warm := day.Table2.WarmupTTLZone + day.Table2.WarmupTTLAltered
 	trunc := 0.0
 	if warm > 0 {
@@ -65,23 +114,20 @@ func Check(probes int, seed int64) []CheckResult {
 		fmt.Sprintf("%.1f%%", 100*trunc), trunc > 0.15 && trunc < 0.5)
 
 	// §5: Experiment E — 50% loss barely hurts.
-	if spec, ok := SpecByName("E"); ok {
-		res := RunDDoS(spec, probes, seed, PopulationConfig{})
-		delta := res.FailureRate(9) - res.FailureRate(4)
+	if okE {
+		delta := resE.FailureRate(9) - resE.FailureRate(4)
 		add("exp E (50% loss): failure increase small", "+3.7pp",
 			fmt.Sprintf("+%.1fpp", 100*delta), delta >= 0 && delta < 0.15)
 	}
 
 	// §5: Experiment H — ~60% still served at 90% loss with 30-min TTLs.
-	if spec, ok := SpecByName("H"); ok {
-		res := RunDDoS(spec, probes, seed, PopulationConfig{})
-		served := 1 - res.FailureRate(9)
+	if okH {
+		served := 1 - resH.FailureRate(9)
 		add("exp H (90% loss, TTL 1800): still served", "~60%",
 			fmt.Sprintf("%.1f%%", 100*served), served > 0.45 && served < 0.85)
 
 		// And the cache's value: exp I (TTL 60) fares clearly worse.
-		if specI, ok := SpecByName("I"); ok {
-			resI := RunDDoS(specI, probes, seed, PopulationConfig{})
+		if okI {
 			servedI := 1 - resI.FailureRate(9)
 			add("exp I (90% loss, TTL 60): served less than H", "~37-40%",
 				fmt.Sprintf("%.1f%%", 100*servedI),
@@ -90,20 +136,18 @@ func Check(probes int, seed int64) []CheckResult {
 	}
 
 	// §5.2: Experiment A — near-total failure after caches expire.
-	if spec, ok := SpecByName("A"); ok {
-		res := RunDDoS(spec, probes, seed, PopulationConfig{})
-		late := res.FailureRate(9)
-		early := res.FailureRate(3)
+	if okA {
+		late := resA.FailureRate(9)
+		early := resA.FailureRate(3)
 		add("exp A: cache cliff at TTL expiry", "partial, then ~100% fail",
 			fmt.Sprintf("%.0f%% -> %.0f%%", 100*early, 100*late),
 			early < 0.6 && late > 0.85)
 	}
 
 	// §6: traffic amplification at the authoritatives under 90% loss.
-	if spec, ok := SpecByName("I"); ok {
-		res := RunDDoS(spec, probes, seed, PopulationConfig{Harvest: recursive.HarvestFull})
-		base := res.AuthQueries.Get(4, "AAAA-for-PID")
-		attack := res.AuthQueries.Get(9, "AAAA-for-PID")
+	if okI {
+		base := resIHarvest.AuthQueries.Get(4, "AAAA-for-PID")
+		attack := resIHarvest.AuthQueries.Get(9, "AAAA-for-PID")
 		mult := 0.0
 		if base > 0 {
 			mult = attack / base
@@ -113,21 +157,17 @@ func Check(probes int, seed int64) []CheckResult {
 	}
 
 	// §6.2: software retry amplification.
-	bindUp := retrymodel.Run(retrymodel.BINDLike(), false, 25, seed)
-	bindDown := retrymodel.Run(retrymodel.BINDLike(), true, 25, seed)
 	bmult := bindDown.Mean.Total() / bindUp.Mean.Total()
 	add("BIND-like retries during failure", "3 -> 12 queries (4x)",
 		fmt.Sprintf("%.0f -> %.0f (%.1fx)", bindUp.Mean.Total(), bindDown.Mean.Total(), bmult),
 		bindUp.Mean.Total() <= 4 && bmult > 2 && bmult < 8)
 
 	// Appendix A: the child's TTL wins.
-	glue := RunGlueVsAuth(probes/2, seed, PopulationConfig{})
 	add("answers carry the child-side TTL", "~95%",
 		fmt.Sprintf("%.1f%%", 100*glue.NS.AuthoritativeShare()),
 		glue.NS.AuthoritativeShare() > 0.85)
 
 	// §8: root-like rides it out, CDN-like suffers.
-	impl := RunImplications(ImplicationsConfig{Clients: probes / 4, Recursives: 20, Seed: seed})
 	add("root-like vs CDN-like failure under attack", "≈0% vs visible",
 		fmt.Sprintf("%.1f%% vs %.1f%%", 100*impl.RootFailDuringAttack, 100*impl.CDNFailDuringAttack),
 		impl.RootFailDuringAttack < 0.05 && impl.CDNFailDuringAttack > 0.05)

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// renderDDoS flattens everything the cmd prints for one attack run into a
+// single string, so a byte-level comparison covers Table 4 plus the
+// Answers/Classes/latency series.
+func renderDDoS(res *DDoSResult) string {
+	return RenderTable4([]*DDoSResult{res}) +
+		res.Answers.Table([]string{"OK", "SERVFAIL", "NoAnswer"}) +
+		res.Classes.Table([]string{"AA", "CC", "CA", "AC"}) +
+		RenderLatency(res)
+}
+
+// TestMatrixParallelMatchesSequential pins the parallel runner's core
+// guarantee: for every paper experiment A–I, fanning the matrix across
+// workers produces byte-identical rendered tables to running it one spec
+// at a time with the same seed.
+func TestMatrixParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full A-I matrix twice")
+	}
+	const probes = 24
+	const seed = 7
+	seq := RunDDoSMatrix(PaperExperiments, probes, seed, PopulationConfig{}, 1)
+	par := RunDDoSMatrix(PaperExperiments, probes, seed, PopulationConfig{}, 4)
+	if len(seq) != len(PaperExperiments) || len(par) != len(PaperExperiments) {
+		t.Fatalf("got %d sequential / %d parallel results for %d specs",
+			len(seq), len(par), len(PaperExperiments))
+	}
+	for i, spec := range PaperExperiments {
+		if par[i].Spec.Name != spec.Name {
+			t.Fatalf("result %d is for experiment %q, want %q (order not preserved)",
+				i, par[i].Spec.Name, spec.Name)
+		}
+		if got, want := renderDDoS(par[i]), renderDDoS(seq[i]); got != want {
+			t.Errorf("experiment %s: parallel run diverged from sequential\n--- sequential ---\n%s--- parallel ---\n%s",
+				spec.Name, want, got)
+		}
+	}
+}
+
+// TestCachingSweepParallelMatchesSequential does the same for the §3
+// baseline sweep.
+func TestCachingSweepParallelMatchesSequential(t *testing.T) {
+	var cfgs []CachingConfig
+	for _, ttl := range []uint32{60, 3600, 86400} {
+		cfgs = append(cfgs, CachingConfig{
+			Probes: 24, TTL: ttl, ProbeInterval: 20 * time.Minute,
+			Rounds: 4, Seed: 7,
+		})
+	}
+	seq := RunCachingSweep(cfgs, 1)
+	par := RunCachingSweep(cfgs, 3)
+	render := func(rs []*CachingResult) string {
+		return RenderTable1(rs) + RenderTable2(rs) + RenderTable3(rs)
+	}
+	if got, want := render(par), render(seq); got != want {
+		t.Errorf("parallel sweep diverged from sequential\n--- sequential ---\n%s--- parallel ---\n%s",
+			want, got)
+	}
+}
+
+// TestReplicateParallelDeterminism: the fan-out over seeds must not change
+// what Replicate reports.
+func TestReplicateParallelDeterminism(t *testing.T) {
+	metric := func(seed int64) float64 {
+		res := RunCaching(CachingConfig{
+			Probes: 16, TTL: 3600, ProbeInterval: 20 * time.Minute,
+			Rounds: 3, Seed: seed,
+		})
+		return res.MissRate
+	}
+	a := Replicate(4, 100, metric)
+	b := Replicate(4, 100, metric)
+	if a != b {
+		t.Errorf("Replicate not deterministic across calls: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,49 @@
+package experiment
+
+// Parallel sweep runners. Every experiment run owns its entire world — a
+// virtual clock, a network, and all RNGs are created inside the run,
+// seeded only by the run's parameters — so independent runs never share
+// mutable state and can fan out across cores. Results come back in input
+// order and each run is bit-for-bit identical to the same run executed
+// sequentially (TestMatrixParallelMatchesSequential pins this down).
+
+import "repro/internal/parallel"
+
+// RunDDoSMatrix executes the given Table 4 attack specs concurrently on at
+// most workers goroutines (workers <= 0 means one per core). results[i]
+// corresponds to specs[i].
+func RunDDoSMatrix(specs []DDoSSpec, probes int, seed int64, pop PopulationConfig, workers int) []*DDoSResult {
+	return parallel.Map(workers, specs, func(_ int, spec DDoSSpec) *DDoSResult {
+		return RunDDoS(spec, probes, seed, pop)
+	})
+}
+
+// RunDDoSMatrixWithTestbeds is RunDDoSMatrix but also returns each run's
+// testbed for drill-downs (Table 7, Appendix F). Testbeds retain the full
+// authoritative-side query log, so prefer RunDDoSMatrix when the drill-down
+// is not needed.
+func RunDDoSMatrixWithTestbeds(specs []DDoSSpec, probes int, seed int64, pop PopulationConfig, workers int) ([]*DDoSResult, []*Testbed) {
+	type pair struct {
+		res *DDoSResult
+		tb  *Testbed
+	}
+	pairs := parallel.Map(workers, specs, func(_ int, spec DDoSSpec) pair {
+		res, tb := RunDDoSWithTestbed(spec, probes, seed, pop)
+		return pair{res, tb}
+	})
+	results := make([]*DDoSResult, len(pairs))
+	testbeds := make([]*Testbed, len(pairs))
+	for i, p := range pairs {
+		results[i], testbeds[i] = p.res, p.tb
+	}
+	return results, testbeds
+}
+
+// RunCachingSweep executes the §3 baseline configurations (the Table 1
+// columns) concurrently on at most workers goroutines. results[i]
+// corresponds to cfgs[i].
+func RunCachingSweep(cfgs []CachingConfig, workers int) []*CachingResult {
+	return parallel.Map(workers, cfgs, func(_ int, cfg CachingConfig) *CachingResult {
+		return RunCaching(cfg)
+	})
+}

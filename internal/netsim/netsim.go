@@ -43,8 +43,17 @@ type Stats struct {
 }
 
 // Network simulates a lossy packet network on top of a Clock.
+//
+// Delivery is zero-copy: the payload slice handed to Send is the same
+// slice the receiver and the taps observe. Senders must not mutate a
+// payload after Send, and receivers must not retain it past the handler
+// call (every engine in this repository encodes a fresh message per send
+// and decodes on arrival, so neither happens).
 type Network struct {
 	clk clock.Clock
+	// argClk is clk's closure-free scheduling extension, when available
+	// (the virtual clock implements it); nil otherwise.
+	argClk clock.ArgScheduler
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -68,6 +77,7 @@ func New(clk clock.Clock, seed int64) *Network {
 		pairs:  make(map[[2]Addr]time.Duration),
 	}
 	n.latency = n.defaultLatency
+	n.argClk, _ = clk.(clock.ArgScheduler)
 	return n
 }
 
@@ -160,6 +170,26 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
+// packet is an in-flight delivery, pooled so the simulation's hottest
+// path (one Send per simulated query/response) allocates nothing per
+// packet beyond the payload its caller already built.
+type packet struct {
+	net      *Network
+	src, dst Addr
+	payload  []byte
+}
+
+var packetPool = sync.Pool{New: func() any { return new(packet) }}
+
+// deliverPacket is the static arrival callback handed to ArgScheduler.
+func deliverPacket(arg any) {
+	p := arg.(*packet)
+	net, src, dst, payload := p.net, p.src, p.dst, p.payload
+	*p = packet{}
+	packetPool.Put(p)
+	net.arrive(src, dst, payload)
+}
+
 // Send schedules delivery of payload from src to dst after the modeled
 // one-way delay. The loss decision is made at arrival time, so loss-rate
 // changes (DDoS onset/end) apply to packets already in flight, as they
@@ -173,6 +203,12 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 	n.stats.Sent++
 	n.mu.Unlock()
 
+	if n.argClk != nil {
+		p := packetPool.Get().(*packet)
+		p.net, p.src, p.dst, p.payload = n, src, site, payload
+		n.argClk.AfterFuncArg(delay, deliverPacket, p)
+		return
+	}
 	n.clk.AfterFunc(delay, func() { n.arrive(src, site, payload) })
 }
 

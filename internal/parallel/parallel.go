@@ -1,0 +1,86 @@
+// Package parallel is the experiment orchestration layer: a bounded
+// worker pool that fans independent, deterministically-seeded simulation
+// runs across cores. Every campaign in the reproduction — the Table 4
+// DDoS matrix, the Table 1 TTL sweep, Replicate's multi-seed confidence
+// runs, and the `dikes` CLI — schedules through it.
+//
+// Determinism: each unit of work owns its whole world (testbed, virtual
+// clock, network, RNGs seeded from its own seed), so running units
+// concurrently cannot change any unit's result, and Map/ForEach return
+// results in input order. A parallel run is therefore bit-for-bit
+// identical to a sequential one; TestMatrixParallelMatchesSequential in
+// internal/experiment enforces this per paper experiment.
+//
+// Sizing: pass an explicit worker count, or <= 0 to use the process
+// default (GOMAXPROCS, itself adjustable with the GOMAXPROCS env var).
+// The `dikes` CLI exposes the knob as -workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n itself when positive, otherwise
+// the number of usable cores (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach calls fn(i) for every i in [0, n), fanning calls across at most
+// workers goroutines (<= 0 means Workers' default). It returns when every
+// call has finished. fn must be safe for concurrent invocation; calls are
+// claimed in index order but may complete in any order.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every item on the worker pool and returns the results
+// in input order. fn receives the item's index alongside the item so
+// seeded runs can derive per-item seeds deterministically.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	ForEach(workers, len(items), func(i int) {
+		out[i] = fn(i, items[i])
+	})
+	return out
+}
+
+// Do runs heterogeneous tasks concurrently on the default pool and waits
+// for all of them — the shape of an ablation (baseline vs variant) or a
+// self-test that fans out unrelated experiments.
+func Do(fns ...func()) {
+	ForEach(0, len(fns), func(i int) { fns[i]() })
+}

@@ -230,16 +230,17 @@ func (t *task) initFetch() bool {
 	return true
 }
 
-// zoneServersFromCache returns cached addresses for zone's NS set.
+// zoneServersFromCache returns cached addresses for zone's NS set. Only
+// the record data is read, so the clone-free Peek suffices.
 func (t *task) zoneServersFromCache(zone string) []netsim.Addr {
-	ns := t.r.cache.Get(cache.Key{Name: zone, Type: dnswire.TypeNS}, t.shard)
+	ns := t.r.cache.Peek(cache.Key{Name: zone, Type: dnswire.TypeNS}, t.shard)
 	if !ns.Hit || ns.Negative {
 		return nil
 	}
 	var addrs []netsim.Addr
 	for _, rr := range ns.Records {
 		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
-		a := t.r.cache.Get(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
+		a := t.r.cache.Peek(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
 		if a.Hit && !a.Negative {
 			for _, arr := range a.Records {
 				addrs = append(addrs, netsim.Addr(arr.Data.(dnswire.A).Addr.String()))
@@ -415,7 +416,7 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 		// Try cache for the NS host addresses (they may be out of
 		// bailiwick but already known).
 		for _, host := range hosts {
-			v := t.r.cache.Get(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
+			v := t.r.cache.Peek(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
 			if v.Hit && !v.Negative {
 				for _, rr := range v.Records {
 					addrs = append(addrs, netsim.Addr(rr.Data.(dnswire.A).Addr.String()))
@@ -503,7 +504,7 @@ func (r *Resolver) maybeHarvest(zone string, shard int, _ *int) {
 	pool := r.cfg.WorkBudget/4 + 2
 	budget := &pool
 
-	ns := r.cache.Get(cache.Key{Name: zone, Type: dnswire.TypeNS}, shard)
+	ns := r.cache.Peek(cache.Key{Name: zone, Type: dnswire.TypeNS}, shard)
 	if !ns.Hit || ns.Negative {
 		return
 	}
@@ -550,7 +551,7 @@ func (r *Resolver) background(name string, qtype dnswire.Type, shard int, budget
 	}
 	name = dnswire.CanonicalName(name)
 	if !force {
-		if v := r.cache.Get(cache.Key{Name: name, Type: qtype}, shard); v.Hit && v.Rank >= cache.RankAnswer {
+		if v := r.cache.Peek(cache.Key{Name: name, Type: qtype}, shard); v.Hit && v.Rank >= cache.RankAnswer {
 			return // authoritative data already cached
 		}
 	}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Records the hot-path micro-benchmarks into BENCH_parallel.json at the
+# repository root. Usage: scripts/bench_snapshot.sh [benchtime]
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+
+go test -run '^$' \
+    -bench '^Benchmark(WirePack|WireUnpack|CachePutGet|CachePutPeek|NetworkDelivery|ResolveThroughSim|ParallelMatrix)$' \
+    -benchmem -benchtime "$benchtime" . |
+    go run ./cmd/benchsnap > BENCH_parallel.json
+
+echo "wrote BENCH_parallel.json:"
+cat BENCH_parallel.json
