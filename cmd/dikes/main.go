@@ -26,9 +26,11 @@ func main() {
 	probes := flag.Int("probes", 1500, "number of emulated Atlas probes (paper: ~9200)")
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	exps := flag.String("exp", "A,B,C,D,E,F,G,H,I", "comma-separated DDoS experiments for the ddos subcommand")
+	flag.StringVar(exps, "experiment", "A,B,C,D,E,F,G,H,I", "alias for -exp")
 	harvest := flag.Bool("harvest", true, "enable NS-record harvesting (Unbound-like population)")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV files into this directory")
 	workers := flag.Int("workers", 0, "experiment runs in flight at once (0 = one per core); results are identical for any value")
+	reportPath := flag.String("report", "", "write every run's metrics + invariant report as JSON to this file; a failed invariant exits non-zero")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|all>\n")
 		flag.PrintDefaults()
@@ -36,8 +38,23 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		flag.Usage()
-		os.Exit(2)
+		// `dikes -experiment B -report out.json` with no subcommand means
+		// the DDoS emulations.
+		expSet, repSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "experiment":
+				expSet = true
+			case "report":
+				repSet = true
+			}
+		})
+		if expSet || repSet {
+			cmd = "ddos"
+		} else {
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 
 	pop := dikes.PopulationConfig{}
@@ -81,6 +98,54 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *reportPath != "" {
+		if err := writeReports(*reportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed := failedInvariants(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "dikes: %d invariant(s) FAILED:\n", len(failed))
+		for _, line := range failed {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		os.Exit(1)
+	}
+}
+
+// reports accumulates each run's report for -report / invariant checking.
+var reports []*dikes.Report
+
+func collectReport(r *dikes.Report) {
+	if r != nil {
+		reports = append(reports, r)
+	}
+}
+
+func writeReports(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dikes.WriteReportsJSON(f, reports); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d run report(s))\n", path, len(reports))
+	return f.Close()
+}
+
+// failedInvariants lists every failed invariant across all collected
+// reports, one "run/invariant: detail" line each.
+func failedInvariants() []string {
+	var out []string
+	for _, r := range reports {
+		for _, inv := range r.FailedInvariants() {
+			out = append(out, fmt.Sprintf("%s/%s: %s", r.Name, inv.Name, inv.Detail))
+		}
+	}
+	return out
 }
 
 func header(s string) { fmt.Printf("\n================ %s ================\n", s) }
@@ -121,6 +186,9 @@ func runCaching(probes int, seed int64, workers int) {
 		})
 	}
 	results := dikes.RunCachingSweep(cfgs, workers)
+	for _, res := range results {
+		collectReport(res.Report)
+	}
 	fmt.Printf("\nTable 1: caching baseline\n%s", dikes.RenderTable1(results))
 	fmt.Printf("\nTable 2: answer classification\n%s", dikes.RenderTable2(results))
 	fmt.Printf("\nTable 3: AC answers by public resolver\n%s", dikes.RenderTable3(results))
@@ -143,6 +211,9 @@ func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig, wo
 		specs = append(specs, spec)
 	}
 	results, testbeds := dikes.RunDDoSMatrixWithTestbeds(specs, probes, seed, pop, workers)
+	for _, res := range results {
+		collectReport(res.Report)
+	}
 	for i, res := range results {
 		spec, tb := specs[i], testbeds[i]
 

@@ -42,6 +42,7 @@ import (
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/passive"
 	"repro/internal/recursive"
@@ -268,6 +269,15 @@ type (
 	Summary = stats.Summary
 	// RoundSeries is a per-round labeled counter series.
 	RoundSeries = stats.RoundSeries
+	// Report is one run's metrics snapshot plus invariant verdicts
+	// (DESIGN.md §9); experiment results carry one in their Report field.
+	Report = metrics.Report
+	// Invariant is a single cross-component accounting check.
+	Invariant = metrics.Invariant
+	// MetricsSnapshot is a registry snapshot (scopes sorted by name).
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsRegistry is a named-scope metrics registry.
+	MetricsRegistry = metrics.Registry
 )
 
 // Experiment entry points.
@@ -286,6 +296,10 @@ var (
 	RunDDoSMatrixWithTestbeds = experiment.RunDDoSMatrixWithTestbeds
 	// Replicate runs a metric across seeds in parallel and summarizes it.
 	Replicate = experiment.Replicate
+	// ReplicateWithReports is Replicate plus each seed's run report.
+	ReplicateWithReports = experiment.ReplicateWithReports
+	// WriteReportsJSON writes run reports as one JSON document.
+	WriteReportsJSON = metrics.WriteReportsJSON
 	// RunGlueVsAuth executes the Appendix A TTL-trust experiment.
 	RunGlueVsAuth = experiment.RunGlueVsAuth
 	// PerProbe computes the Appendix F Table 7 for one probe.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/zone"
 )
@@ -29,19 +30,31 @@ type Stats struct {
 	Truncated int64
 }
 
+// counters holds the server's scalar metrics as embedded atomics so the
+// wire paths never take the zone lock just to count (see internal/metrics).
+type counters struct {
+	queries   metrics.Counter
+	responses metrics.Counter
+	referrals metrics.Counter
+	malformed metrics.Counter
+	truncated metrics.Counter
+}
+
 // Server hosts one or more zones at a single network address.
 type Server struct {
-	mu    sync.RWMutex
-	zones []*zone.Zone // sorted by descending origin label count
-	stats Stats
+	mu      sync.RWMutex
+	zones   []*zone.Zone // sorted by descending origin label count
+	m       counters
+	byRCode map[dnswire.RCode]int64
+	byType  map[dnswire.Type]int64
 }
 
 // New creates a server hosting the given zones.
 func New(zones ...*zone.Zone) *Server {
-	s := &Server{stats: Stats{
-		ByRCode: make(map[dnswire.RCode]int64),
-		ByType:  make(map[dnswire.Type]int64),
-	}}
+	s := &Server{
+		byRCode: make(map[dnswire.RCode]int64),
+		byType:  make(map[dnswire.Type]int64),
+	}
 	for _, z := range zones {
 		s.AddZone(z)
 	}
@@ -79,24 +92,42 @@ func (s *Server) findZone(name string) *zone.Zone {
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
+	out := Stats{
+		Queries:   s.m.queries.Value(),
+		Responses: s.m.responses.Value(),
+		Referrals: s.m.referrals.Value(),
+		Malformed: s.m.malformed.Value(),
+		Truncated: s.m.truncated.Value(),
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := s.stats
-	out.ByRCode = make(map[dnswire.RCode]int64, len(s.stats.ByRCode))
-	for k, v := range s.stats.ByRCode {
+	out.ByRCode = make(map[dnswire.RCode]int64, len(s.byRCode))
+	for k, v := range s.byRCode {
 		out.ByRCode[k] = v
 	}
-	out.ByType = make(map[dnswire.Type]int64, len(s.stats.ByType))
-	for k, v := range s.stats.ByType {
+	out.ByType = make(map[dnswire.Type]int64, len(s.byType))
+	for k, v := range s.byType {
 		out.ByType[k] = v
 	}
 	return out
 }
 
-func (s *Server) count(f func(*Stats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
+// CollectMetrics folds the server's counters into sc. Per-rcode and
+// per-qtype tallies become counters named rcode_NOERROR, qtype_AAAA, etc.
+func (s *Server) CollectMetrics(sc *metrics.Scope) {
+	sc.Counter("queries").Add(s.m.queries.Value())
+	sc.Counter("responses").Add(s.m.responses.Value())
+	sc.Counter("referrals").Add(s.m.referrals.Value())
+	sc.Counter("malformed").Add(s.m.malformed.Value())
+	sc.Counter("truncated").Add(s.m.truncated.Value())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.byRCode {
+		sc.Counter("rcode_" + k.String()).Add(v)
+	}
+	for k, v := range s.byType {
+		sc.Counter("qtype_" + k.String()).Add(v)
+	}
 }
 
 // maxUDPPayload is the classic DNS-over-UDP limit without EDNS0.
@@ -120,7 +151,7 @@ func (s *Server) HandleWireTCP(payload []byte) []byte {
 func (s *Server) handleWire(payload []byte, tcp bool) []byte {
 	q, err := dnswire.Unpack(payload)
 	if err != nil {
-		s.count(func(st *Stats) { st.Malformed++ })
+		s.m.malformed.Inc()
 		return nil
 	}
 	resp := s.Handle(q)
@@ -132,7 +163,7 @@ func (s *Server) handleWire(payload []byte, tcp bool) []byte {
 		return nil
 	}
 	if limit := udpLimit(q); !tcp && len(wire) > limit {
-		s.count(func(st *Stats) { st.Truncated++ })
+		s.m.truncated.Inc()
 		trunc := *resp
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
@@ -164,7 +195,7 @@ func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
 	if q.Response {
 		return nil
 	}
-	s.count(func(st *Stats) { st.Queries++ })
+	s.m.queries.Inc()
 	resp := dnswire.NewResponse(q)
 	resp.RecursionAvailable = false
 
@@ -180,7 +211,9 @@ func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
 		s.finish(resp)
 		return resp
 	}
-	s.count(func(st *Stats) { st.ByType[question.Type]++ })
+	s.mu.Lock()
+	s.byType[question.Type]++
+	s.mu.Unlock()
 
 	z := s.findZone(question.Name)
 	if z == nil {
@@ -265,7 +298,7 @@ func (s *Server) answerFromZone(resp *dnswire.Message, z *zone.Zone, name string
 		// additional (the Appendix A parent-side shape).
 		resp.Authorities = append(resp.Authorities, res.Records...)
 		resp.Additionals = append(resp.Additionals, res.Glue...)
-		s.count(func(st *Stats) { st.Referrals++ })
+		s.m.referrals.Inc()
 	case zone.NXDomain:
 		resp.Authoritative = true
 		if depth == 0 {
@@ -301,10 +334,10 @@ func (s *Server) addNSGlue(resp *dnswire.Message, z *zone.Zone, nsSet []dnswire.
 }
 
 func (s *Server) finish(resp *dnswire.Message) {
-	s.count(func(st *Stats) {
-		st.Responses++
-		st.ByRCode[resp.RCode]++
-	})
+	s.m.responses.Inc()
+	s.mu.Lock()
+	s.byRCode[resp.RCode]++
+	s.mu.Unlock()
 }
 
 // Attach binds the server to addr on the network and returns the port.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 )
 
 // Rank is the RFC 2181 §5.4.1 credibility of cached data. Higher ranks
@@ -100,6 +101,33 @@ type Cache struct {
 	cfg    Config
 	clk    clock.Clock
 	shards []*shard
+	m      counters
+}
+
+// counters instruments the lookup and store paths. At most one counter is
+// touched per call, and hits/stale/negative/misses partition the Get
+// outcomes, so hit-rate arithmetic needs no cross-referencing.
+type counters struct {
+	hits         metrics.Counter // fresh positive Get/GetStale hits
+	staleHits    metrics.Counter // expired entries served via serve-stale
+	negativeHits metrics.Counter // fresh negative (NXDOMAIN/NODATA) hits
+	misses       metrics.Counter // Get/GetStale finding nothing usable
+	peekHits     metrics.Counter
+	peekMisses   metrics.Counter
+	puts         metrics.Counter
+	evictions    metrics.Counter // LRU capacity evictions
+}
+
+// CollectMetrics folds the cache's counters into a metrics scope.
+func (c *Cache) CollectMetrics(s *metrics.Scope) {
+	s.Counter("hits").Add(c.m.hits.Value())
+	s.Counter("stale_hits").Add(c.m.staleHits.Value())
+	s.Counter("negative_hits").Add(c.m.negativeHits.Value())
+	s.Counter("misses").Add(c.m.misses.Value())
+	s.Counter("peek_hits").Add(c.m.peekHits.Value())
+	s.Counter("peek_misses").Add(c.m.peekMisses.Value())
+	s.Counter("puts").Add(c.m.puts.Value())
+	s.Counter("evictions").Add(c.m.evictions.Value())
 }
 
 type shard struct {
@@ -163,6 +191,7 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 	sh := c.shard(shardHint)
 	now := c.clk.Now()
 
+	c.m.puts.Inc()
 	el, exists := sh.entries[key]
 	if exists {
 		have := el.Value.(*cached)
@@ -213,6 +242,7 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 			oldest := sh.lru.Back()
 			sh.lru.Remove(oldest)
 			delete(sh.entries, oldest.Value.(*cached).key)
+			c.m.evictions.Inc()
 		}
 	}
 }
@@ -233,13 +263,16 @@ func (c *Cache) Peek(key Key, shardHint int) View {
 	sh := c.shard(shardHint)
 	el, ok := sh.entries[key]
 	if !ok {
+		c.m.peekMisses.Inc()
 		return View{}
 	}
 	item := el.Value.(*cached)
 	now := c.clk.Now()
 	if !item.expires.After(now) {
+		c.m.peekMisses.Inc()
 		return View{}
 	}
+	c.m.peekHits.Inc()
 	sh.lru.MoveToFront(el)
 	return View{
 		Hit:      true,
@@ -264,6 +297,7 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 	sh := c.shard(shardHint)
 	el, ok := sh.entries[key]
 	if !ok {
+		c.m.misses.Inc()
 		return View{}
 	}
 	item := el.Value.(*cached)
@@ -276,9 +310,18 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 			window = defaultStaleWindow
 		}
 		if !allowStale || now.Sub(item.expires) > window {
+			c.m.misses.Inc()
 			return View{}
 		}
 		remaining = 0
+	}
+	switch {
+	case stale:
+		c.m.staleHits.Inc()
+	case item.entry.Negative:
+		c.m.negativeHits.Inc()
+	default:
+		c.m.hits.Inc()
 	}
 	sh.lru.MoveToFront(el)
 

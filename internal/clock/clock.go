@@ -67,12 +67,14 @@ func (r realTimer) Stop() bool { return r.t.Stop() }
 // runs with millions of short-lived timers stay allocation- and
 // memory-flat.
 type Virtual struct {
-	mu   sync.Mutex
-	now  time.Time
-	heap eventHeap
-	seq  uint64 // tiebreaker for events at the same instant
-	dead int    // canceled events still sitting in the heap
-	free []*event
+	mu      sync.Mutex
+	now     time.Time
+	heap    eventHeap
+	seq     uint64 // tiebreaker for events at the same instant
+	dead    int    // canceled events still sitting in the heap
+	free    []*event
+	fired   int64 // live events executed
+	stopped int64 // timers canceled before firing
 }
 
 // NewVirtual returns a virtual clock starting at start.
@@ -187,6 +189,7 @@ func (t virtualTimer) Stop() bool {
 	}
 	t.e.dead = true
 	t.v.dead++
+	t.v.stopped++
 	t.v.compact()
 	return true
 }
@@ -238,6 +241,7 @@ func (v *Virtual) step(limit time.Time, useLimit bool) bool {
 	}
 	f, fArg, arg := e.f, e.fArg, e.arg
 	v.now = e.at
+	v.fired++
 	v.recycle(e)
 	v.mu.Unlock()
 	// Run without the lock so callbacks can schedule more events. The
@@ -279,4 +283,12 @@ func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.heap) - v.dead
+}
+
+// Counters reports cumulative event-loop totals: events scheduled, events
+// executed, and timers canceled before firing.
+func (v *Virtual) Counters() (scheduled, fired, stopped int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return int64(v.seq), v.fired, v.stopped
 }

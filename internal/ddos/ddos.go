@@ -63,10 +63,14 @@ func (f Flood) LossRate() float64 {
 	if f.CapacityQPS <= 0 {
 		return 1
 	}
-	offered := f.AttackQPS + f.CapacityQPS*0.01 // legit load ≪ capacity
-	if offered <= f.CapacityQPS {
+	// No loss unless the attack alone exceeds capacity: the legitimate
+	// load rides within the server's headroom, so an attack that merely
+	// fills capacity (attack == capacity) must not shed legitimate
+	// queries.
+	if f.AttackQPS <= f.CapacityQPS {
 		return 0
 	}
+	offered := f.AttackQPS + f.CapacityQPS*0.01 // legit load ≪ capacity
 	return 1 - f.CapacityQPS/offered
 }
 

@@ -52,6 +52,7 @@ func TestFloodLossRate(t *testing.T) {
 	}{
 		{0, 1000, 0, 0},           // no attack: no loss
 		{500, 1000, 0, 0},         // under capacity: no loss
+		{1000, 1000, 0, 0},        // attack exactly fills capacity: still no loss
 		{10000, 1000, 0.89, 0.91}, // 10x capacity: ~90% loss (§6.1)
 		{100000, 1000, 0.98, 1.0}, // 100x: ~99%
 		{1000, 0, 1, 1},           // no capacity at all

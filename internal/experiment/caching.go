@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/vantage"
@@ -70,6 +71,9 @@ type CachingResult struct {
 	Fig13 *stats.RoundSeries
 	// MissRate is the headline warm-cache miss fraction (Figure 3).
 	MissRate float64
+	// Report carries the run's metrics snapshot and the accounting
+	// invariants (see internal/metrics and DESIGN.md §9).
+	Report *metrics.Report
 }
 
 // RunCaching executes one caching baseline experiment.
@@ -128,6 +132,7 @@ func analyzeCaching(cfg CachingConfig, tb *Testbed) *CachingResult {
 	}
 	res.Table2.AnswersValid = res.Table1.AnswersValid
 	res.MissRate = res.Table2.MissRate()
+	res.Report = buildCachingReport(cfg, tb, res)
 	return res
 }
 

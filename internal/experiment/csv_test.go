@@ -39,8 +39,8 @@ func TestLatencyAndFigureCSVs(t *testing.T) {
 	if !strings.HasPrefix(lat, "minute,n,median_ms") {
 		t.Errorf("latency header: %q", strings.Split(lat, "\n")[0])
 	}
-	if got := len(strings.Split(strings.TrimSpace(lat), "\n")); got != 5 {
-		t.Errorf("latency rows = %d, want 4 rounds + header", got)
+	if got := len(strings.Split(strings.TrimSpace(lat), "\n")); got != 6 {
+		t.Errorf("latency rows = %d, want 4 rounds + overflow bin + header", got)
 	}
 	amp := AmplificationCSV(res)
 	if !strings.HasPrefix(amp, "minute,rn_median") {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/ddos"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/vantage"
@@ -97,6 +98,9 @@ type DDoSResult struct {
 	// it reached the authoritatives (Figure 11).
 	RnPerProbe      []stats.Summary
 	QueriesPerProbe []stats.Summary
+	// Report carries the run's metrics snapshot and the cross-component
+	// accounting invariants (see internal/metrics and DESIGN.md §9).
+	Report *metrics.Report
 }
 
 // RunDDoS executes one emulated attack experiment.
@@ -141,33 +145,7 @@ func analyzeDDoS(spec DDoSSpec, tb *Testbed, rounds int) *DDoSResult {
 	answers := tb.Fleet.AllAnswers()
 
 	res.Table4 = Table4Row{Spec: spec, Probes: len(tb.Pop.Probes), VPs: tb.Pop.VPCount()}
-	probeOK := make(map[uint16]bool)
-	rtts := make([][]float64, rounds+1)
-	for _, a := range answers {
-		res.Table4.Queries++
-		r := a.Round
-		if r > rounds {
-			r = rounds
-		}
-		switch {
-		case a.Timeout:
-			res.Answers.AddRound(a.Round, "NoAnswer", 1)
-		case a.Ok():
-			res.Table4.TotalAnswers++
-			res.Table4.ValidAnswers++
-			probeOK[a.ProbeID] = true
-			res.Answers.AddRound(a.Round, "OK", 1)
-			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
-		default:
-			res.Table4.TotalAnswers++
-			res.Answers.AddRound(a.Round, "SERVFAIL", 1)
-			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
-		}
-	}
-	res.Table4.ProbesValid = len(probeOK)
-	for r := 0; r < rounds; r++ {
-		res.Latency = append(res.Latency, stats.Summarize(rtts[r]))
-	}
+	res.tallyAnswers(answers, rounds)
 
 	// Per-VP classification (Figure 7).
 	for _, list := range vantage.ByVP(answers) {
@@ -181,12 +159,59 @@ func analyzeDDoS(spec DDoSSpec, tb *Testbed, rounds int) *DDoSResult {
 			if cat == classify.Warmup {
 				cat = classify.AA
 			}
-			res.Classes.AddRound(a.Round, cat.String(), 1)
+			res.Classes.AddRound(clampRound(a.Round, rounds), cat.String(), 1)
 		}
 	}
 
 	res.analyzeAuthSide(spec, tb, rounds)
+	res.Report = buildDDoSReport(spec, tb, res)
 	return res
+}
+
+// clampRound maps an answer's round index into the [0, rounds] tally
+// range; index rounds is the overflow bin for answers landing at or past
+// TotalDur.
+func clampRound(r, rounds int) int {
+	if r < 0 {
+		return 0
+	}
+	if r > rounds {
+		return rounds
+	}
+	return r
+}
+
+// tallyAnswers fills Table4 counts, the per-round Answers series, and the
+// per-round Latency summaries from the VP observation log. Outcome counts
+// and RTT samples are binned with the same clamped round index, and the
+// overflow bin is summarized too, so Latency[r].N always matches the
+// answered (OK + SERVFAIL) count of round r — one of the report's
+// invariants.
+func (res *DDoSResult) tallyAnswers(answers []vantage.Answer, rounds int) {
+	probeOK := make(map[uint16]bool)
+	rtts := make([][]float64, rounds+1)
+	for _, a := range answers {
+		res.Table4.Queries++
+		r := clampRound(a.Round, rounds)
+		switch {
+		case a.Timeout:
+			res.Answers.AddRound(r, "NoAnswer", 1)
+		case a.Ok():
+			res.Table4.TotalAnswers++
+			res.Table4.ValidAnswers++
+			probeOK[a.ProbeID] = true
+			res.Answers.AddRound(r, "OK", 1)
+			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
+		default:
+			res.Table4.TotalAnswers++
+			res.Answers.AddRound(r, "SERVFAIL", 1)
+			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
+		}
+	}
+	res.Table4.ProbesValid = len(probeOK)
+	for r := 0; r <= rounds; r++ {
+		res.Latency = append(res.Latency, stats.Summarize(rtts[r]))
+	}
 }
 
 // analyzeAuthSide derives the Figures 10–12 series from the pre-drop tap.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -17,4 +18,19 @@ func Replicate(n int, baseSeed int64, metric func(seed int64) float64) stats.Sum
 		values[i] = metric(baseSeed + int64(i)*1000)
 	})
 	return stats.Summarize(values)
+}
+
+// ReplicateWithReports is Replicate for runs that also produce a
+// *metrics.Report: it returns the metric summary plus the per-seed
+// reports in seed order, so a caller can both summarize a headline number
+// and audit every replicate's invariants.
+func ReplicateWithReports(n int, baseSeed int64,
+	run func(seed int64) (float64, *metrics.Report)) (stats.Summary, []*metrics.Report) {
+
+	values := make([]float64, n)
+	reports := make([]*metrics.Report, n)
+	parallel.ForEach(0, n, func(i int) {
+		values[i], reports[i] = run(baseSeed + int64(i)*1000)
+	})
+	return stats.Summarize(values), reports
 }

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/vantage"
+)
+
+// TestTallyAnswersOverflowRound pins the round-attribution fix: answers
+// landing at or past TotalDur go into the overflow bin (index rounds) in
+// BOTH the outcome series and the latency series, and the overflow bin is
+// summarized. Pre-fix, outcomes used the raw round index while RTTs used
+// a clamped one, and the overflow latency bin was silently dropped.
+func TestTallyAnswersOverflowRound(t *testing.T) {
+	const rounds = 3
+	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+	res := &DDoSResult{
+		Answers: stats.NewRoundSeries(start, 10*time.Minute),
+	}
+	answers := []vantage.Answer{
+		{Round: 0, Valid: true, RTT: 20 * time.Millisecond},
+		{Round: 1, Discard: true, RTT: 35 * time.Millisecond}, // SERVFAIL-class
+		{Round: rounds, Valid: true, RTT: 42 * time.Millisecond},
+		{Round: rounds + 5, Timeout: true}, // clamps into the overflow bin
+	}
+	res.tallyAnswers(answers, rounds)
+
+	if got := len(res.Latency); got != rounds+1 {
+		t.Fatalf("len(Latency) = %d, want %d (rounds + overflow bin)", got, rounds+1)
+	}
+	if got := res.Answers.Get(rounds, "OK"); got != 1 {
+		t.Errorf("overflow OK = %v, want 1", got)
+	}
+	if got := res.Answers.Get(rounds, "NoAnswer"); got != 1 {
+		t.Errorf("overflow NoAnswer = %v, want 1", got)
+	}
+	if got := res.Latency[rounds].N; got != 1 {
+		t.Errorf("overflow latency samples = %d, want 1", got)
+	}
+	if res.Table4.Queries != 4 || res.Table4.TotalAnswers != 3 || res.Table4.ValidAnswers != 2 {
+		t.Errorf("Table4 = %+v", res.Table4)
+	}
+	// The per-round consistency the report checks must hold by
+	// construction now that both series share the clamped index.
+	if inv := latencyMatchesAnswered(res); !inv.OK {
+		t.Errorf("latency invariant failed: %s", inv.Detail)
+	}
+}
+
+// smallSpec is a short DDoS run for report-level tests.
+func smallSpec() DDoSSpec {
+	spec, _ := SpecByName("B")
+	spec.TotalDur = 40 * time.Minute
+	spec.DDoSStart = 10 * time.Minute
+	spec.DDoSDur = 10 * time.Minute
+	return spec
+}
+
+// TestDDoSReportInvariantsHold runs a real (small) attack and requires
+// every cross-component invariant to pass, then injects an accounting
+// error into the result and requires the checker to catch it.
+func TestDDoSReportInvariantsHold(t *testing.T) {
+	res := RunDDoS(smallSpec(), 30, 11, PopulationConfig{})
+	if res.Report == nil {
+		t.Fatal("no report attached")
+	}
+	if !res.Report.OK() {
+		t.Fatalf("invariants failed on a clean run: %+v", res.Report.FailedInvariants())
+	}
+	if len(res.Report.Invariants) < 5 {
+		t.Errorf("only %d invariants evaluated", len(res.Report.Invariants))
+	}
+
+	// Inject a phantom answer: the outcome series no longer sums to the
+	// query total and the latency series no longer matches the answered
+	// count. The checker must flag the run.
+	res.Answers.AddRound(0, "OK", 1)
+	invs := DDoSInvariants(res, res.Report.Metrics)
+	if metrics.AllOK(invs) {
+		t.Error("injected accounting error not detected")
+	}
+}
+
+// TestCachingReportInvariantsHold is the §3 counterpart.
+func TestCachingReportInvariantsHold(t *testing.T) {
+	res := RunCaching(CachingConfig{Probes: 30, TTL: 1800, Rounds: 4, Seed: 5})
+	if res.Report == nil {
+		t.Fatal("no report attached")
+	}
+	if !res.Report.OK() {
+		t.Fatalf("invariants failed on a clean run: %+v", res.Report.FailedInvariants())
+	}
+}
+
+// TestReportsIdenticalAcrossWorkers requires the run reports — metrics
+// snapshots included — to be byte-identical between sequential and
+// parallel execution of the same seeds.
+func TestReportsIdenticalAcrossWorkers(t *testing.T) {
+	specs := []DDoSSpec{smallSpec()}
+	spec2 := smallSpec()
+	spec2.Name = "C"
+	spec2.Loss = 0.5
+	specs = append(specs, spec2)
+
+	seq := RunDDoSMatrix(specs, 24, 7, PopulationConfig{}, 1)
+	par := RunDDoSMatrix(specs, 24, 7, PopulationConfig{}, 4)
+	for i := range specs {
+		var a, b bytes.Buffer
+		if err := seq[i].Report.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par[i].Report.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("spec %s: reports differ between workers=1 and workers=4", specs[i].Name)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/authoritative"
 	"repro/internal/clock"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
 	"repro/internal/vantage"
@@ -98,6 +99,12 @@ type Testbed struct {
 
 	serial0 uint16
 	AuthLog []AuthEvent
+
+	// Tap totals, counted on every run (the AuthLog itself is only kept
+	// with KeepAuthLog). Arrivals are pre-drop, deliveries post-drop.
+	tapArrivals  metrics.Counter
+	tapDropped   metrics.Counter
+	tapDelivered metrics.Counter
 }
 
 // NewTestbed builds the hierarchy, resolver population, and probe fleet.
@@ -209,11 +216,20 @@ func (tb *Testbed) installTap() {
 		isAuth[a] = true
 	}
 	tb.Net.AddTap(func(ev netsim.Event) {
-		if !isAuth[ev.Dst] || !tb.Cfg.KeepAuthLog {
+		if !isAuth[ev.Dst] {
 			return
 		}
 		m, err := dnswire.Unpack(ev.Payload)
 		if err != nil || m.Response || len(m.Questions) != 1 {
+			return
+		}
+		tb.tapArrivals.Inc()
+		if ev.Dropped {
+			tb.tapDropped.Inc()
+		} else {
+			tb.tapDelivered.Inc()
+		}
+		if !tb.Cfg.KeepAuthLog {
 			return
 		}
 		tb.AuthLog = append(tb.AuthLog, AuthEvent{
@@ -223,6 +239,40 @@ func (tb *Testbed) installTap() {
 			Dropped: ev.Dropped,
 		})
 	})
+}
+
+// CollectMetrics folds every component's counters into one registry:
+// resolver and cache totals across the population, the cachetest.nl
+// authoritatives, the network, the event loop, the probe fleet, and the
+// testbed's own pre-drop tap. Scopes and metric names are stable, so two
+// runs with the same seed produce byte-identical report JSON regardless
+// of worker count.
+func (tb *Testbed) CollectMetrics() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	rs, cs := reg.Scope("resolver"), reg.Scope("cache")
+	for _, r := range tb.Pop.Resolvers {
+		r.CollectMetrics(rs)
+		r.Cache().CollectMetrics(cs)
+	}
+	as := reg.Scope("authoritative")
+	for _, a := range tb.Auths {
+		a.CollectMetrics(as)
+	}
+	tb.Net.CollectMetrics(reg.Scope("netsim"))
+
+	scheduled, fired, stopped := tb.Clk.Counters()
+	ck := reg.Scope("clock")
+	ck.Counter("events_scheduled").Add(scheduled)
+	ck.Counter("events_fired").Add(fired)
+	ck.Counter("timers_stopped").Add(stopped)
+
+	tb.Fleet.CollectMetrics(reg.Scope("vantage"))
+
+	ts := reg.Scope("testbed")
+	ts.Counter("auth_arrivals").Add(tb.tapArrivals.Value())
+	ts.Counter("auth_dropped").Add(tb.tapDropped.Value())
+	ts.Counter("auth_delivered").Add(tb.tapDelivered.Value())
+	return reg
 }
 
 // ScheduleRotations arms the 10-minute zone rotations for the run length:

@@ -1,0 +1,284 @@
+// Package metrics is a zero-dependency instrumentation layer for the
+// simulator: atomic counters, gauges, and fixed-bin histograms that
+// components embed as plain struct fields (so the hot paths allocate
+// nothing and need no registration), plus named per-component scopes and
+// a per-run registry that the experiment runners snapshot into a
+// machine-readable run report (report.go).
+//
+// The design splits instrumentation from collection:
+//
+//   - Components (resolver, cache, authoritative, netsim, clock, vantage)
+//     embed Counter/Histogram values directly in their structs and
+//     increment them inline. Inc/Observe are single atomic operations —
+//     no map lookups, no allocations, no sink required.
+//
+//   - At collection time (end of a run), each component folds its values
+//     into a named Scope of the run's Registry via its CollectMetrics
+//     method. One registry exists per experiment run, so parallel runs
+//     never share metric state and reports are bit-for-bit deterministic
+//     for a given seed at any worker count.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so components embed it by value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative only when folding snapshots; live code
+// paths should treat counters as monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBucketsMs are the fixed upper bin edges (milliseconds)
+// used for every latency histogram in the repository. The range covers a
+// same-rack round trip up to the resolver client timeout; the paper's
+// latency figures (9, 15) live comfortably inside it.
+var DefaultLatencyBucketsMs = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// maxHistogramBins bounds a histogram's bin count (bounds plus the
+// overflow bin). The bins live in a fixed inline array so Init allocates
+// nothing — components embed histograms by value, and hundreds of
+// resolvers are built per simulated run.
+const maxHistogramBins = 16
+
+// Histogram is a fixed-bin histogram with atomic bin counts. Init must be
+// called once before Observe; a Histogram is embeddable by value and all
+// methods are safe for concurrent use after Init.
+type Histogram struct {
+	bounds []float64 // ascending upper bin edges; values above the last land in the overflow bin
+	counts [maxHistogramBins]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Init sets the bin edges. bounds must be ascending with at most
+// maxHistogramBins-1 entries; the slice is aliased, not copied (callers
+// pass shared package-level bucket sets).
+func (h *Histogram) Init(bounds []float64) {
+	if len(bounds) >= maxHistogramBins {
+		panic("metrics: too many histogram bounds")
+	}
+	h.bounds = bounds
+}
+
+// bins returns the number of live bins (bounds plus overflow).
+func (h *Histogram) bins() int { return len(h.bounds) + 1 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search beats linear scan only for large bucket sets; the
+	// fixed sets here are small, but sort.SearchFloat64s stays allocation
+	// free and keeps the bins ordered by construction.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Merge folds o's samples into h. Both histograms must share identical
+// bin edges (the repository uses shared package-level bucket sets, so
+// mismatches are programming errors and panic).
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("metrics: merging histograms with different bounds")
+	}
+	for i := 0; i < o.bins(); i++ {
+		if d := o.counts[i].Load(); d != 0 {
+			h.counts[i].Add(d)
+		}
+	}
+	h.n.Add(o.n.Load())
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + o.Sum())
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a copyable view of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, h.bins()),
+		Count:  h.n.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range s.Counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Scope is a named group of metrics (one per component kind). Lookups are
+// get-or-create; the collection path is the only caller, so the mutex is
+// never on a simulation hot path.
+type Scope struct {
+	name string
+
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewScope creates an empty scope.
+func NewScope(name string) *Scope {
+	return &Scope{
+		name:   name,
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Name returns the scope's name.
+func (s *Scope) Name() string { return s.name }
+
+// Counter returns the named counter, creating it at zero on first use.
+func (s *Scope) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.ctrs[name]
+	if !ok {
+		c = new(Counter)
+		s.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (s *Scope) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use. Later calls ignore bounds (the first registration wins).
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = new(Histogram)
+		h.Init(bounds)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a deterministic copy of the scope's current values.
+func (s *Scope) Snapshot() ScopeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := ScopeSnapshot{Name: s.name}
+	if len(s.ctrs) > 0 {
+		snap.Counters = make(map[string]int64, len(s.ctrs))
+		for name, c := range s.ctrs {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(s.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(s.gauges))
+		for name, g := range s.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(s.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(s.hists))
+		for name, h := range s.hists {
+			snap.Histograms[name] = h.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Registry is one run's set of scopes. Each experiment run owns exactly
+// one registry, assembled at collection time from the run's component
+// instances, so parallel runs never share metric state.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns the named scope, creating it on first use.
+func (r *Registry) Scope(name string) *Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.scopes[name]
+	if !ok {
+		s = NewScope(name)
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// Snapshot returns a deterministic copy of every scope, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.scopes))
+	for name := range r.scopes {
+		names = append(names, name)
+	}
+	scopes := make([]*Scope, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		scopes = append(scopes, r.scopes[name])
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Scopes: make([]ScopeSnapshot, 0, len(scopes))}
+	for _, s := range scopes {
+		snap.Scopes = append(snap.Scopes, s.Snapshot())
+	}
+	return snap
+}

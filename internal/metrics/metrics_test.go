@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	var h Histogram
+	h.Init([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 99, 100, 101, 1e6} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Upper-inclusive edges: [<=1, <=10, <=100, overflow].
+	want := []int64{2, 2, 3, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 9 {
+		t.Errorf("count = %d, want 9", s.Count)
+	}
+	if s.Sum < 1e6 {
+		t.Errorf("sum = %v, want > 1e6", s.Sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Init(DefaultLatencyBucketsMs)
+	b.Init(DefaultLatencyBucketsMs)
+	a.Observe(3)
+	b.Observe(3)
+	b.Observe(700)
+	a.Merge(&b)
+	if got := a.Count(); got != 3 {
+		t.Errorf("merged count = %d, want 3", got)
+	}
+	if got := a.Sum(); got != 706 {
+		t.Errorf("merged sum = %v, want 706", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	h.Init([]float64{10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got != 8000 {
+		t.Errorf("sum = %v, want 8000", got)
+	}
+}
+
+// TestHotPathAllocationFree pins the tentpole's performance contract: with
+// no report sink attached (i.e. just incrementing embedded metrics), the
+// instrument operations allocate nothing.
+func TestHotPathAllocationFree(t *testing.T) {
+	var c Counter
+	var h Histogram
+	h.Init(DefaultLatencyBucketsMs)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12.5) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op", n)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Scope("zulu").Counter("b").Add(2)
+		r.Scope("alpha").Counter("a").Add(1)
+		r.Scope("alpha").Histogram("h", DefaultLatencyBucketsMs).Observe(5)
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	if a.Scopes[0].Name != "alpha" || a.Scopes[1].Name != "zulu" {
+		t.Errorf("scopes not sorted: %v, %v", a.Scopes[0].Name, a.Scopes[1].Name)
+	}
+	ja := marshal(t, &Report{Name: "x", Metrics: a})
+	jb := marshal(t, &Report{Name: "x", Metrics: b})
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("identical registries marshal differently:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+func marshal(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestInvariants(t *testing.T) {
+	ok := EqualInt("eq", 5, 5, "a", "b")
+	if !ok.OK {
+		t.Errorf("EqualInt(5,5) not OK")
+	}
+	bad := EqualInt("eq", 5, 6, "a", "b")
+	if bad.OK {
+		t.Errorf("EqualInt(5,6) OK")
+	}
+	if bad.Detail != "a=5 b=6" {
+		t.Errorf("detail = %q", bad.Detail)
+	}
+	if !AtLeastInt("ge", 6, 5, "a", "b").OK || AtLeastInt("ge", 4, 5, "a", "b").OK {
+		t.Errorf("AtLeastInt wrong")
+	}
+	if AllOK([]Invariant{ok, bad}) {
+		t.Errorf("AllOK with a failed invariant")
+	}
+	r := &Report{Invariants: []Invariant{ok, bad}}
+	if r.OK() {
+		t.Errorf("report OK with failed invariant")
+	}
+	if got := r.FailedInvariants(); len(got) != 1 || got[0].Detail != "a=5 b=6" {
+		t.Errorf("FailedInvariants = %+v", got)
+	}
+}

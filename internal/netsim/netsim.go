@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 )
 
 // Addr identifies a host on the simulated network (by convention an IP
@@ -168,6 +169,15 @@ func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// CollectMetrics folds the network's counters into s.
+func (n *Network) CollectMetrics(s *metrics.Scope) {
+	st := n.Stats()
+	s.Counter("sent").Add(st.Sent)
+	s.Counter("delivered").Add(st.Delivered)
+	s.Counter("dropped").Add(st.Dropped)
+	s.Counter("dead").Add(st.Dead)
 }
 
 // packet is an in-flight delivery, pooled so the simulation's hottest

@@ -1,0 +1,84 @@
+package recursive
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// TestBackoffDoublesPerRound pins the retry contract documented on
+// Config.InitialTimeout: the per-upstream timeout doubles once per retry
+// *round* (each exhaustion of the candidate list), not per attempt, so
+// both servers of a round are probed with the same deadline. Two dead
+// root servers and zero network delay make the send instants a pure
+// function of the timeout schedule.
+func TestBackoffDoublesPerRound(t *testing.T) {
+	const (
+		deadA = netsim.Addr("203.0.113.1")
+		deadB = netsim.Addr("203.0.113.2")
+	)
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	net.SetPairDelay(resAddr, deadA, 0)
+	net.SetPairDelay(resAddr, deadB, 0)
+
+	var sends []time.Duration
+	net.AddTap(func(ev netsim.Event) {
+		if ev.Dst == deadA || ev.Dst == deadB {
+			sends = append(sends, ev.Time.Sub(epoch))
+		}
+	})
+
+	// The default 8 s ClientTimeout would cut the schedule short after
+	// attempt 6; raise it so the full retry ladder plays out.
+	r := NewResolver(clk, Config{
+		ClientTimeout: time.Minute,
+		RootHints: []ServerHint{
+			{Name: "a.dead.example.", Addr: deadA},
+			{Name: "b.dead.example.", Addr: deadB},
+		},
+	})
+	r.Attach(net, resAddr)
+
+	var got *Result
+	r.Resolve("www.example.com.", dnswire.TypeA, 0, func(res Result) { got = &res })
+	clk.RunFor(60 * time.Second)
+
+	if got == nil {
+		t.Fatal("resolution never completed")
+	}
+	if got.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v, want SERVFAIL", got.RCode)
+	}
+
+	// Defaults: 750 ms initial, 3 s cap, 7 attempts over 2 servers.
+	// Round 1 (750 ms):  attempts at 0 and 750 ms.
+	// Round 2 (1.5 s):   attempts at 1.5 s and 3 s.
+	// Round 3 (3 s cap): attempts at 4.5 s and 7.5 s.
+	// Round 4 (3 s cap): attempt 7 at 10.5 s, failing at 13.5 s.
+	// The pre-fix per-attempt doubling would instead send at
+	// 0, 750ms, 2.25s, 5.25s, 8.25s, 11.25s, 14.25s.
+	want := []time.Duration{
+		0,
+		750 * time.Millisecond,
+		1500 * time.Millisecond,
+		3 * time.Second,
+		4500 * time.Millisecond,
+		7500 * time.Millisecond,
+		10500 * time.Millisecond,
+	}
+	if len(sends) != len(want) {
+		t.Fatalf("sends = %v, want %d attempts", sends, len(want))
+	}
+	for i, at := range want {
+		if sends[i] != at {
+			t.Errorf("attempt %d sent at %v, want %v (all: %v)", i+1, sends[i], at, sends)
+		}
+	}
+	if st := r.Stats(); st.Timeouts != 7 {
+		t.Errorf("timeouts = %d, want 7", st.Timeouts)
+	}
+}

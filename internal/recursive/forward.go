@@ -31,7 +31,13 @@ func (t *task) forwardNext() {
 	}
 	server, ok := t.r.pickServer(t.servers, t.tried)
 	if !ok {
+		// Same backoff contract as the iterative path: the timeout doubles
+		// per rotation over the forwarder list, not per attempt.
 		t.tried = make(map[netsim.Addr]bool)
+		t.timeout *= 2
+		if t.timeout > t.r.cfg.MaxTimeout {
+			t.timeout = t.r.cfg.MaxTimeout
+		}
 		server, ok = t.r.pickServer(t.servers, t.tried)
 		if !ok {
 			t.fail()
@@ -42,14 +48,9 @@ func (t *task) forwardNext() {
 	t.attempt++
 	*t.budget--
 	if t.attempt > 1 {
-		t.r.stats.UpstreamRetries++
+		t.r.m.upstreamRetries.Inc()
 	}
-	timeout := t.timeout
-	t.timeout *= 2
-	if t.timeout > t.r.cfg.MaxTimeout {
-		t.timeout = t.r.cfg.MaxTimeout
-	}
-	t.r.send(server, t.name, t.qtype, true, timeout,
+	t.r.send(server, t.name, t.qtype, true, t.timeout,
 		func(m *dnswire.Message) { t.handleForwardResponse(m) },
 		func() { t.forwardNext() })
 }
@@ -79,7 +80,7 @@ func (t *task) handleForwardResponse(m *dnswire.Message) {
 		return
 	default:
 		// Upstream failed: rotate to the next one.
-		t.r.stats.Lame++
+		t.r.m.lame.Inc()
 		t.forwardNext()
 	}
 }

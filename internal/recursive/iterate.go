@@ -43,7 +43,7 @@ type task struct {
 // deployments; callers without an opinion pass a random value. cb runs
 // exactly once.
 func (r *Resolver) Resolve(name string, qtype dnswire.Type, shard int, cb func(Result)) {
-	r.stats.ClientQueries++
+	r.m.clientQueries.Inc()
 	budget := r.cfg.WorkBudget
 	t := &task{
 		r: r, name: dnswire.CanonicalName(name), qtype: qtype,
@@ -53,7 +53,7 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type, shard int, cb func(R
 	inner := t.cb
 	t.cb = func(res Result) {
 		deadline.Stop()
-		r.stats.ClientResponses++
+		r.m.clientResponses.Inc()
 		inner(res)
 	}
 	t.run()
@@ -63,7 +63,7 @@ func (t *task) run() {
 	if t.cacheAnswer() {
 		return
 	}
-	t.r.stats.CacheMisses++
+	t.r.m.cacheMisses.Inc()
 	t.armStaleTimer()
 	if len(t.r.cfg.Forwarders) > 0 {
 		t.forward()
@@ -96,7 +96,7 @@ func (t *task) armStaleTimer() {
 		if !sv.Hit || !sv.Stale || sv.Negative {
 			return
 		}
-		t.r.stats.StaleServes++
+		t.r.m.staleServes.Inc()
 		t.finish(Result{RCode: dnswire.RCodeNoError, Answers: sv.Records,
 			Stale: true, FromCache: true})
 	})
@@ -138,12 +138,12 @@ func (t *task) fail() {
 	}
 	if t.r.cfg.ServeStale && !t.r.cfg.NoCache {
 		if v := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard); v.Hit && !v.Negative {
-			t.r.stats.StaleServes++
+			t.r.m.staleServes.Inc()
 			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, Stale: true, FromCache: true})
 			return
 		}
 	}
-	t.r.stats.ServFails++
+	t.r.m.servFails.Inc()
 	t.finish(Result{RCode: dnswire.RCodeServFail, ServFail: true})
 }
 
@@ -169,7 +169,7 @@ func (t *task) cacheAnswer() bool {
 		}
 		if v.Hit {
 			if v.Negative {
-				t.r.stats.NegativeHits++
+				t.r.m.negativeHits.Inc()
 				rcode := dnswire.RCodeNoError
 				if v.NXDomain {
 					rcode = dnswire.RCodeNXDomain
@@ -177,7 +177,7 @@ func (t *task) cacheAnswer() bool {
 				t.finish(Result{RCode: rcode, SOA: v.SOA, FromCache: true})
 				return true
 			}
-			t.r.stats.CacheHits++
+			t.r.m.cacheHits.Inc()
 			t.r.maybePrefetch(cur, t.qtype, t.shard, v)
 			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, FromCache: true})
 			return true
@@ -267,8 +267,15 @@ func (t *task) tryNextServer() {
 	server, ok := t.r.pickServer(t.servers, t.tried)
 	if !ok {
 		// All candidates tried this round; start another round with a
-		// longer timeout (exponential backoff across rounds).
+		// doubled timeout. The per-query timeout grows only here, so every
+		// server within one round of the list is probed with the same
+		// deadline — exponential backoff across rounds, as the
+		// Config.InitialTimeout contract documents.
 		t.tried = make(map[netsim.Addr]bool)
+		t.timeout *= 2
+		if t.timeout > t.r.cfg.MaxTimeout {
+			t.timeout = t.r.cfg.MaxTimeout
+		}
 		server, ok = t.r.pickServer(t.servers, t.tried)
 		if !ok {
 			t.fail()
@@ -279,15 +286,10 @@ func (t *task) tryNextServer() {
 	t.attempt++
 	*t.budget--
 	if t.attempt > 1 {
-		t.r.stats.UpstreamRetries++
+		t.r.m.upstreamRetries.Inc()
 	}
 
-	timeout := t.timeout
-	t.timeout *= 2
-	if t.timeout > t.r.cfg.MaxTimeout {
-		t.timeout = t.r.cfg.MaxTimeout
-	}
-	t.r.send(server, t.name, t.qtype, false, timeout,
+	t.r.send(server, t.name, t.qtype, false, t.timeout,
 		func(m *dnswire.Message) { t.handleResponse(server, m) },
 		func() { t.tryNextServer() })
 }
@@ -305,7 +307,7 @@ func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 		return
 	default:
 		// SERVFAIL, REFUSED, lame servers: try the next one.
-		t.r.stats.Lame++
+		t.r.m.lame.Inc()
 		t.tryNextServer()
 		return
 	}
@@ -325,7 +327,7 @@ func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 		return
 	}
 	// Empty, non-authoritative, no referral: lame.
-	t.r.stats.Lame++
+	t.r.m.lame.Inc()
 	t.tryNextServer()
 }
 
@@ -335,7 +337,7 @@ func (t *task) handleAnswer(m *dnswire.Message) {
 	if !t.validateAnswer(m) {
 		// Bogus data: a validating resolver refuses it and tries another
 		// server, then fails hard.
-		t.r.stats.Bogus++
+		t.r.m.bogus.Inc()
 		t.tryNextServer()
 		return
 	}
@@ -389,7 +391,7 @@ func (t *task) handleAnswer(m *dnswire.Message) {
 		return
 	}
 	// Answers that do not relate to the question: lame.
-	t.r.stats.Lame++
+	t.r.m.lame.Inc()
 	t.tryNextServer()
 }
 

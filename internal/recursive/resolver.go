@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -65,8 +66,10 @@ type Config struct {
 	// cache-miss causes in §3.5).
 	NoCache bool
 
-	// InitialTimeout is the first per-upstream-query timeout; it doubles
-	// on every retry up to MaxTimeout. Default 750 ms / 3 s.
+	// InitialTimeout is the first per-upstream-query timeout. It doubles
+	// each time the candidate server list has been exhausted (each retry
+	// *round*, not each attempt), up to MaxTimeout, so every server in a
+	// round is probed with the same deadline. Default 750 ms / 3 s.
 	InitialTimeout time.Duration
 	MaxTimeout     time.Duration
 	// MaxAttempts bounds upstream tries per fetch (across servers).
@@ -155,7 +158,7 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts resolver activity.
+// Stats is a point-in-time snapshot of the resolver's counters.
 type Stats struct {
 	ClientQueries   int64
 	ClientResponses int64
@@ -169,6 +172,26 @@ type Stats struct {
 	ServFails       int64
 	Lame            int64
 	Bogus           int64
+}
+
+// counters is the live metric set behind Stats: embedded by value so the
+// resolver hot paths pay one atomic add per event and zero allocations.
+type counters struct {
+	clientQueries   metrics.Counter
+	clientResponses metrics.Counter
+	cacheHits       metrics.Counter
+	cacheMisses     metrics.Counter
+	negativeHits    metrics.Counter
+	staleServes     metrics.Counter
+	upstreamQueries metrics.Counter
+	upstreamRetries metrics.Counter
+	timeouts        metrics.Counter
+	servFails       metrics.Counter
+	lame            metrics.Counter
+	bogus           metrics.Counter
+	// upstreamRTTms observes every upstream round-trip sample, in
+	// milliseconds (the same samples that feed SRTT selection).
+	upstreamRTTms metrics.Histogram
 }
 
 // Result is the outcome of a Resolve call.
@@ -197,7 +220,7 @@ type Resolver struct {
 	srtt     map[netsim.Addr]time.Duration
 	coalesce map[coalesceKey]*clientJob
 	harvests map[string]time.Time // zone -> last NS harvest
-	stats    Stats
+	m        counters
 }
 
 type coalesceKey struct {
@@ -210,7 +233,7 @@ type coalesceKey struct {
 // resolving.
 func NewResolver(clk clock.Clock, cfg Config) *Resolver {
 	cfg = cfg.withDefaults()
-	return &Resolver{
+	r := &Resolver{
 		clk:      clk,
 		cfg:      cfg,
 		cache:    cache.New(clk, cfg.Cache),
@@ -220,6 +243,8 @@ func NewResolver(clk clock.Clock, cfg Config) *Resolver {
 		coalesce: make(map[coalesceKey]*clientJob),
 		harvests: make(map[string]time.Time),
 	}
+	r.m.upstreamRTTms.Init(metrics.DefaultLatencyBucketsMs)
+	return r
 }
 
 // Cache exposes the resolver cache (tests and the Appendix A cache-dump
@@ -227,7 +252,41 @@ func NewResolver(clk clock.Clock, cfg Config) *Resolver {
 func (r *Resolver) Cache() *cache.Cache { return r.cache }
 
 // Stats returns a snapshot of the counters.
-func (r *Resolver) Stats() Stats { return r.stats }
+func (r *Resolver) Stats() Stats {
+	return Stats{
+		ClientQueries:   r.m.clientQueries.Value(),
+		ClientResponses: r.m.clientResponses.Value(),
+		CacheHits:       r.m.cacheHits.Value(),
+		CacheMisses:     r.m.cacheMisses.Value(),
+		NegativeHits:    r.m.negativeHits.Value(),
+		StaleServes:     r.m.staleServes.Value(),
+		UpstreamQueries: r.m.upstreamQueries.Value(),
+		UpstreamRetries: r.m.upstreamRetries.Value(),
+		Timeouts:        r.m.timeouts.Value(),
+		ServFails:       r.m.servFails.Value(),
+		Lame:            r.m.lame.Value(),
+		Bogus:           r.m.bogus.Value(),
+	}
+}
+
+// CollectMetrics folds this resolver's counters into a metrics scope;
+// experiment testbeds merge every resolver of a run into one "resolver"
+// scope of the run's registry.
+func (r *Resolver) CollectMetrics(s *metrics.Scope) {
+	s.Counter("client_queries").Add(r.m.clientQueries.Value())
+	s.Counter("client_responses").Add(r.m.clientResponses.Value())
+	s.Counter("cache_hits").Add(r.m.cacheHits.Value())
+	s.Counter("cache_misses").Add(r.m.cacheMisses.Value())
+	s.Counter("negative_hits").Add(r.m.negativeHits.Value())
+	s.Counter("stale_serves").Add(r.m.staleServes.Value())
+	s.Counter("upstream_queries").Add(r.m.upstreamQueries.Value())
+	s.Counter("upstream_retries").Add(r.m.upstreamRetries.Value())
+	s.Counter("timeouts").Add(r.m.timeouts.Value())
+	s.Counter("servfails").Add(r.m.servFails.Value())
+	s.Counter("lame").Add(r.m.lame.Value())
+	s.Counter("bogus").Add(r.m.bogus.Value())
+	s.Histogram("upstream_rtt_ms", metrics.DefaultLatencyBucketsMs).Merge(&r.m.upstreamRTTms)
+}
 
 // Addr returns the resolver's bound address, or "" before Attach.
 func (r *Resolver) Addr() netsim.Addr {
@@ -289,7 +348,7 @@ func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
 	id := r.allocID()
 	oq := &outquery{id: id, server: server, sentAt: r.clk.Now(), onResp: onResp, onFail: onFail}
 	r.inflight[id] = oq
-	r.stats.UpstreamQueries++
+	r.m.upstreamQueries.Inc()
 
 	q := dnswire.NewQuery(id, name, qtype)
 	q.RecursionDesired = rd
@@ -307,7 +366,7 @@ func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
 			return
 		}
 		delete(r.inflight, id)
-		r.stats.Timeouts++
+		r.m.timeouts.Inc()
 		r.srttPenalty(server)
 		oq.onFail()
 	})
@@ -322,7 +381,9 @@ func (r *Resolver) handleUpstream(m *dnswire.Message) {
 	}
 	delete(r.inflight, m.ID)
 	oq.timer.Stop()
-	r.srttUpdate(oq.server, r.clk.Now().Sub(oq.sentAt))
+	sample := r.clk.Now().Sub(oq.sentAt)
+	r.m.upstreamRTTms.Observe(float64(sample) / float64(time.Millisecond))
+	r.srttUpdate(oq.server, sample)
 	oq.onResp(m)
 }
 

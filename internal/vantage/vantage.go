@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stub"
 )
@@ -90,10 +91,12 @@ type Probe struct {
 	Recursives []netsim.Addr
 	Domain     string
 
-	client  *stub.Client
-	rng     *rand.Rand
-	clk     clock.Clock
-	answers []Answer
+	client   *stub.Client
+	rng      *rand.Rand
+	clk      clock.Clock
+	answers  []Answer
+	sent     metrics.Counter
+	timeouts metrics.Counter
 	// Dead marks a probe whose queries never get answered (the ~4.5%
 	// discarded probes of Table 1 have unusable local resolvers).
 	Dead bool
@@ -121,6 +124,7 @@ func (p *Probe) QueryRound(round int) {
 	for _, rec := range p.Recursives {
 		rec := rec
 		sentAt := p.clk.Now()
+		p.sent.Inc()
 		p.client.Query(rec, name, dnswire.TypeAAAA, func(res stub.Result) {
 			p.answers = append(p.answers, p.interpret(round, rec, sentAt, res))
 		})
@@ -135,6 +139,7 @@ func (p *Probe) interpret(round int, rec netsim.Addr, sentAt time.Time, res stub
 	}
 	if res.Err != nil {
 		a.Timeout = true
+		p.timeouts.Inc()
 		return a
 	}
 	a.RCode = res.Msg.RCode
@@ -195,6 +200,18 @@ func (f *Fleet) Schedule(start time.Time, interval, smear time.Duration, rounds 
 			}
 			f.clk.AfterFunc(at.Sub(now), func() { p.QueryRound(r) })
 		}
+	}
+}
+
+// CollectMetrics folds the fleet's probing totals into s. A query counts
+// as sent when its timer fires, answered when the callback records an
+// Answer, so sent - answers_recorded is the number still unresolved when
+// the run stopped.
+func (f *Fleet) CollectMetrics(s *metrics.Scope) {
+	for _, p := range f.Probes {
+		s.Counter("queries_sent").Add(p.sent.Value())
+		s.Counter("timeouts").Add(p.timeouts.Value())
+		s.Counter("answers_recorded").Add(int64(len(p.answers)))
 	}
 }
 
