@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot
+.PHONY: all build test vet race bench-smoke check bench-snapshot fuzz
 
 all: check
 
@@ -22,6 +22,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkParallelMatrix$$' -benchtime=1x .
 
 check: vet build race bench-smoke
+
+# Short coverage-guided runs of every fuzz target (native Go fuzzing; the
+# committed corpora under testdata/fuzz are regression seeds). One -fuzz
+# pattern per invocation — go test only fuzzes a single target at a time.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzUnpack$$' -fuzztime $(FUZZTIME) ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz '^FuzzPackUnpackRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz '^FuzzMasterFile$$' -fuzztime $(FUZZTIME) ./internal/zone
 
 # Writes BENCH_parallel.json (benchmark name -> ns/op, B/op, allocs/op)
 # for the hot-path micro-benchmarks. See scripts/bench_snapshot.sh.

@@ -54,6 +54,11 @@ func (p *parser) uint32() (uint32, error) {
 }
 
 func (p *parser) bytes(n int) ([]byte, error) {
+	// n can go negative when a decoder computes "rest of rdata" after a
+	// compressed name already overran the claimed rdata length.
+	if n < 0 {
+		return nil, ErrTruncatedMessage
+	}
 	if err := p.need(n); err != nil {
 		return nil, err
 	}

@@ -116,12 +116,41 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 	return out, nil
 }
 
+// rdataNames lists the domain names embedded in the known rdata types.
+// The builder cannot faithfully encode a name with empty or oversized
+// labels (it would emit a premature terminator), so Pack validates these
+// like owner names and refuses rather than producing corrupt wire.
+func rdataNames(d RData) []string {
+	switch v := d.(type) {
+	case NS:
+		return []string{v.Host}
+	case CNAME:
+		return []string{v.Target}
+	case PTR:
+		return []string{v.Target}
+	case MX:
+		return []string{v.Host}
+	case SOA:
+		return []string{v.MName, v.RName}
+	case RRSIG:
+		return []string{v.SignerName}
+	case NSEC:
+		return []string{v.NextName}
+	}
+	return nil
+}
+
 func packRR(b *builder, rr RR) error {
 	if rr.Data == nil {
 		return fmt.Errorf("dnswire: record %q has no data", rr.Name)
 	}
 	if err := ValidName(rr.Name); err != nil {
 		return fmt.Errorf("dnswire: record %q: %w", rr.Name, err)
+	}
+	for _, n := range rdataNames(rr.Data) {
+		if err := ValidName(n); err != nil {
+			return fmt.Errorf("dnswire: record %q rdata name %q: %w", rr.Name, n, err)
+		}
 	}
 	b.name(rr.Name, true)
 	b.uint16(uint16(rr.Type()))

@@ -33,9 +33,27 @@ func CanonicalName(s string) string {
 	if s == "" || s == "." {
 		return "."
 	}
-	s = strings.ToLower(s)
+	s = toLowerASCII(s)
 	if !strings.HasSuffix(s, ".") {
 		s += "."
+	}
+	return s
+}
+
+// toLowerASCII lowercases A-Z only. Names are byte strings (RFC 4343):
+// strings.ToLower would rewrite non-UTF-8 label bytes to U+FFFD and
+// silently change the name.
+func toLowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(s)
+			for ; i < len(b); i++ {
+				if 'A' <= b[i] && b[i] <= 'Z' {
+					b[i] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
 	}
 	return s
 }

@@ -81,11 +81,20 @@ func (p *parser) decodeNSEC(end int) (RData, error) {
 	if n.NextName, err = p.name(); err != nil {
 		return nil, err
 	}
+	lastWindow := -1
 	for p.off < end {
 		window, err := p.byte()
 		if err != nil {
 			return nil, err
 		}
+		// RFC 4034 §4.1.2: window blocks in increasing order, no repeats.
+		// Accepting repeats would let duplicate type bits survive to the
+		// re-encoder, which canonicalizes the bitmap and silently changes
+		// the record.
+		if int(window) <= lastWindow {
+			return nil, fmt.Errorf("dnswire: NSEC bitmap windows not ascending")
+		}
+		lastWindow = int(window)
 		length, err := p.byte()
 		if err != nil {
 			return nil, err

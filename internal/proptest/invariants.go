@@ -1,0 +1,93 @@
+package proptest
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Check evaluates every cross-component invariant over one run. A failed
+// invariant means the simulator violated its own accounting or protocol
+// contracts on a random scenario — exactly the defect class that silently
+// skews the paper's tables when it hides in a curated experiment.
+func Check(res *RunResult) []metrics.Invariant {
+	sc := res.Scenario
+
+	// Exactly-once callback delivery for stub and resolver paths.
+	var undelivered, duplicated int64
+	// TTL monotonicity: no client-visible TTL above the profile's bound.
+	var ttlViolations int64
+	var worstTTL uint32
+	// Outcome partition for packet-path queries.
+	var stubTotal, stubTimeouts, stubAnswered int64
+	for _, o := range res.Obs {
+		switch {
+		case o.Calls == 0:
+			undelivered++
+		case o.Calls > 1:
+			duplicated++
+		}
+		bound := sc.TTLBound(sc.Resolvers[o.Query.Resolver], sc.LeafTTL)
+		for _, ttl := range o.AnswerTTLs {
+			if ttl > bound {
+				ttlViolations++
+				if ttl > worstTTL {
+					worstTTL = ttl
+				}
+			}
+		}
+		if !o.Query.Direct && o.Calls > 0 {
+			stubTotal++
+			if o.Timeout {
+				stubTimeouts++
+			} else {
+				stubAnswered++
+			}
+		}
+	}
+
+	invs := []metrics.Invariant{
+		metrics.EqualInt("callbacks_none_lost",
+			undelivered, 0, "undelivered", "zero"),
+		metrics.EqualInt("callbacks_none_duplicated",
+			duplicated, 0, "duplicated", "zero"),
+		{
+			Name: "ttl_monotonic",
+			OK:   ttlViolations == 0,
+			Detail: fmt.Sprintf("violations=%d worst=%d zone_ttl=%d",
+				ttlViolations, worstTTL, sc.LeafTTL),
+		},
+		metrics.EqualInt("stub_outcomes_partition",
+			stubTotal, stubTimeouts+stubAnswered,
+			"stub_queries", "timeouts+answered"),
+		// Packet conservation: everything sent is delivered, dropped by
+		// the loss window, or dead-lettered — nothing vanishes.
+		metrics.EqualInt("netsim_packets_conserved",
+			res.Net.Sent, res.Net.Delivered+res.Net.Dropped+res.Net.Dead,
+			"sent", "delivered+dropped+dead"),
+		// Event-loop conservation: at full drain every scheduled event
+		// either fired or was canceled, and none remain pending.
+		metrics.EqualInt("clock_events_conserved",
+			res.Scheduled, res.Fired+res.Stopped,
+			"scheduled", "fired+stopped"),
+		metrics.EqualInt("clock_drained",
+			int64(res.Pending), 0, "pending", "zero"),
+	}
+
+	for i, st := range res.Stats {
+		p := sc.Resolvers[i]
+		// Every client query a resolver accepted produced exactly one
+		// response by drain time (stale, SERVFAIL, or answer).
+		invs = append(invs, metrics.EqualInt(
+			fmt.Sprintf("resolver%02d_responses_match_queries", i),
+			st.ClientQueries, st.ClientResponses,
+			"client_queries", "client_responses"))
+		// Stale answers may only come from serve-stale profiles.
+		if !p.ServeStale {
+			invs = append(invs, metrics.EqualInt(
+				fmt.Sprintf("resolver%02d_no_stale_serves", i),
+				st.StaleServes, 0, "stale_serves", "zero"))
+		}
+	}
+	return invs
+}

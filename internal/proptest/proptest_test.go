@@ -1,0 +1,206 @@
+package proptest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/recursive"
+)
+
+func mustRun(t *testing.T, seed int64) *RunResult {
+	t.Helper()
+	w, err := NewWorld(Generate(seed))
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return w.Run()
+}
+
+// TestRandomScenarioInvariants runs a spread of generated ecosystems and
+// requires every conservation and metamorphic invariant to hold on each.
+func TestRandomScenarioInvariants(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		res := mustRun(t, seed)
+		for _, inv := range res.Report.Invariants {
+			if !inv.OK {
+				t.Errorf("seed %d: invariant %s failed: %s", seed, inv.Name, inv.Detail)
+			}
+		}
+	}
+}
+
+// TestRunReportDeterministic requires the same seed to produce a
+// byte-identical run report across independent builds of the world.
+func TestRunReportDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 42} {
+		a := mustRun(t, seed)
+		b := mustRun(t, seed)
+		if len(a.ReportJSON) == 0 {
+			t.Fatalf("seed %d: empty report", seed)
+		}
+		if !bytes.Equal(a.ReportJSON, b.ReportJSON) {
+			t.Errorf("seed %d: reports differ across runs of the same scenario", seed)
+		}
+	}
+}
+
+// TestStaleRefreshProperty is the directed property behind the serve-stale
+// bugfix: across randomized TTLs, shard counts, and path delays, a
+// resolver that answers a client with stale data must still absorb the
+// late upstream answer into its cache. The delay is drawn so the answer
+// lands after the 1.8 s stale-answer timer but inside the 3 s query
+// timeout — the exact window the pre-fix code discarded.
+func TestStaleRefreshProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Scenario{
+			Seed:     seed,
+			LeafZone: "leaf.test.",
+			LeafTTL:  uint32(10 + rng.Intn(50)),
+			NegTTL:   30,
+			Names:    []string{"n0.leaf.test."},
+			Resolvers: []ResolverProfile{{
+				Shards:         1 + rng.Intn(4),
+				ServeStale:     true,
+				InitialTimeout: 3 * time.Second,
+			}},
+			Clients: []int{0},
+		}
+		w, err := NewWorld(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Resolvers[0]
+		name := sc.Names[0]
+
+		warmed := false
+		r.Resolve(name, dnswire.TypeAAAA, 0, func(res recursive.Result) {
+			warmed = len(res.Answers) > 0
+		})
+		w.Clk.RunFor(10 * time.Second)
+		if !warmed {
+			t.Fatalf("seed %d: warm resolution failed", seed)
+		}
+		// Expire the record, then slow the path to both leaf servers.
+		w.Clk.RunFor(time.Duration(sc.LeafTTL)*time.Second + 5*time.Second)
+		delay := time.Duration(1000+rng.Intn(400)) * time.Millisecond
+		w.Net.SetPairDelay(ResolverAddr(0), leaf1Addr, delay)
+		w.Net.SetPairDelay(ResolverAddr(0), leaf2Addr, delay)
+
+		stale := false
+		r.Resolve(name, dnswire.TypeAAAA, 0, func(res recursive.Result) {
+			stale = res.Stale
+		})
+		w.Clk.Run()
+		if !stale {
+			t.Fatalf("seed %d: expected a stale answer (delay %v)", seed, delay)
+		}
+		v := r.Cache().Get(cache.Key{Name: name, Type: dnswire.TypeAAAA}, 0)
+		if !v.Hit || v.Stale {
+			t.Errorf("seed %d: late refresh answer was not recached (delay %v): %+v",
+				seed, delay, v)
+		}
+	}
+}
+
+// TestCacheCredibilityModel drives the cache with random operation
+// sequences against a reference model of the RFC 2181 §5.4.1 contract:
+// lower-rank data never overwrites fresher higher-rank data, and lookups
+// return exactly what the surviving store said, for the effective
+// (capped/floored) TTL. Reverting cache.Put's rank guard makes this fail
+// within a few seeds.
+func TestCacheCredibilityModel(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		runCacheModel(t, seed)
+	}
+}
+
+type modelEntry struct {
+	rank    cache.Rank
+	expires time.Time
+	addr    string
+}
+
+func runCacheModel(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	clk := clock.NewVirtual(worldEpoch)
+	cfg := cache.Config{}
+	if rng.Intn(2) == 1 {
+		cfg.MaxTTL = time.Duration(5+rng.Intn(60)) * time.Second
+	}
+	if rng.Intn(3) == 0 {
+		cfg.MinTTL = time.Duration(2+rng.Intn(10)) * time.Second
+	}
+	c := cache.New(clk, cfg)
+
+	model := map[string]*modelEntry{}
+	keys := []string{"a.test.", "b.test.", "c.test."}
+	nextAddr := 0
+
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // Put a one-record RRset with a unique address.
+			name := keys[rng.Intn(len(keys))]
+			rank := cache.Rank(1 + rng.Intn(3))
+			ttl := uint32(1 + rng.Intn(90))
+			nextAddr++
+			addr := fmt.Sprintf("10.%d.%d.%d",
+				nextAddr/65536%256, nextAddr/256%256, nextAddr%256)
+			c.Put(cache.Key{Name: name, Type: dnswire.TypeA}, cache.Entry{
+				Records: []dnswire.RR{{
+					Name: name, Class: dnswire.ClassIN, TTL: ttl,
+					Data: dnswire.A{Addr: dnswire.MustAddr(addr)},
+				}},
+				Rank: rank,
+			}, 0)
+			now := clk.Now()
+			if m, ok := model[name]; ok && m.rank > rank && m.expires.After(now) {
+				break // the model predicts the store is rejected
+			}
+			model[name] = &modelEntry{
+				rank:    rank,
+				expires: now.Add(effectiveTTL(ttl, cfg)),
+				addr:    addr,
+			}
+		case 2:
+			clk.RunFor(time.Duration(rng.Intn(30_000)) * time.Millisecond)
+		case 3: // Get and compare against the model.
+			name := keys[rng.Intn(len(keys))]
+			v := c.Get(cache.Key{Name: name, Type: dnswire.TypeA}, 0)
+			m, ok := model[name]
+			fresh := ok && m.expires.After(clk.Now())
+			if v.Hit != fresh {
+				t.Fatalf("seed %d step %d: %s hit=%v, model fresh=%v",
+					seed, step, name, v.Hit, fresh)
+			}
+			if !v.Hit {
+				break
+			}
+			got := v.Records[0].Data.(dnswire.A).Addr.String()
+			if got != m.addr || v.Rank != m.rank {
+				t.Fatalf("seed %d step %d: %s cache=(%s, rank %d), model=(%s, rank %d)",
+					seed, step, name, got, v.Rank, m.addr, m.rank)
+			}
+		}
+	}
+}
+
+// effectiveTTL mirrors the cache's store-time TTL rewrite: cap first,
+// then floor.
+func effectiveTTL(ttl uint32, cfg cache.Config) time.Duration {
+	d := time.Duration(ttl) * time.Second
+	if cfg.MaxTTL > 0 && d > cfg.MaxTTL {
+		d = cfg.MaxTTL
+	}
+	if cfg.MinTTL > 0 && d < cfg.MinTTL {
+		d = cfg.MinTTL
+	}
+	return d
+}

@@ -57,6 +57,9 @@ func (t *task) forwardNext() {
 
 func (t *task) handleForwardResponse(m *dnswire.Message) {
 	if t.done {
+		// Same refresh contract as the iterative path: a reply landing
+		// after the client was answered stale still repopulates the cache.
+		t.absorbLateResponse(m)
 		return
 	}
 	switch m.RCode {

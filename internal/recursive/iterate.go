@@ -297,6 +297,12 @@ func (t *task) tryNextServer() {
 // handleResponse processes an upstream reply for the current fetch.
 func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 	if t.done {
+		// The client was already answered (stale data or a timeout
+		// SERVFAIL) but this fetch was still in flight. The refresh
+		// contract (armStaleTimer) requires its result to repopulate the
+		// cache: dropping it here would leave a serve-stale resolver
+		// answering stale long after the upstream recovered.
+		t.absorbLateResponse(m)
 		return
 	}
 	switch m.RCode {
@@ -329,6 +335,41 @@ func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 	// Empty, non-authoritative, no referral: lame.
 	t.r.m.lame.Inc()
 	t.tryNextServer()
+}
+
+// absorbLateResponse caches what a late upstream reply teaches without
+// touching the already-delivered client result: positive answers at
+// answer rank (with their in-bailiwick authority and glue sections), and
+// NXDOMAIN/NODATA negatives. Referrals are not chased — the background
+// refresh ends with whichever response lands, it never spawns new
+// queries for a client that is no longer waiting.
+func (t *task) absorbLateResponse(m *dnswire.Message) {
+	switch m.RCode {
+	case dnswire.RCodeNoError:
+	case dnswire.RCodeNXDomain:
+		t.cacheNegative(m, true)
+		t.r.m.lateAnswers.Inc()
+		return
+	default:
+		return
+	}
+	if len(m.Answers) > 0 {
+		if !t.validateAnswer(m) {
+			return
+		}
+		t.cacheRRs(m.Answers, cache.RankAnswer)
+		t.cacheAuthorityAndGlue(m)
+		t.r.m.lateAnswers.Inc()
+		return
+	}
+	// NODATA: trustworthy from an authoritative source, or from the
+	// upstream recursive when forwarding (forwarders never set AA).
+	if m.Authoritative || len(t.r.cfg.Forwarders) > 0 {
+		if soaOf(m).Data != nil {
+			t.cacheNegative(m, false)
+			t.r.m.lateAnswers.Inc()
+		}
+	}
 }
 
 // handleAnswer caches the answer RRsets and finishes or restarts on a
@@ -403,10 +444,19 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 	var addrs []netsim.Addr
 	glueHosts := make(map[string][]netsim.Addr)
 	for _, rr := range m.Additionals {
-		if a, ok := rr.Data.(dnswire.A); ok {
-			host := dnswire.CanonicalName(rr.Name)
-			glueHosts[host] = append(glueHosts[host], netsim.Addr(a.Addr.String()))
+		a, ok := rr.Data.(dnswire.A)
+		if !ok {
+			continue
 		}
+		host := dnswire.CanonicalName(rr.Name)
+		if !dnswire.IsSubdomain(host, newZone) {
+			// Out-of-bailiwick glue: the parent has no authority over
+			// addresses outside the zone it is delegating, so a response
+			// volunteering them is the classic poisoning vector. Such NS
+			// hosts are resolved independently below instead.
+			continue
+		}
+		glueHosts[host] = append(glueHosts[host], netsim.Addr(a.Addr.String()))
 	}
 	var hosts []string
 	for _, rr := range ns {
@@ -633,7 +683,12 @@ func (t *task) cacheRRs(rrs []dnswire.RR, rank cache.Rank) {
 	}
 }
 
-// cacheAuthorityAndGlue stores referral NS sets and glue addresses.
+// cacheAuthorityAndGlue stores referral NS sets and in-bailiwick glue
+// addresses. Glue credibility is scoped by the delegation: an
+// additional-section record is cached only when it is an address record
+// whose owner sits inside the zone the NS set covers. Anything else —
+// addresses outside the bailiwick, or non-address types such as the EDNS
+// OPT pseudo-record — is dropped, never cached.
 func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 	if t.r.cfg.NoCache {
 		return
@@ -649,7 +704,35 @@ func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 		rank = cache.RankAnswer
 	}
 	t.cacheRRs(nsRRs, rank)
-	t.cacheRRs(m.Additionals, cache.RankAdditional)
+
+	bailiwick := ""
+	if len(nsRRs) > 0 {
+		bailiwick = dnswire.CanonicalName(nsRRs[0].Name)
+	} else {
+		// An authoritative NS answer (no authority NS set) still carries
+		// its glue in the additional section; scope it to the answer's
+		// owner zone.
+		for _, rr := range m.Answers {
+			if rr.Type() == dnswire.TypeNS {
+				bailiwick = dnswire.CanonicalName(rr.Name)
+				break
+			}
+		}
+	}
+	if bailiwick == "" {
+		return // no NS set in sight: no additional is credible
+	}
+	var glue []dnswire.RR
+	for _, rr := range m.Additionals {
+		if typ := rr.Type(); typ != dnswire.TypeA && typ != dnswire.TypeAAAA {
+			continue
+		}
+		if !dnswire.IsSubdomain(dnswire.CanonicalName(rr.Name), bailiwick) {
+			continue
+		}
+		glue = append(glue, rr)
+	}
+	t.cacheRRs(glue, cache.RankAdditional)
 }
 
 // cacheNegative stores an NXDOMAIN or NODATA entry for the current name.

@@ -166,6 +166,10 @@ type Stats struct {
 	CacheMisses     int64
 	NegativeHits    int64
 	StaleServes     int64
+	// LateAnswers counts upstream responses that arrived after the client
+	// was already answered (stale serve or timeout) and were absorbed into
+	// the cache — the serve-stale refresh completing late.
+	LateAnswers     int64
 	UpstreamQueries int64
 	UpstreamRetries int64
 	Timeouts        int64
@@ -183,6 +187,7 @@ type counters struct {
 	cacheMisses     metrics.Counter
 	negativeHits    metrics.Counter
 	staleServes     metrics.Counter
+	lateAnswers     metrics.Counter
 	upstreamQueries metrics.Counter
 	upstreamRetries metrics.Counter
 	timeouts        metrics.Counter
@@ -260,6 +265,7 @@ func (r *Resolver) Stats() Stats {
 		CacheMisses:     r.m.cacheMisses.Value(),
 		NegativeHits:    r.m.negativeHits.Value(),
 		StaleServes:     r.m.staleServes.Value(),
+		LateAnswers:     r.m.lateAnswers.Value(),
 		UpstreamQueries: r.m.upstreamQueries.Value(),
 		UpstreamRetries: r.m.upstreamRetries.Value(),
 		Timeouts:        r.m.timeouts.Value(),
@@ -279,6 +285,7 @@ func (r *Resolver) CollectMetrics(s *metrics.Scope) {
 	s.Counter("cache_misses").Add(r.m.cacheMisses.Value())
 	s.Counter("negative_hits").Add(r.m.negativeHits.Value())
 	s.Counter("stale_serves").Add(r.m.staleServes.Value())
+	s.Counter("late_answers").Add(r.m.lateAnswers.Value())
 	s.Counter("upstream_queries").Add(r.m.upstreamQueries.Value())
 	s.Counter("upstream_retries").Add(r.m.upstreamRetries.Value())
 	s.Counter("timeouts").Add(r.m.timeouts.Value())

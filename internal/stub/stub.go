@@ -105,15 +105,16 @@ func (c *Client) Query(server netsim.Addr, name string, qtype dnswire.Type, cb f
 }
 
 func (c *Client) sendAttempt(p *pending) {
-	c.nextID++
-	if c.nextID == 0 {
-		c.nextID++
-	}
 	for {
+		c.nextID++
+		if c.nextID == 0 {
+			// ID 0 is the "never in flight" sentinel and must be skipped
+			// on every wraparound, including mid-busy-scan.
+			continue
+		}
 		if _, busy := c.inflight[c.nextID]; !busy {
 			break
 		}
-		c.nextID++
 	}
 	p.id = c.nextID
 	p.sentAt = c.clk.Now()

@@ -116,6 +116,36 @@ func TestLateAndForeignResponsesIgnored(t *testing.T) {
 	}
 }
 
+// TestIDWraparoundSkipsZero parks the allocator just below the 16-bit
+// wraparound with the last ID busy, so the busy-scan must step
+// 65535 -> 0 -> 1. Pre-fix, the scan incremented straight onto the
+// reserved ID 0 and assigned it.
+func TestIDWraparoundSkipsZero(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	echoServer(t, net, "10.0.0.53")
+	c := New(clk, Config{})
+	c.Attach(net, "10.9.0.1")
+
+	blocker := &pending{}
+	c.nextID = 65534
+	c.inflight[65535] = blocker
+
+	var got Result
+	c.Query("10.0.0.53", "wrap.cachetest.nl.", dnswire.TypeAAAA, func(r Result) { got = r })
+	if _, busy := c.inflight[0]; busy {
+		t.Fatal("allocator assigned the reserved ID 0")
+	}
+	if p, busy := c.inflight[1]; !busy || p == blocker {
+		t.Fatalf("expected the query at ID 1 after wraparound; got %v", c.inflight)
+	}
+	delete(c.inflight, 65535)
+	clk.Run()
+	if got.Err != nil || got.Msg == nil {
+		t.Fatalf("query did not complete: %+v", got)
+	}
+}
+
 func TestConcurrentQueriesKeepIDsDistinct(t *testing.T) {
 	clk := clock.NewVirtual(epoch)
 	net := netsim.New(clk, 1)

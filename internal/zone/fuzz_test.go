@@ -1,0 +1,56 @@
+package zone
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzMasterFile asserts that the master-file parser never panics and that
+// Marshal's claim holds on everything the parser accepts: the output
+// re-parses into a zone with the same origin, the same owner names, and
+// the same number of records. (Record contents are not compared byte for
+// byte — TXT strings are re-escaped on output — but names and shape must
+// survive.)
+func FuzzMasterFile(f *testing.F) {
+	f.Add(`$ORIGIN example.nl.
+$TTL 3600
+@ IN SOA ns1.example.nl. host.example.nl. 1 7200 3600 864000 60
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www 300 IN AAAA 2001:db8::1
+alias IN CNAME www
+@ IN MX 10 mail.example.nl.
+@ IN TXT "v=spf1 -all" "second string"
+sub 3600 IN NS ns1.sub
+ns1.sub IN A 192.0.2.53
+`)
+	f.Add("$ORIGIN test.\n@ 60 IN SOA ns. h. 1 2 3 4 5\n@ IN NS ns.\n")
+	f.Add("www IN A 192.0.2.1\n")
+	f.Add("$TTL abc\n")
+	f.Add("@ IN TXT \"unterminated\n")
+	f.Add("a ( b\n c ) IN A 192.0.2.1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := ParseString(text, "example.nl.")
+		if err != nil {
+			return
+		}
+		out := z.MarshalString()
+		z2, err := ParseString(out, "")
+		if err != nil {
+			t.Fatalf("marshaled zone does not re-parse: %v\n%s", err, out)
+		}
+		if z2.Origin() != z.Origin() {
+			t.Fatalf("origin changed: %q -> %q", z.Origin(), z2.Origin())
+		}
+		if z2.Len() != z.Len() {
+			t.Fatalf("record count changed: %d -> %d\n%s", z.Len(), z2.Len(), out)
+		}
+		n1, n2 := z.Names(), z2.Names()
+		sort.Strings(n1)
+		sort.Strings(n2)
+		if strings.Join(n1, "\n") != strings.Join(n2, "\n") {
+			t.Fatalf("owner names changed:\nbefore: %v\nafter:  %v\n%s", n1, n2, out)
+		}
+	})
+}

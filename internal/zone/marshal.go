@@ -49,8 +49,14 @@ func (z *Zone) Marshal(w io.Writer) error {
 
 	for _, k := range keys {
 		for _, rr := range sets[k] {
+			// The apex prints as "@": an owner column equal to a "$"-prefixed
+			// origin would otherwise re-parse as a directive.
+			owner := rr.Name
+			if owner == z.origin {
+				owner = "@"
+			}
 			line := fmt.Sprintf("%s %d %s %s %s\n",
-				rr.Name, rr.TTL, rr.Class, rr.Type(), rr.Data)
+				owner, rr.TTL, rr.Class, rr.Type(), rr.Data)
 			if _, err := io.WriteString(w, line); err != nil {
 				return err
 			}
