@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot fuzz
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot fuzz
 
 all: check
 
@@ -36,3 +36,21 @@ fuzz:
 # for the hot-path micro-benchmarks. See scripts/bench_snapshot.sh.
 bench-snapshot:
 	./scripts/bench_snapshot.sh
+
+# Sharded-engine scale gate: one 100k-probe 4-shard DDoS run (spec H)
+# under the race detector with a peak-RSS ceiling. Small cells keep the
+# resident set inside CI-runner memory even with the race detector's
+# shadow overhead.
+SCALE_PROBES ?= 100000
+SCALE_SHARDS ?= 4
+SCALE_SHARD_PROBES ?= 2048
+SCALE_RSS_MB ?= 6144
+scale-smoke:
+	SCALE_SMOKE=1 SCALE_PROBES=$(SCALE_PROBES) SCALE_SHARDS=$(SCALE_SHARDS) \
+	SCALE_SHARD_PROBES=$(SCALE_SHARD_PROBES) SCALE_RSS_MB=$(SCALE_RSS_MB) \
+	$(GO) test -race -run '^TestScaleSmoke$$' -timeout 60m -v .
+
+# Writes BENCH_scale.json (probes/shards -> wall time, peak_rss_mb, vps)
+# for the sharded engine, one process per configuration.
+scale-snapshot:
+	./scripts/bench_snapshot.sh scale

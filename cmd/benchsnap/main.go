@@ -1,8 +1,10 @@
 // Command benchsnap converts `go test -bench` output on stdin into a JSON
 // snapshot: {"BenchmarkName": {"ns_per_op": ..., "bytes_per_op": ...,
 // "allocs_per_op": ...}}. Only fields present in a line are emitted, so it
-// works with and without -benchmem. Used by scripts/bench_snapshot.sh to
-// record BENCH_parallel.json.
+// works with and without -benchmem. Custom units reported through
+// b.ReportMetric (e.g. "peak_rss_mb", "vps") land in a "metrics" object.
+// Used by scripts/bench_snapshot.sh to record BENCH_parallel.json and
+// BENCH_scale.json.
 package main
 
 import (
@@ -19,6 +21,8 @@ type result struct {
 	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds b.ReportMetric units keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -78,13 +82,24 @@ func parseLine(line string) (string, result, bool) {
 			continue
 		}
 		v := parsed // each unit keeps its own pointee
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp, found = &v, true
 		case "B/op":
 			r.BytesPerOp, found = &v, true
 		case "allocs/op":
 			r.AllocsPerOp, found = &v, true
+		default:
+			// A custom b.ReportMetric unit; units never start with a
+			// digit, which filters out the iteration count and plain
+			// numbers inside sub-benchmark names.
+			if unit[0] >= '0' && unit[0] <= '9' {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit], found = v, true
 		}
 	}
 	return name, r, found

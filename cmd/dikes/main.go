@@ -12,19 +12,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	dikes "repro"
 )
 
 func main() {
-	probes := flag.Int("probes", 1500, "number of emulated Atlas probes (paper: ~9200)")
+	probes := flag.Int("probes", 1500, "number of emulated Atlas probes (paper: ~9200; with -shards the engine streams populations up to 1e6)")
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	shards := flag.Int("shards", 0, "concurrent population cells per run (0 = monolithic engine); results are byte-identical for any value")
 	exps := flag.String("exp", "A,B,C,D,E,F,G,H,I", "comma-separated DDoS experiments for the ddos subcommand")
 	flag.StringVar(exps, "experiment", "A,B,C,D,E,F,G,H,I", "alias for -exp")
 	harvest := flag.Bool("harvest", true, "enable NS-record harvesting (Unbound-like population)")
@@ -69,14 +74,20 @@ func main() {
 		csvOut = *csvDir
 	}
 
+	// Ctrl-C / SIGTERM cancels the run cooperatively: in-flight cells and
+	// experiment runs finish, partial results are dropped, and the process
+	// exits 130 (exitCancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	switch cmd {
 	case "caching":
-		runCaching(*probes, *seed, *workers)
+		runCaching(ctx, *probes, *seed, *workers, *shards)
 	case "ddos":
-		runDDoS(*probes, *seed, *exps, pop, *workers)
+		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
 	case "glue":
-		runGlue(*probes, *seed)
+		runGlue(ctx, *probes, *seed, *shards)
 	case "passive":
 		runPassive(*seed)
 	case "retries":
@@ -84,11 +95,11 @@ func main() {
 	case "implications":
 		runImplications(*seed)
 	case "check":
-		runCheck(*probes, *seed)
+		runCheck(ctx, *probes, *seed, *shards, *workers)
 	case "all":
-		runCaching(*probes, *seed, *workers)
-		runDDoS(*probes, *seed, *exps, pop, *workers)
-		runGlue(*probes, *seed)
+		runCaching(ctx, *probes, *seed, *workers, *shards)
+		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
+		runGlue(ctx, *probes, *seed, *shards)
 		runPassive(*seed)
 		runRetries(*seed)
 		runImplications(*seed)
@@ -112,6 +123,17 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// exitCancelled reports a context-cancelled run and exits with the
+// conventional SIGINT status.
+func exitCancelled(err error) {
+	if errors.Is(err, dikes.ErrCancelled) {
+		fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+	os.Exit(1)
 }
 
 // reports accumulates each run's report for -report / invariant checking.
@@ -165,7 +187,7 @@ func writeCSV(name, content string) {
 	fmt.Printf("wrote %s\n", path)
 }
 
-func runCaching(probes int, seed int64, workers int) {
+func runCaching(ctx context.Context, probes int, seed int64, workers, shards int) {
 	header("§3 caching baseline (Tables 1-3, Figures 3/13)")
 	configs := []struct {
 		ttl      uint32
@@ -177,15 +199,36 @@ func runCaching(probes int, seed int64, workers int) {
 		{86400, 20 * time.Minute},
 		{3600, 10 * time.Minute},
 	}
-	var cfgs []dikes.CachingConfig
-	for _, c := range configs {
-		fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
-		cfgs = append(cfgs, dikes.CachingConfig{
-			Probes: probes, TTL: c.ttl, ProbeInterval: c.interval,
-			Rounds: 6, Seed: seed,
-		})
+	var results []*dikes.CachingResult
+	if shards > 0 {
+		// Sharded engine: parallelism lives inside each run (cells fan
+		// out across cores), so the configs themselves run in sequence.
+		for _, c := range configs {
+			fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
+			out, err := dikes.Run(ctx, dikes.CachingScenario(), dikes.RunConfig{
+				Probes: probes, Seed: seed, Shards: shards,
+				TTL: c.ttl, ProbeInterval: c.interval, Rounds: 6,
+			})
+			if err != nil {
+				exitCancelled(err)
+			}
+			results = append(results, out.Caching)
+		}
+	} else {
+		var cfgs []dikes.CachingConfig
+		for _, c := range configs {
+			fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
+			cfgs = append(cfgs, dikes.CachingConfig{
+				Probes: probes, TTL: c.ttl, ProbeInterval: c.interval,
+				Rounds: 6, Seed: seed,
+			})
+		}
+		var err error
+		results, err = dikes.RunCachingSweepCtx(ctx, cfgs, workers)
+		if err != nil {
+			exitCancelled(err)
+		}
 	}
-	results := dikes.RunCachingSweep(cfgs, workers)
 	for _, res := range results {
 		collectReport(res.Report)
 	}
@@ -196,7 +239,7 @@ func runCaching(probes int, seed int64, workers int) {
 		results[1].Fig13.Table([]string{"AA", "CC", "AC", "CA", "Warmup"}))
 }
 
-func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig, workers int) {
+func runDDoS(ctx context.Context, probes int, seed int64, exps string, pop dikes.PopulationConfig, workers, shards int) {
 	header("§5-6 DDoS emulations (Table 4, Figures 6-12, 14-15)")
 	var specs []dikes.DDoSSpec
 	for _, name := range strings.Split(exps, ",") {
@@ -210,12 +253,37 @@ func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig, wo
 			spec.Name, spec.TTL, spec.Loss*100)
 		specs = append(specs, spec)
 	}
-	results, testbeds := dikes.RunDDoSMatrixWithTestbeds(specs, probes, seed, pop, workers)
+	var results []*dikes.DDoSResult
+	var worlds []*dikes.ShardedTestbed
+	if shards > 0 {
+		// Sharded engine: run specs in sequence; each run fans its cells
+		// across cores and streams them into bounded-memory accumulators.
+		// Worlds are retained only where the drill-down needs them.
+		for _, spec := range specs {
+			out, err := dikes.Run(ctx, dikes.DDoSScenario(spec), dikes.RunConfig{
+				Probes: probes, Seed: seed, Population: pop,
+				Shards: shards, KeepWorlds: spec.Name == "I",
+			})
+			if err != nil {
+				exitCancelled(err)
+			}
+			results = append(results, out.DDoS)
+			worlds = append(worlds, out.Worlds)
+		}
+	} else {
+		var testbeds []*dikes.Testbed
+		results, testbeds = dikes.RunDDoSMatrixWithTestbeds(specs, probes, seed, pop, workers)
+		for _, tb := range testbeds {
+			worlds = append(worlds, &dikes.ShardedTestbed{
+				ShardProbes: probes, Shards: []*dikes.Testbed{tb},
+			})
+		}
+	}
 	for _, res := range results {
 		collectReport(res.Report)
 	}
 	for i, res := range results {
-		spec, tb := specs[i], testbeds[i]
+		spec := specs[i]
 
 		fmt.Printf("\nFigure 6/8/14 (exp %s): answers per round\n%s", spec.Name,
 			res.Answers.Table([]string{"OK", "SERVFAIL", "NoAnswer"}))
@@ -234,19 +302,25 @@ func runDDoS(probes int, seed int64, exps string, pop dikes.PopulationConfig, wo
 			dikes.SeriesCSV(res.AuthQueries, []string{"NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"}))
 		writeCSV("fig11-amplification-exp"+spec.Name+".csv", dikes.AmplificationCSV(res))
 		writeCSV("fig12-uniquern-exp"+spec.Name+".csv", dikes.UniqueRnCSV(res))
-		if spec.Name == "I" {
-			probe := dikes.BusiestProbe(tb)
+		if spec.Name == "I" && worlds[i] != nil {
+			ref := worlds[i].BusiestProbe()
 			fmt.Printf("Table 7 (exp I): per-probe drill-down\n%s",
-				dikes.RenderTable7(dikes.PerProbe(tb, res, probe)))
+				dikes.RenderTable7(worlds[i].PerProbe(res, ref)))
 		}
 	}
 	fmt.Printf("\nTable 4: experiment matrix\n%s", dikes.RenderTable4(results))
 }
 
-func runGlue(probes int, seed int64) {
+func runGlue(ctx context.Context, probes int, seed int64, shards int) {
 	header("Appendix A: glue vs authoritative TTL (Table 5)")
-	res := dikes.RunGlueVsAuth(probes, seed, dikes.PopulationConfig{})
-	fmt.Print(dikes.RenderTable5(res))
+	out, err := dikes.Run(ctx, dikes.GlueScenario(), dikes.RunConfig{
+		Probes: probes, Seed: seed, Shards: shards,
+	})
+	if err != nil {
+		exitCancelled(err)
+	}
+	collectReport(out.Report)
+	fmt.Print(dikes.RenderTable5(out.Glue))
 }
 
 func runPassive(seed int64) {
@@ -271,9 +345,15 @@ func runPassive(seed int64) {
 	}
 }
 
-func runCheck(probes int, seed int64) {
+func runCheck(ctx context.Context, probes int, seed int64, shards, workers int) {
 	header("reproduction self-test (paper claims vs this run)")
-	table, ok := dikes.RenderCheck(dikes.Check(probes, seed))
+	out, err := dikes.Run(ctx, dikes.CheckScenario(), dikes.RunConfig{
+		Probes: probes, Seed: seed, Shards: shards, Workers: workers,
+	})
+	if err != nil {
+		exitCancelled(err)
+	}
+	table, ok := dikes.RenderCheck(out.Check)
 	fmt.Print(table)
 	if !ok {
 		fmt.Println("\nself-test FAILED")

@@ -225,6 +225,69 @@ type (
 	ClassifyTracker = classify.Tracker
 )
 
+// Scenario API — the unified, cancellable, shard-capable entry point for
+// every experiment family (DESIGN.md §11). Construct a Scenario, describe
+// the run with a RunConfig, and execute it with Run:
+//
+//	spec, _ := dikes.SpecByName("H")
+//	out, err := dikes.Run(ctx, dikes.DDoSScenario(spec), dikes.RunConfig{
+//		Probes: 1_000_000, Seed: 42, Shards: 8,
+//	})
+//
+// Shards > 0 selects the sharded streaming engine: the population is
+// split into fixed-size cells that run concurrently and merge into
+// bounded-memory accumulators; results are byte-identical for every
+// shard count. Shards == 0 runs the legacy monolithic engine.
+type (
+	// Scenario is a runnable experiment family.
+	Scenario = experiment.Scenario
+	// RunConfig describes one scenario execution (scale, seed, sharding,
+	// cancellation-relevant fan-out width).
+	RunConfig = experiment.RunConfig
+	// Outcome bundles whichever results the scenario produced plus the
+	// merged run report.
+	Outcome = experiment.Outcome
+	// ShardedTestbed is the retained per-cell worlds of a KeepWorlds run.
+	ShardedTestbed = experiment.ShardedTestbed
+	// ProbeRef addresses one probe inside a sharded run.
+	ProbeRef = experiment.ProbeRef
+)
+
+// Scenario constructors and the runner.
+var (
+	// Run executes a scenario; it returns ErrCancelled-wrapped errors
+	// (with partial results) when ctx fires mid-run.
+	Run = experiment.Run
+	// DDoSScenario is a Table 4 attack emulation as a Scenario.
+	DDoSScenario = experiment.DDoSScenario
+	// CachingScenario is a §3 caching baseline as a Scenario.
+	CachingScenario = experiment.CachingScenario
+	// GlueScenario is the Appendix A TTL-trust experiment as a Scenario.
+	GlueScenario = experiment.GlueScenario
+	// CheckScenario is the reproduction self-test as a Scenario.
+	CheckScenario = experiment.CheckScenario
+	// RunDDoSMatrixCtx is the cancellable Table 4 matrix runner.
+	RunDDoSMatrixCtx = experiment.RunDDoSMatrixCtx
+	// RunCachingSweepCtx is the cancellable §3 sweep runner.
+	RunCachingSweepCtx = experiment.RunCachingSweepCtx
+	// ReplicateCtx is the cancellable multi-seed replicator.
+	ReplicateCtx = experiment.ReplicateCtx
+)
+
+// ErrCancelled is returned (wrapped) by Run and the *Ctx fan-outs when
+// the context fires; partial results accompany it where possible.
+var ErrCancelled = experiment.ErrCancelled
+
+// Sharding limits.
+const (
+	// DefaultShardProbes is the cell size used when Shards > 0 and
+	// ShardProbes is left zero.
+	DefaultShardProbes = experiment.DefaultShardProbes
+	// MaxShardProbes is the largest allowed cell (probe IDs are
+	// cell-local uint16s).
+	MaxShardProbes = experiment.MaxShardProbes
+)
+
 // Experiment runners — one per paper table/figure family.
 type (
 	// CachingConfig parameterizes a §3 caching baseline run.

@@ -8,7 +8,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
-	"repro/internal/vantage"
 )
 
 // CachingConfig parameterizes one §3 baseline run (a column of Table 1).
@@ -76,9 +75,24 @@ type CachingResult struct {
 	Report *metrics.Report
 }
 
-// RunCaching executes one caching baseline experiment.
+// RunCaching executes one caching baseline experiment. For sharded,
+// cancellable runs route through Run with CachingScenario instead.
 func RunCaching(cfg CachingConfig) *CachingResult {
-	cfg = cfg.withDefaults()
+	res, _ := runCachingTestbed(cfg.withDefaults())
+	return res
+}
+
+// runCachingTestbed builds and runs one caching world — the whole
+// monolithic population or one cell — and analyzes it.
+func runCachingTestbed(cfg CachingConfig) (*CachingResult, *Testbed) {
+	tb := runCachingWorld(cfg)
+	return analyzeCaching(cfg, tb), tb
+}
+
+// runCachingWorld builds, schedules, and runs one caching testbed
+// without analyzing it (the sharded engine analyzes into an
+// accumulator instead).
+func runCachingWorld(cfg CachingConfig) *Testbed {
 	tb := NewTestbed(TestbedConfig{
 		Probes:      cfg.Probes,
 		TTL:         cfg.TTL,
@@ -90,71 +104,17 @@ func RunCaching(cfg CachingConfig) *CachingResult {
 	tb.ScheduleRotations(total + RotationInterval)
 	tb.Fleet.Schedule(tb.Start, cfg.ProbeInterval, 5*time.Minute, cfg.Rounds)
 	tb.Clk.RunUntil(tb.Start.Add(total + 10*time.Minute))
-
-	return analyzeCaching(cfg, tb)
+	return tb
 }
 
+// analyzeCaching runs the shared accumulator pipeline over one testbed
+// (see stream.go) and attaches the run report.
 func analyzeCaching(cfg CachingConfig, tb *Testbed) *CachingResult {
-	res := &CachingResult{Config: cfg}
-	res.Fig13 = stats.NewRoundSeries(tb.Start, cfg.ProbeInterval)
-
-	answers := tb.Fleet.AllAnswers()
-	res.Table1 = tabulateTable1(cfg, tb, answers)
-
-	// Rn attribution for Table 3: which resolvers fetched each
-	// (probe, zone-round) from the authoritatives.
-	fetchers := indexFetchers(tb)
-
-	byVP := vantage.ByVP(answers)
-	for _, list := range byVP {
-		valid := 0
-		for _, a := range list {
-			if a.Ok() {
-				valid++
-			}
-		}
-		if valid == 1 {
-			res.Table2.OneAnswerVPs++
-			continue
-		}
-		tracker := classify.NewTracker()
-		for _, a := range list {
-			if !a.Ok() {
-				continue
-			}
-			out := tracker.Classify(a, tb.SerialAt(a.SentAt))
-			res.Table2.Add(out)
-			res.Fig13.Add(a.SentAt, out.Category.String(), 1)
-			if out.Category == classify.AC {
-				res.tabulateTable3(tb, a, fetchers)
-			}
-		}
-	}
-	res.Table2.AnswersValid = res.Table1.AnswersValid
-	res.MissRate = res.Table2.MissRate()
+	ac := newCachingAccum(cfg, tb.Start)
+	ac.absorb(tb)
+	res := ac.finalize()
 	res.Report = buildCachingReport(cfg, tb, res)
 	return res
-}
-
-func tabulateTable1(cfg CachingConfig, tb *Testbed, answers []vantage.Answer) Table1 {
-	t1 := Table1{TTL: cfg.TTL, Probes: cfg.Probes, VPs: tb.Pop.VPCount()}
-	probeOK := make(map[uint16]bool)
-	for _, a := range answers {
-		t1.Queries++
-		if a.Timeout {
-			continue
-		}
-		t1.Answers++
-		if a.Ok() {
-			t1.AnswersValid++
-			probeOK[a.ProbeID] = true
-		} else {
-			t1.AnswersDisc++
-		}
-	}
-	t1.ProbesValid = len(probeOK)
-	t1.ProbesDisc = cfg.Probes - t1.ProbesValid
-	return t1
 }
 
 // fetcherKey identifies one probe's name in one zone round.
@@ -175,37 +135,4 @@ func indexFetchers(tb *Testbed) map[fetcherKey][]netsim.Addr {
 		idx[k] = append(idx[k], ev.Src)
 	}
 	return idx
-}
-
-// tabulateTable3 attributes one AC answer to its entry path.
-func (res *CachingResult) tabulateTable3(tb *Testbed, a vantage.Answer, fetchers map[fetcherKey][]netsim.Addr) {
-	res.Table3.ACAnswers++
-	meta := tb.Pop.R1Meta[a.Recursive]
-	if meta.Public {
-		res.Table3.PublicR1++
-		if meta.Google {
-			res.Table3.GoogleR1++
-		} else {
-			res.Table3.OtherPublicR1++
-		}
-		return
-	}
-	res.Table3.NonPublicR1++
-	// Did the fetch emerge from a Google backend?
-	k := fetcherKey{
-		qname: vantage.QName(a.ProbeID, Domain),
-		round: int(a.SentAt.Sub(tb.Start) / RotationInterval),
-	}
-	viaGoogle := false
-	for _, rn := range fetchers[k] {
-		if tb.Pop.RnGoogle[rn] {
-			viaGoogle = true
-			break
-		}
-	}
-	if viaGoogle {
-		res.Table3.GoogleRn++
-	} else {
-		res.Table3.OtherRn++
-	}
 }

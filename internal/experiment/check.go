@@ -1,13 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"time"
-
-	"repro/internal/parallel"
-	"repro/internal/recursive"
-	"repro/internal/retrymodel"
 )
 
 // Check runs a scaled-down version of every headline experiment and
@@ -23,156 +19,16 @@ type CheckResult struct {
 	Pass     bool
 }
 
-// Check executes the verification suite at the given probe scale. The
-// component experiments are independent worlds, so they run concurrently;
-// the verdict table is assembled afterwards in the fixed claim order.
+// Check executes the verification suite at the given probe scale.
+//
+// Deprecated: positional-argument wrapper kept for compatibility; it
+// delegates to Run with CheckScenario, which adds cancellation and can
+// route the sub-experiments through the sharded engine.
 func Check(probes int, seed int64) []CheckResult {
-	specE, okE := SpecByName("E")
-	specH, okH := SpecByName("H")
-	specI, okI := SpecByName("I")
-	specA, okA := SpecByName("A")
-
-	var (
-		caching, short, day    *CachingResult
-		resE, resH, resI, resA *DDoSResult
-		resIHarvest            *DDoSResult
-		bindUp, bindDown       retrymodel.Result
-		glue                   *GlueResult
-		impl                   *ImplicationsResult
-	)
-	runs := []func(){
-		func() {
-			caching = RunCaching(CachingConfig{
-				Probes: probes, TTL: 3600, ProbeInterval: 20 * time.Minute,
-				Rounds: 6, Seed: seed,
-			})
-		},
-		func() {
-			short = RunCaching(CachingConfig{
-				Probes: probes, TTL: 60, ProbeInterval: 20 * time.Minute,
-				Rounds: 4, Seed: seed,
-			})
-		},
-		func() {
-			day = RunCaching(CachingConfig{
-				Probes: probes, TTL: 86400, ProbeInterval: 20 * time.Minute,
-				Rounds: 4, Seed: seed,
-			})
-		},
-		func() {
-			bindUp = retrymodel.Run(retrymodel.BINDLike(), false, 25, seed)
-			bindDown = retrymodel.Run(retrymodel.BINDLike(), true, 25, seed)
-		},
-		func() { glue = RunGlueVsAuth(probes/2, seed, PopulationConfig{}) },
-		func() {
-			impl = RunImplications(ImplicationsConfig{Clients: probes / 4, Recursives: 20, Seed: seed})
-		},
-	}
-	if okE {
-		runs = append(runs, func() { resE = RunDDoS(specE, probes, seed, PopulationConfig{}) })
-	}
-	if okH {
-		runs = append(runs, func() { resH = RunDDoS(specH, probes, seed, PopulationConfig{}) })
-	}
-	if okI {
-		runs = append(runs, func() { resI = RunDDoS(specI, probes, seed, PopulationConfig{}) })
-		runs = append(runs, func() {
-			resIHarvest = RunDDoS(specI, probes, seed, PopulationConfig{Harvest: recursive.HarvestFull})
-		})
-	}
-	if okA {
-		runs = append(runs, func() { resA = RunDDoS(specA, probes, seed, PopulationConfig{}) })
-	}
-	parallel.Do(runs...)
-
-	var out []CheckResult
-	add := func(claim, paper, measured string, pass bool) {
-		out = append(out, CheckResult{Claim: claim, Paper: paper, Measured: measured, Pass: pass})
-	}
-
-	// §3: warm-cache miss rate ~30%.
-	add("warm-cache miss rate (TTL 3600)", "28.5-32.9%",
-		fmt.Sprintf("%.1f%%", 100*caching.MissRate),
-		caching.MissRate > 0.18 && caching.MissRate < 0.42)
-
-	// §3: short TTLs never hit the cache at 20-minute probing.
-	total := short.Table2.AA + short.Table2.CC + short.Table2.AC + short.Table2.CA
-	aaShare := 0.0
-	if total > 0 {
-		aaShare = float64(short.Table2.AA) / float64(total)
-	}
-	add("TTL 60 @ 20min probing: all fresh (AA)", "~100%",
-		fmt.Sprintf("%.1f%%", 100*aaShare), aaShare > 0.9)
-
-	// §3.4: day-long TTLs are truncated for ~30% of VPs.
-	warm := day.Table2.WarmupTTLZone + day.Table2.WarmupTTLAltered
-	trunc := 0.0
-	if warm > 0 {
-		trunc = float64(day.Table2.WarmupTTLAltered) / float64(warm)
-	}
-	add("TTL truncation at 1-day TTLs", "~30%",
-		fmt.Sprintf("%.1f%%", 100*trunc), trunc > 0.15 && trunc < 0.5)
-
-	// §5: Experiment E — 50% loss barely hurts.
-	if okE {
-		delta := resE.FailureRate(9) - resE.FailureRate(4)
-		add("exp E (50% loss): failure increase small", "+3.7pp",
-			fmt.Sprintf("+%.1fpp", 100*delta), delta >= 0 && delta < 0.15)
-	}
-
-	// §5: Experiment H — ~60% still served at 90% loss with 30-min TTLs.
-	if okH {
-		served := 1 - resH.FailureRate(9)
-		add("exp H (90% loss, TTL 1800): still served", "~60%",
-			fmt.Sprintf("%.1f%%", 100*served), served > 0.45 && served < 0.85)
-
-		// And the cache's value: exp I (TTL 60) fares clearly worse.
-		if okI {
-			servedI := 1 - resI.FailureRate(9)
-			add("exp I (90% loss, TTL 60): served less than H", "~37-40%",
-				fmt.Sprintf("%.1f%%", 100*servedI),
-				servedI > 0.2 && servedI < 0.6 && servedI < served)
-		}
-	}
-
-	// §5.2: Experiment A — near-total failure after caches expire.
-	if okA {
-		late := resA.FailureRate(9)
-		early := resA.FailureRate(3)
-		add("exp A: cache cliff at TTL expiry", "partial, then ~100% fail",
-			fmt.Sprintf("%.0f%% -> %.0f%%", 100*early, 100*late),
-			early < 0.6 && late > 0.85)
-	}
-
-	// §6: traffic amplification at the authoritatives under 90% loss.
-	if okI {
-		base := resIHarvest.AuthQueries.Get(4, "AAAA-for-PID")
-		attack := resIHarvest.AuthQueries.Get(9, "AAAA-for-PID")
-		mult := 0.0
-		if base > 0 {
-			mult = attack / base
-		}
-		add("legit traffic multiplier under 90% loss", "up to 8.2x",
-			fmt.Sprintf("%.1fx", mult), mult > 2 && mult < 15)
-	}
-
-	// §6.2: software retry amplification.
-	bmult := bindDown.Mean.Total() / bindUp.Mean.Total()
-	add("BIND-like retries during failure", "3 -> 12 queries (4x)",
-		fmt.Sprintf("%.0f -> %.0f (%.1fx)", bindUp.Mean.Total(), bindDown.Mean.Total(), bmult),
-		bindUp.Mean.Total() <= 4 && bmult > 2 && bmult < 8)
-
-	// Appendix A: the child's TTL wins.
-	add("answers carry the child-side TTL", "~95%",
-		fmt.Sprintf("%.1f%%", 100*glue.NS.AuthoritativeShare()),
-		glue.NS.AuthoritativeShare() > 0.85)
-
-	// §8: root-like rides it out, CDN-like suffers.
-	add("root-like vs CDN-like failure under attack", "≈0% vs visible",
-		fmt.Sprintf("%.1f%% vs %.1f%%", 100*impl.RootFailDuringAttack, 100*impl.CDNFailDuringAttack),
-		impl.RootFailDuringAttack < 0.05 && impl.CDNFailDuringAttack > 0.05)
-
-	return out
+	out, _ := Run(context.Background(), CheckScenario(), RunConfig{
+		Probes: probes, Seed: seed,
+	})
+	return out.Check
 }
 
 // RenderCheck prints the verification table and returns true when every

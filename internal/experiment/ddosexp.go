@@ -1,17 +1,14 @@
 package experiment
 
 import (
-	"sort"
+	"context"
 	"strings"
 	"time"
 
-	"repro/internal/classify"
 	"repro/internal/ddos"
-	"repro/internal/dnswire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
-	"repro/internal/vantage"
 )
 
 // DDoSSpec is one row of the paper's Table 4.
@@ -104,7 +101,21 @@ type DDoSResult struct {
 }
 
 // RunDDoS executes one emulated attack experiment.
+//
+// Deprecated: positional-argument wrapper kept for compatibility; it
+// delegates to Run with DDoSScenario. New code should use the Scenario
+// API, which adds cancellation and sharded population scaling.
 func RunDDoS(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *DDoSResult {
+	out, _ := Run(context.Background(), DDoSScenario(spec), RunConfig{
+		Probes: probes, Seed: seed, Population: pop,
+	})
+	return out.DDoS
+}
+
+// runDDoSTestbed builds, schedules, and runs one attack world — either
+// the whole monolithic population or a single cell of a sharded run —
+// and returns it ready for analysis.
+func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *Testbed {
 	tb := NewTestbed(TestbedConfig{
 		Probes:      probes,
 		TTL:         spec.TTL,
@@ -123,8 +134,7 @@ func RunDDoS(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *DDoSR
 	tb.ScheduleRotations(spec.TotalDur + RotationInterval)
 	tb.Fleet.Schedule(tb.Start, spec.ProbeInterval, 5*time.Minute, rounds)
 	tb.Clk.RunUntil(tb.Start.Add(spec.TotalDur + 10*time.Minute))
-
-	return analyzeDDoS(spec, tb, rounds)
+	return tb
 }
 
 // scheduleAttack arms the spec's loss window on the targets.
@@ -135,35 +145,12 @@ func scheduleAttack(tb *Testbed, spec DDoSSpec, targets []netsim.Addr) {
 	})
 }
 
+// analyzeDDoS runs the shared accumulator pipeline over one testbed (see
+// stream.go) and attaches the run report.
 func analyzeDDoS(spec DDoSSpec, tb *Testbed, rounds int) *DDoSResult {
-	res := &DDoSResult{
-		Spec:        spec,
-		Answers:     stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
-		Classes:     stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
-		AuthQueries: stats.NewRoundSeries(tb.Start, spec.ProbeInterval),
-	}
-	answers := tb.Fleet.AllAnswers()
-
-	res.Table4 = Table4Row{Spec: spec, Probes: len(tb.Pop.Probes), VPs: tb.Pop.VPCount()}
-	res.tallyAnswers(answers, rounds)
-
-	// Per-VP classification (Figure 7).
-	for _, list := range vantage.ByVP(answers) {
-		tracker := classify.NewTracker()
-		for _, a := range list {
-			if !a.Ok() {
-				continue
-			}
-			out := tracker.Classify(a, tb.SerialAt(a.SentAt))
-			cat := out.Category
-			if cat == classify.Warmup {
-				cat = classify.AA
-			}
-			res.Classes.AddRound(clampRound(a.Round, rounds), cat.String(), 1)
-		}
-	}
-
-	res.analyzeAuthSide(spec, tb, rounds)
+	ac := newDDoSAccum(spec, tb.Start, rounds)
+	ac.absorb(tb)
+	res := ac.finalize()
 	res.Report = buildDDoSReport(spec, tb, res)
 	return res
 }
@@ -179,96 +166,4 @@ func clampRound(r, rounds int) int {
 		return rounds
 	}
 	return r
-}
-
-// tallyAnswers fills Table4 counts, the per-round Answers series, and the
-// per-round Latency summaries from the VP observation log. Outcome counts
-// and RTT samples are binned with the same clamped round index, and the
-// overflow bin is summarized too, so Latency[r].N always matches the
-// answered (OK + SERVFAIL) count of round r — one of the report's
-// invariants.
-func (res *DDoSResult) tallyAnswers(answers []vantage.Answer, rounds int) {
-	probeOK := make(map[uint16]bool)
-	rtts := make([][]float64, rounds+1)
-	for _, a := range answers {
-		res.Table4.Queries++
-		r := clampRound(a.Round, rounds)
-		switch {
-		case a.Timeout:
-			res.Answers.AddRound(r, "NoAnswer", 1)
-		case a.Ok():
-			res.Table4.TotalAnswers++
-			res.Table4.ValidAnswers++
-			probeOK[a.ProbeID] = true
-			res.Answers.AddRound(r, "OK", 1)
-			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
-		default:
-			res.Table4.TotalAnswers++
-			res.Answers.AddRound(r, "SERVFAIL", 1)
-			rtts[r] = append(rtts[r], float64(a.RTT.Milliseconds()))
-		}
-	}
-	res.Table4.ProbesValid = len(probeOK)
-	for r := 0; r <= rounds; r++ {
-		res.Latency = append(res.Latency, stats.Summarize(rtts[r]))
-	}
-}
-
-// analyzeAuthSide derives the Figures 10–12 series from the pre-drop tap.
-func (res *DDoSResult) analyzeAuthSide(spec DDoSSpec, tb *Testbed, rounds int) {
-	nsHosts := make(map[string]bool)
-	for i := range tb.AuthAddrs {
-		nsHosts["ns"+itoa(i+1)+"."+Domain] = true
-	}
-	uniqueRn := make([]map[netsim.Addr]bool, rounds)
-	rnPerProbe := make([]map[string]map[netsim.Addr]bool, rounds)
-	queriesPerProbe := make([]map[string]int, rounds)
-	for i := range uniqueRn {
-		uniqueRn[i] = make(map[netsim.Addr]bool)
-		rnPerProbe[i] = make(map[string]map[netsim.Addr]bool)
-		queriesPerProbe[i] = make(map[string]int)
-	}
-
-	for _, ev := range tb.AuthLog {
-		r := res.AuthQueries.RoundOf(ev.At)
-		if r < 0 || r >= rounds {
-			continue
-		}
-		uniqueRn[r][ev.Src] = true
-		label := ""
-		switch {
-		case ev.QName == Domain && ev.QType == dnswire.TypeNS:
-			label = "NS"
-		case nsHosts[ev.QName] && ev.QType == dnswire.TypeA:
-			label = "A-for-NS"
-		case nsHosts[ev.QName] && ev.QType == dnswire.TypeAAAA:
-			label = "AAAA-for-NS"
-		case ev.QType == dnswire.TypeAAAA:
-			label = "AAAA-for-PID"
-			if m := rnPerProbe[r][ev.QName]; m == nil {
-				rnPerProbe[r][ev.QName] = map[netsim.Addr]bool{ev.Src: true}
-			} else {
-				m[ev.Src] = true
-			}
-			queriesPerProbe[r][ev.QName]++
-		default:
-			label = "other"
-		}
-		res.AuthQueries.AddRound(r, label, 1)
-	}
-
-	for r := 0; r < rounds; r++ {
-		res.UniqueRn = append(res.UniqueRn, len(uniqueRn[r]))
-		var rnCounts, qCounts []float64
-		for _, m := range rnPerProbe[r] {
-			rnCounts = append(rnCounts, float64(len(m)))
-		}
-		for _, n := range queriesPerProbe[r] {
-			qCounts = append(qCounts, float64(n))
-		}
-		sort.Float64s(rnCounts)
-		sort.Float64s(qCounts)
-		res.RnPerProbe = append(res.RnPerProbe, stats.Summarize(rnCounts))
-		res.QueriesPerProbe = append(res.QueriesPerProbe, stats.Summarize(qCounts))
-	}
 }

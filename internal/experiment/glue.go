@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stub"
 	"repro/internal/vantage"
@@ -40,6 +42,9 @@ func (t Table5) AuthoritativeShare() float64 {
 type GlueResult struct {
 	NS Table5
 	A  Table5
+	// Report carries the run's metrics snapshot and accounting
+	// invariants when the run was routed through the Scenario API.
+	Report *metrics.Report
 }
 
 // childNSTTL is the child zone's NS/A TTL in the glue experiment (the
@@ -52,7 +57,20 @@ const childNSTTL = 60
 // records carry 60 s; vantage points then ask their recursives for the NS
 // and A records and the distribution of returned TTLs shows which side
 // recursives trust.
+//
+// Deprecated: positional-argument wrapper kept for compatibility; it
+// delegates to Run with GlueScenario.
 func RunGlueVsAuth(probes int, seed int64, pop PopulationConfig) *GlueResult {
+	out, _ := Run(context.Background(), GlueScenario(), RunConfig{
+		Probes: probes, Seed: seed, Population: pop,
+	})
+	return out.Glue
+}
+
+// runGlueTestbed builds one glue world — monolithic or one cell — runs
+// the Appendix A measurement on it, and returns the tallies plus the
+// testbed for metric collection.
+func runGlueTestbed(probes int, seed int64, pop PopulationConfig) (*GlueResult, *Testbed) {
 	tb := NewTestbed(TestbedConfig{
 		Probes:     probes,
 		TTL:        3600,
@@ -97,7 +115,7 @@ func RunGlueVsAuth(probes int, seed int64, pop PopulationConfig) *GlueResult {
 		}
 	}
 	tb.Clk.RunFor(10 * time.Minute)
-	return res
+	return res, tb
 }
 
 // tally buckets one answer's TTL into Table 5.

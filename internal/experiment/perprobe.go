@@ -1,9 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
@@ -12,24 +12,16 @@ import (
 
 // RunDDoSWithTestbed is RunDDoS but also returns the testbed for
 // drill-down analyses (Appendix F / Table 7).
+//
+// Deprecated: positional-argument wrapper kept for compatibility; it
+// delegates to Run with DDoSScenario and KeepWorlds, returning the
+// single monolithic world. Sharded runs should use Outcome.Worlds and
+// ShardedTestbed's ProbeRef-based drill-downs instead.
 func RunDDoSWithTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) (*DDoSResult, *Testbed) {
-	tb := NewTestbed(TestbedConfig{
-		Probes:      probes,
-		TTL:         spec.TTL,
-		Seed:        seed,
-		Population:  pop,
-		KeepAuthLog: true,
+	out, _ := Run(context.Background(), DDoSScenario(spec), RunConfig{
+		Probes: probes, Seed: seed, Population: pop, KeepWorlds: true,
 	})
-	targets := tb.AuthAddrs
-	if !spec.TargetsAll {
-		targets = targets[:1]
-	}
-	scheduleAttack(tb, spec, targets)
-	rounds := int(spec.TotalDur / spec.ProbeInterval)
-	tb.ScheduleRotations(spec.TotalDur + RotationInterval)
-	tb.Fleet.Schedule(tb.Start, spec.ProbeInterval, 5*time.Minute, rounds)
-	tb.Clk.RunUntil(tb.Start.Add(spec.TotalDur + 10*time.Minute))
-	return analyzeDDoS(spec, tb, rounds), tb
+	return out.DDoS, out.Worlds.Shards[0]
 }
 
 // Table7Round is one row of the Appendix F per-probe table: the client
@@ -125,8 +117,17 @@ func PerProbe(tb *Testbed, res *DDoSResult, probeID uint16) Table7 {
 
 // BusiestProbe returns the probe whose name drew the most authoritative
 // queries — a good Table 7 subject, like the paper's probe 28477 with its
-// multi-level recursives.
+// multi-level recursives. For sharded runs use
+// ShardedTestbed.BusiestProbe, which routes across cells.
 func BusiestProbe(tb *Testbed) uint16 {
+	id, _ := busiestProbeCount(tb)
+	return id
+}
+
+// busiestProbeCount returns the busiest probe of one testbed along with
+// its AAAA arrival count, so sharded runs can compare winners across
+// cells.
+func busiestProbeCount(tb *Testbed) (uint16, int) {
 	counts := make(map[string]int)
 	for _, ev := range tb.AuthLog {
 		if ev.QType == dnswire.TypeAAAA {
@@ -139,7 +140,7 @@ func BusiestProbe(tb *Testbed) uint16 {
 			best, bestN = p.ID, n
 		}
 	}
-	return best
+	return best, bestN
 }
 
 // RenderTable7 prints the per-probe drill-down.

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/stats"
@@ -13,11 +15,31 @@ import (
 // run builds its own world from the seed). Used by the robustness tests
 // and the BenchmarkReplicationVariance target.
 func Replicate(n int, baseSeed int64, metric func(seed int64) float64) stats.Summary {
+	sum, _ := ReplicateCtx(context.Background(), n, baseSeed, metric)
+	return sum
+}
+
+// ReplicateCtx is Replicate with cooperative cancellation at replicate
+// granularity. On cancellation it summarizes only the replicates that
+// completed and returns an error satisfying errors.Is(err, ErrCancelled)
+// — a partial summary over fewer seeds, never one padded with zeros.
+func ReplicateCtx(ctx context.Context, n int, baseSeed int64, metric func(seed int64) float64) (stats.Summary, error) {
 	values := make([]float64, n)
-	parallel.ForEach(0, n, func(i int) {
+	done := make([]bool, n)
+	err := parallel.ForEachCtx(ctx, 0, n, func(i int) {
 		values[i] = metric(baseSeed + int64(i)*1000)
+		done[i] = true
 	})
-	return stats.Summarize(values)
+	if err != nil {
+		var completed []float64
+		for i, ok := range done {
+			if ok {
+				completed = append(completed, values[i])
+			}
+		}
+		return stats.Summarize(completed), cancelErr(err)
+	}
+	return stats.Summarize(values), nil
 }
 
 // ReplicateWithReports is Replicate for runs that also produce a

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/stats"
 	"repro/internal/vantage"
 )
 
@@ -18,16 +17,15 @@ import (
 func TestTallyAnswersOverflowRound(t *testing.T) {
 	const rounds = 3
 	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
-	res := &DDoSResult{
-		Answers: stats.NewRoundSeries(start, 10*time.Minute),
-	}
+	ac := newDDoSAccum(DDoSSpec{ProbeInterval: 10 * time.Minute}, start, rounds)
 	answers := []vantage.Answer{
 		{Round: 0, Valid: true, RTT: 20 * time.Millisecond},
 		{Round: 1, Discard: true, RTT: 35 * time.Millisecond}, // SERVFAIL-class
 		{Round: rounds, Valid: true, RTT: 42 * time.Millisecond},
 		{Round: rounds + 5, Timeout: true}, // clamps into the overflow bin
 	}
-	res.tallyAnswers(answers, rounds)
+	ac.tallyAnswers(answers)
+	res := ac.finalize()
 
 	if got := len(res.Latency); got != rounds+1 {
 		t.Fatalf("len(Latency) = %d, want %d (rounds + overflow bin)", got, rounds+1)

@@ -1,0 +1,112 @@
+package experiment
+
+// Cell decomposition for population-scale runs. A large probe population
+// is split into fixed-capacity cells of ShardProbes probes; each cell is
+// a fully self-contained testbed (its own virtual clock, network,
+// resolver population, and probe fleet) built from a seed derived only
+// from (run seed, cell index). The Shards knob of RunConfig controls how
+// many cells run concurrently — it never changes which cells exist or
+// how they are seeded, which is why a K-shard run is byte-identical to a
+// 1-shard run: same cells, same per-cell results, merged by
+// order-independent accumulators.
+
+// MaxShardProbes is the largest cell capacity: probe IDs are cell-local
+// uint16 values (the AAAA encoding carries a 16-bit probe ID), so one
+// cell can hold at most 65535 probes. Populations beyond that always
+// span multiple cells.
+const MaxShardProbes = 65535
+
+// DefaultShardProbes is the default cell capacity of sharded runs, sized
+// so one live cell stays within a few hundred MB of heap while leaving
+// enough probes per cell for the population mix to be representative.
+const DefaultShardProbes = 4096
+
+// mixSeed derives the seed of cell index i from the run seed, using a
+// splitmix64-style finalizer so nearby run seeds and cell indices land on
+// unrelated testbed seeds. The derivation depends only on (seed, cell),
+// never on the shard concurrency, so the cell layout is stable across K.
+func mixSeed(seed int64, cell int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(cell+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// planCells splits probes into cell sizes: full cells of shardProbes with
+// a smaller trailing cell for the remainder. shardProbes is clamped to
+// MaxShardProbes; non-positive values plan a single cell.
+func planCells(probes, shardProbes int) []int {
+	if shardProbes <= 0 || shardProbes > MaxShardProbes {
+		if probes <= MaxShardProbes && shardProbes <= 0 {
+			return []int{probes}
+		}
+		shardProbes = MaxShardProbes
+	}
+	var cells []int
+	for remaining := probes; remaining > 0; remaining -= shardProbes {
+		n := shardProbes
+		if remaining < n {
+			n = remaining
+		}
+		cells = append(cells, n)
+	}
+	if len(cells) == 0 {
+		cells = []int{0}
+	}
+	return cells
+}
+
+// ProbeRef addresses one probe in a sharded run: the cell (shard) it
+// lives in plus its cell-local probe ID. IDs restart at 1 in every cell,
+// so a bare uint16 is ambiguous once a run spans more than one cell.
+type ProbeRef struct {
+	Shard int
+	ID    uint16
+}
+
+// ShardedTestbed is the set of per-cell worlds a KeepWorlds run retains
+// for drill-down analyses (Table 7 / Appendix F). Shards[i] is cell i's
+// testbed; a monolithic run keeps exactly one shard.
+type ShardedTestbed struct {
+	// ShardProbes is the planned cell capacity (the last cell may hold
+	// fewer probes).
+	ShardProbes int
+	Shards      []*Testbed
+}
+
+// ShardOf maps a zero-based global probe index to its ProbeRef.
+func (st *ShardedTestbed) ShardOf(global int) ProbeRef {
+	per := st.ShardProbes
+	if per <= 0 {
+		return ProbeRef{Shard: 0, ID: uint16(global + 1)}
+	}
+	return ProbeRef{Shard: global / per, ID: uint16(global%per + 1)}
+}
+
+// PerProbe computes the Table 7 drill-down for one probe of a sharded
+// run by routing to the shard that owns it. Probe names restart in every
+// cell, so the authoritative-side filter must run against the owning
+// cell's log only — that is exactly what the routed call does.
+func (st *ShardedTestbed) PerProbe(res *DDoSResult, ref ProbeRef) Table7 {
+	if ref.Shard < 0 || ref.Shard >= len(st.Shards) || st.Shards[ref.Shard] == nil {
+		return Table7{ProbeID: ref.ID}
+	}
+	return PerProbe(st.Shards[ref.Shard], res, ref.ID)
+}
+
+// BusiestProbe returns the probe whose name drew the most authoritative
+// queries across all cells, scanning cells in index order (ties keep the
+// earliest cell, then the earliest probe — deterministic).
+func (st *ShardedTestbed) BusiestProbe() ProbeRef {
+	best, bestN := ProbeRef{}, -1
+	for s, tb := range st.Shards {
+		if tb == nil {
+			continue
+		}
+		id, n := busiestProbeCount(tb)
+		if n > bestN {
+			best, bestN = ProbeRef{Shard: s, ID: id}, n
+		}
+	}
+	return best
+}

@@ -7,15 +7,40 @@ package experiment
 // order and each run is bit-for-bit identical to the same run executed
 // sequentially (TestMatrixParallelMatchesSequential pins this down).
 
-import "repro/internal/parallel"
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
 
 // RunDDoSMatrix executes the given Table 4 attack specs concurrently on at
 // most workers goroutines (workers <= 0 means one per core). results[i]
 // corresponds to specs[i].
 func RunDDoSMatrix(specs []DDoSSpec, probes int, seed int64, pop PopulationConfig, workers int) []*DDoSResult {
-	return parallel.Map(workers, specs, func(_ int, spec DDoSSpec) *DDoSResult {
-		return RunDDoS(spec, probes, seed, pop)
+	results, _ := RunDDoSMatrixCtx(context.Background(), specs, RunConfig{
+		Probes: probes, Seed: seed, Population: pop, Workers: workers,
 	})
+	return results
+}
+
+// RunDDoSMatrixCtx is the cancellable, RunConfig-routed matrix runner:
+// each spec runs as one DDoSScenario under cfg (so cfg.Shards selects
+// the sharded engine for every run), fanned across cfg.Workers
+// goroutines. On cancellation it returns the completed results (nil for
+// runs that never finished) and an error satisfying
+// errors.Is(err, ErrCancelled).
+func RunDDoSMatrixCtx(ctx context.Context, specs []DDoSSpec, cfg RunConfig) ([]*DDoSResult, error) {
+	results, err := parallel.MapCtx(ctx, cfg.Workers, specs, func(_ int, spec DDoSSpec) *DDoSResult {
+		out, runErr := Run(ctx, DDoSScenario(spec), cfg)
+		if runErr != nil {
+			return nil
+		}
+		return out.DDoS
+	})
+	if err != nil {
+		return results, cancelErr(err)
+	}
+	return results, nil
 }
 
 // RunDDoSMatrixWithTestbeds is RunDDoSMatrix but also returns each run's
@@ -43,7 +68,20 @@ func RunDDoSMatrixWithTestbeds(specs []DDoSSpec, probes int, seed int64, pop Pop
 // columns) concurrently on at most workers goroutines. results[i]
 // corresponds to cfgs[i].
 func RunCachingSweep(cfgs []CachingConfig, workers int) []*CachingResult {
-	return parallel.Map(workers, cfgs, func(_ int, cfg CachingConfig) *CachingResult {
+	results, _ := RunCachingSweepCtx(context.Background(), cfgs, workers)
+	return results
+}
+
+// RunCachingSweepCtx is RunCachingSweep with cooperative cancellation at
+// run granularity: once ctx fires no new run starts, completed results
+// keep their slots (nil elsewhere), and the error satisfies
+// errors.Is(err, ErrCancelled).
+func RunCachingSweepCtx(ctx context.Context, cfgs []CachingConfig, workers int) ([]*CachingResult, error) {
+	results, err := parallel.MapCtx(ctx, workers, cfgs, func(_ int, cfg CachingConfig) *CachingResult {
 		return RunCaching(cfg)
 	})
+	if err != nil {
+		return results, cancelErr(err)
+	}
+	return results, nil
 }

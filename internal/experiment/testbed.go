@@ -107,12 +107,17 @@ type Testbed struct {
 	tapDelivered metrics.Counter
 }
 
+// testbedStart is the fixed virtual start time of every testbed (the
+// paper's measurement began 2018-05-01). Cells of a sharded run all
+// share it, which is what lets their round series merge bin-for-bin.
+var testbedStart = time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+
 // NewTestbed builds the hierarchy, resolver population, and probe fleet.
 func NewTestbed(cfg TestbedConfig) *Testbed {
 	cfg = cfg.withDefaults()
 	tb := &Testbed{
 		Cfg:   cfg,
-		Start: time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC),
+		Start: testbedStart,
 	}
 	tb.Clk = clock.NewVirtual(tb.Start)
 	tb.Net = netsim.New(tb.Clk, cfg.Seed)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Counts has one
@@ -41,6 +42,93 @@ func (s Snapshot) Scope(name string) ScopeSnapshot {
 		}
 	}
 	return ScopeSnapshot{}
+}
+
+// MergeSnapshots folds several registry snapshots into one: scope names
+// are unioned (sorted, preserving Snapshot's ordering contract), counters
+// and gauges sum, and histograms with identical bounds merge bin-wise.
+// The integer fields are order-independent by construction; histogram
+// Sum is a float accumulator, so snapshots are folded in argument order —
+// callers that need determinism (the sharded experiment engine, which
+// merges per-shard snapshots in shard-index order) get it by passing a
+// deterministic argument order. Histograms whose bounds disagree keep
+// the first version seen; the repository never mixes bucket layouts
+// under one metric name.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	names := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, snap := range snaps {
+		for _, sc := range snap.Scopes {
+			if !seen[sc.Name] {
+				seen[sc.Name] = true
+				names = append(names, sc.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	var out Snapshot
+	for _, name := range names {
+		merged := ScopeSnapshot{Name: name}
+		for _, snap := range snaps {
+			for _, sc := range snap.Scopes {
+				if sc.Name != name {
+					continue
+				}
+				for k, v := range sc.Counters {
+					if merged.Counters == nil {
+						merged.Counters = make(map[string]int64)
+					}
+					merged.Counters[k] += v
+				}
+				for k, v := range sc.Gauges {
+					if merged.Gauges == nil {
+						merged.Gauges = make(map[string]int64)
+					}
+					merged.Gauges[k] += v
+				}
+				for k, h := range sc.Histograms {
+					if merged.Histograms == nil {
+						merged.Histograms = make(map[string]HistogramSnapshot)
+					}
+					cur, ok := merged.Histograms[k]
+					if !ok {
+						cp := HistogramSnapshot{
+							Bounds: append([]float64(nil), h.Bounds...),
+							Counts: append([]int64(nil), h.Counts...),
+							Count:  h.Count,
+							Sum:    h.Sum,
+						}
+						merged.Histograms[k] = cp
+						continue
+					}
+					if !equalBounds(cur.Bounds, h.Bounds) {
+						continue
+					}
+					for i := range h.Counts {
+						cur.Counts[i] += h.Counts[i]
+					}
+					cur.Count += h.Count
+					cur.Sum += h.Sum
+					merged.Histograms[k] = cur
+				}
+			}
+		}
+		out.Scopes = append(out.Scopes, merged)
+	}
+	return out
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Invariant is one cross-component consistency check evaluated over a

@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,78 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: workers check ctx
+// before claiming each index, stop claiming once it is done, and let
+// in-flight calls finish (a simulation run cannot be interrupted mid
+// event loop, so cancellation granularity is one unit of work). It
+// returns ctx.Err() when the context fired before every index ran, nil
+// otherwise. Indices are still claimed in order, so on an uncancelled
+// run the behavior is identical to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if int(next.Load()) < n {
+		return ctx.Err()
+	}
+	return ctx.Err()
+}
+
+// MapCtx is Map with cooperative cancellation. On cancellation the
+// returned slice holds the results of every call that completed (zero
+// values elsewhere) alongside ctx.Err(), so callers can merge partial
+// work — the experiment engine folds the shards that finished into a
+// partial outcome.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) R) ([]R, error) {
+	out := make([]R, len(items))
+	done := make([]atomic.Bool, len(items))
+	err := ForEachCtx(ctx, workers, len(items), func(i int) {
+		out[i] = fn(i, items[i])
+		done[i].Store(true)
+	})
+	if err != nil {
+		// Zero any slot whose fn was claimed but did not finish (there are
+		// none today — workers drain in-flight calls — but this keeps the
+		// contract "out[i] is valid iff fn(i) completed" future-proof).
+		for i := range out {
+			if !done[i].Load() {
+				var zero R
+				out[i] = zero
+			}
+		}
+	}
+	return out, err
 }
 
 // Map applies fn to every item on the worker pool and returns the results

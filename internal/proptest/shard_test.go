@@ -1,0 +1,35 @@
+package proptest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardCountAxis is the randomized form of the sharded engine's
+// determinism contract: for a spread of generated experiment kinds, cell
+// geometries, and seeds, every shard count must render byte-identical
+// tables and run reports.
+func TestShardCountAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized experiment sweep")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		c := GenerateShardCase(seed)
+		base, err := RenderShardCase(c, 1)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, c.Kind, err)
+		}
+		if len(base) == 0 {
+			t.Fatalf("seed %d (%s): empty rendering", seed, c.Kind)
+		}
+		for _, k := range []int{2, 4, 8} {
+			got, err := RenderShardCase(c, k)
+			if err != nil {
+				t.Fatalf("seed %d (%s) K=%d: %v", seed, c.Kind, k, err)
+			}
+			if !bytes.Equal(base, got) {
+				t.Errorf("seed %d (%s): K=%d output differs from K=1", seed, c.Kind, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCountsSummaryMatchesSummarize is the lossless-reduction contract:
+// for integer-valued samples, Counts.Summary must reproduce Summarize on
+// the raw slice bit for bit. The sharded engine's byte-identical merge
+// rests on this equivalence.
+func TestCountsSummaryMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		c := NewCounts()
+		var raw []float64
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(5000))
+			if rng.Intn(4) == 0 {
+				v = int64(rng.Intn(5)) // force duplicates
+			}
+			c.Observe(v)
+			raw = append(raw, float64(v))
+		}
+		want := Summarize(raw)
+		got := c.Summary()
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Counts.Summary = %+v, Summarize = %+v",
+				trial, n, got, want)
+		}
+	}
+}
+
+// TestCountsMergeOrderIndependent: merging shard multisets in any order
+// yields the same summary as observing all samples in one multiset.
+func TestCountsMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewCounts()
+	parts := []*Counts{NewCounts(), NewCounts(), NewCounts()}
+	for i := 0; i < 300; i++ {
+		v := int64(rng.Intn(1000))
+		whole.Observe(v)
+		parts[rng.Intn(len(parts))].Observe(v)
+	}
+	forward := NewCounts()
+	for _, p := range parts {
+		forward.Merge(p)
+	}
+	backward := NewCounts()
+	for i := len(parts) - 1; i >= 0; i-- {
+		backward.Merge(parts[i])
+	}
+	if forward.Summary() != whole.Summary() || backward.Summary() != whole.Summary() {
+		t.Fatalf("merged summaries diverge: whole=%+v fwd=%+v bwd=%+v",
+			whole.Summary(), forward.Summary(), backward.Summary())
+	}
+	if forward.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", forward.N(), whole.N())
+	}
+}
+
+// TestRoundSeriesMerge: a merged series must equal the series built from
+// the union of observations, for any split.
+func TestRoundSeriesMerge(t *testing.T) {
+	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+	whole := NewRoundSeries(start, 10*time.Minute)
+	a := NewRoundSeries(start, 10*time.Minute)
+	b := NewRoundSeries(start, 10*time.Minute)
+	rng := rand.New(rand.NewSource(3))
+	labels := []string{"OK", "SERVFAIL", "NoAnswer"}
+	for i := 0; i < 500; i++ {
+		round := rng.Intn(12)
+		label := labels[rng.Intn(len(labels))]
+		whole.AddRound(round, label, 1)
+		if rng.Intn(2) == 0 {
+			a.AddRound(round, label, 1)
+		} else {
+			b.AddRound(round, label, 1)
+		}
+	}
+	merged := NewRoundSeries(start, 10*time.Minute)
+	merged.Merge(b)
+	merged.Merge(a)
+	if merged.Table(labels) != whole.Table(labels) {
+		t.Fatalf("merged series differs from whole:\n%s\nvs\n%s",
+			merged.Table(labels), whole.Table(labels))
+	}
+	if merged.Rounds() != whole.Rounds() {
+		t.Fatalf("Rounds = %d, want %d", merged.Rounds(), whole.Rounds())
+	}
+}

@@ -81,6 +81,94 @@ func Summarize(values []float64) Summary {
 	}
 }
 
+// Counts is an exact multiset of integer-valued samples, built for the
+// sharded experiment engine's streaming merge: per-shard analyzers fold
+// samples in with Observe, shards combine with Merge (a commutative sum
+// of key counts, so merge order cannot change the result), and Summary
+// recovers the same order statistics Summarize computes from the raw
+// sample slice. Every sample the engine summarizes this way — RTTs in
+// whole milliseconds, per-probe query counts — is integer-valued, so
+// unlike a quantile sketch the reduction is lossless: a K-shard run
+// reproduces the 1-shard summaries bit for bit, while memory stays
+// bounded by the number of distinct values instead of the sample count.
+type Counts struct {
+	m   map[int64]int64
+	n   int64
+	sum int64
+}
+
+// NewCounts creates an empty multiset.
+func NewCounts() *Counts {
+	return &Counts{m: make(map[int64]int64)}
+}
+
+// Observe adds one sample.
+func (c *Counts) Observe(v int64) {
+	c.m[v]++
+	c.n++
+	c.sum += v
+}
+
+// N returns the number of observed samples.
+func (c *Counts) N() int64 { return c.n }
+
+// Merge folds o's samples into c.
+func (c *Counts) Merge(o *Counts) {
+	for v, k := range o.m {
+		c.m[v] += k
+	}
+	c.n += o.n
+	c.sum += o.sum
+}
+
+// Summary computes the same statistics Summarize would return for the
+// multiset expanded into a sorted slice. Means and quantiles match
+// Summarize exactly: the mean of integers is the integer sum divided by
+// N, and each quantile interpolates between two order statistics that
+// the cumulative key counts locate directly.
+func (c *Counts) Summary() Summary {
+	if c.n == 0 {
+		return Summary{}
+	}
+	keys := make([]int64, 0, len(c.m))
+	for v := range c.m {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// orderStat(i) is the value at index i of the expanded sorted slice.
+	orderStat := func(i int64) float64 {
+		var cum int64
+		for _, v := range keys {
+			cum += c.m[v]
+			if i < cum {
+				return float64(v)
+			}
+		}
+		return float64(keys[len(keys)-1])
+	}
+	quantile := func(q float64) float64 {
+		// Mirrors quantileSorted: interpolate between the two order
+		// statistics straddling q*(n-1).
+		pos := q * float64(c.n-1)
+		lo := int64(math.Floor(pos))
+		hi := int64(math.Ceil(pos))
+		if lo == hi {
+			return orderStat(lo)
+		}
+		frac := pos - float64(lo)
+		return orderStat(lo)*(1-frac) + orderStat(hi)*frac
+	}
+	return Summary{
+		N:      int(c.n),
+		Mean:   float64(c.sum) / float64(c.n),
+		Median: quantile(0.5),
+		P75:    quantile(0.75),
+		P90:    quantile(0.90),
+		Max:    float64(keys[len(keys)-1]),
+	}
+}
+
 // ECDF is an empirical cumulative distribution function.
 type ECDF struct {
 	sorted []float64
@@ -218,6 +306,20 @@ func (s *RoundSeries) AddRound(round int, label string, delta float64) {
 	m[label] += delta
 	if round > s.maxRound {
 		s.maxRound = round
+	}
+}
+
+// Merge folds o's accumulated values into s, bin by bin. The two series
+// must share the same binning (callers construct both from the same
+// start and interval); every value in the repository's series is an
+// integer-valued count, so the float adds are exact and the merge is
+// order-independent — the property the sharded experiment engine's
+// deterministic reduction relies on.
+func (s *RoundSeries) Merge(o *RoundSeries) {
+	for round, m := range o.rounds {
+		for label, v := range m {
+			s.AddRound(round, label, v)
+		}
 	}
 }
 

@@ -1,9 +1,37 @@
 #!/bin/sh
-# Records the hot-path micro-benchmarks into BENCH_parallel.json at the
-# repository root. Usage: scripts/bench_snapshot.sh [benchtime]
+# Records benchmark snapshots at the repository root.
+#
+#   scripts/bench_snapshot.sh [benchtime]     hot-path micro-benchmarks
+#                                             -> BENCH_parallel.json
+#   scripts/bench_snapshot.sh scale [matrix]  sharded scale runs
+#                                             -> BENCH_scale.json
+#
+# The scale matrix is a space-separated list of probes:shards pairs
+# (default: $SCALE_MATRIX or "100000:1 100000:4 1000000:8"). Each
+# configuration runs in its own process because peak_rss_mb comes from
+# VmHWM, a process-lifetime high-water mark.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "scale" ]; then
+    matrix="${2:-${SCALE_MATRIX:-100000:1 100000:4 1000000:8}}"
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    for cfg in $matrix; do
+        probes="${cfg%%:*}"
+        shards="${cfg##*:}"
+        echo "scale run: probes=$probes shards=$shards" >&2
+        SCALE_PROBES="$probes" SCALE_SHARDS="$shards" \
+            go test -run '^$' -bench '^BenchmarkScaleShards$' \
+            -benchtime 1x -timeout 0 . >>"$tmp"
+    done
+    go run ./cmd/benchsnap <"$tmp" >BENCH_scale.json
+    echo "wrote BENCH_scale.json:"
+    cat BENCH_scale.json
+    exit 0
+fi
+
 benchtime="${1:-1s}"
 
 go test -run '^$' \
