@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot fuzz
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz
 
 all: check
 
@@ -54,3 +54,14 @@ scale-smoke:
 # for the sharded engine, one process per configuration.
 scale-snapshot:
 	./scripts/bench_snapshot.sh scale
+
+# Writes BENCH_trace.json: sharded spec-H runs with tracing off, sampled,
+# and full. The "off" row is the nil-check-only baseline production runs
+# pay; it must stay within 2% of the untraced engine's snapshot.
+trace-snapshot:
+	./scripts/bench_snapshot.sh trace
+
+# End-to-end trace pipeline check: record a small traced DDoS run, then
+# validate, analyze, and convert it. See scripts/trace_smoke.sh.
+trace-smoke:
+	./scripts/trace_smoke.sh

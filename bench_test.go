@@ -7,6 +7,7 @@
 package dikes_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -662,4 +663,52 @@ func (cryptoRandReader) Read(p []byte) (int, error) {
 		p[i] = byte(i * 37)
 	}
 	return len(p), nil
+}
+
+// --- §12 tracing overhead (satellite of the observability PR) ---
+
+// runTraceBench executes one sharded spec-H run (TTL 1800, 90% loss)
+// with the given trace configuration.
+func runTraceBench(b *testing.B, tr *dikes.TraceConfig) *dikes.Outcome {
+	b.Helper()
+	spec, ok := dikes.SpecByName("H")
+	if !ok {
+		b.Fatal("spec H missing")
+	}
+	out, err := dikes.Run(context.Background(), dikes.DDoSScenario(spec), dikes.RunConfig{
+		Probes: 600, Seed: 42, Shards: 2, ShardProbes: 256, Trace: tr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkTraceOverhead measures the cost of query-lifecycle tracing on
+// the sharded engine: off (the nil-check-only baseline every production
+// run pays), sampled (1-in-100 probes, the million-VP setting), and full.
+// The acceptance bar is off-vs-seed regression under 2%; the off/full
+// delta is the price of a complete trace.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		tr   *dikes.TraceConfig
+	}{
+		{"off", nil},
+		{"sampled100", &dikes.TraceConfig{SampleEvery: 100}},
+		{"full", &dikes.TraceConfig{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				out := runTraceBench(b, c.tr)
+				if out.Trace != nil {
+					events = out.Trace.Len()
+				}
+			}
+			b.ReportMetric(float64(events), "trace_events")
+		})
+	}
 }

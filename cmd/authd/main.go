@@ -18,6 +18,7 @@ import (
 	"repro/internal/authoritative"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/udprun"
 	"repro/internal/zone"
 )
@@ -36,6 +37,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "fraction of inbound queries to drop (DDoS emulation)")
 	seed := flag.Int64("seed", 1, "seed for the loss coin")
 	flag.Var(&zoneFiles, "zone", "zone file in master format (repeatable)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if len(zoneFiles) == 0 {
@@ -45,6 +47,13 @@ func main() {
 	}
 	if *loss < 0 || *loss > 1 {
 		log.Fatalf("authd: -loss %v out of range [0,1]", *loss)
+	}
+	if *pprofAddr != "" {
+		addr, err := telemetry.Serve(*pprofAddr)
+		if err != nil {
+			log.Fatalf("authd: pprof listen: %v", err)
+		}
+		log.Printf("authd: telemetry at http://%s/debug/pprof/", addr)
 	}
 
 	var zones []*zone.Zone

@@ -36,8 +36,13 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV files into this directory")
 	workers := flag.Int("workers", 0, "experiment runs in flight at once (0 = one per core); results are identical for any value")
 	reportPath := flag.String("report", "", "write every run's metrics + invariant report as JSON to this file; a failed invariant exits non-zero")
+	tracePath := flag.String("trace", "", "record a deterministic query-lifecycle trace of each ddos run as JSONL to this file; implies -shards 1 when -shards is 0")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth probe only (0 or 1 = all probes); SERVFAIL chains are always recorded")
+	traceChrome := flag.String("trace-chrome", "", "also export each ddos run's trace as Chrome trace_event JSON (Perfetto-loadable)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	progress := flag.Bool("progress", false, "print live run telemetry (cells done, events/s, peak rss, eta) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|trace|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,10 +67,33 @@ func main() {
 		}
 	}
 
+	if cmd == "trace" {
+		// Offline trace analysis: no simulation, its own flag set.
+		runTraceCmd(flag.Args()[1:])
+		return
+	}
+
 	pop := dikes.PopulationConfig{}
 	if *harvest {
 		pop.Harvest = dikes.HarvestFull
 	}
+	if *pprofAddr != "" {
+		addr, err := dikes.ServeTelemetry(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dikes: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+	if *tracePath != "" {
+		traceOut, traceChromeOut, traceSampleN = *tracePath, *traceChrome, *traceSample
+		if *shards == 0 {
+			// Tracing records per-cell ring buffers, so it always runs on
+			// the sharded engine; one cell preserves the monolithic scale.
+			*shards = 1
+		}
+	}
+	progressOn = *progress
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
@@ -175,6 +203,77 @@ func header(s string) { fmt.Printf("\n================ %s ================\n", s
 // csvOut, when set, receives one CSV file per figure.
 var csvOut string
 
+// Trace/telemetry settings for the ddos runs (set from flags).
+var (
+	traceOut       string
+	traceChromeOut string
+	traceSampleN   int
+	progressOn     bool
+)
+
+// tracePathFor derives the output path of one experiment's trace: the
+// configured path as-is for a single experiment, with "-<name>" spliced
+// in before the extension when several run.
+func tracePathFor(base, spec string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + spec + ext
+}
+
+// writeTrace exports one run's trace as JSONL (and optionally Chrome
+// trace_event JSON).
+func writeTrace(td *dikes.TraceData, spec string, multi bool) {
+	if td == nil {
+		return
+	}
+	path := tracePathFor(traceOut, spec, multi)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+		os.Exit(1)
+	}
+	if err := td.WriteJSONL(f); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dikes: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d trace events)\n", path, td.Len())
+	if traceChromeOut == "" {
+		return
+	}
+	cpath := tracePathFor(traceChromeOut, spec, multi)
+	cf, err := os.Create(cpath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dikes: %v\n", err)
+		os.Exit(1)
+	}
+	if err := td.WriteChrome(cf); err == nil {
+		err = cf.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dikes: write %s: %v\n", cpath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", cpath)
+}
+
+// newProgress builds the live telemetry tracker of one sharded run;
+// nil (telemetry off) unless -progress was given.
+func newProgress(label string, probes int) *dikes.Progress {
+	if !progressOn {
+		return nil
+	}
+	cells := (probes + dikes.DefaultShardProbes - 1) / dikes.DefaultShardProbes
+	if cells < 1 {
+		cells = 1
+	}
+	return dikes.NewProgress(nil, label, cells, 0)
+}
+
 func writeCSV(name, content string) {
 	if csvOut == "" {
 		return
@@ -205,10 +304,13 @@ func runCaching(ctx context.Context, probes int, seed int64, workers, shards int
 		// out across cores), so the configs themselves run in sequence.
 		for _, c := range configs {
 			fmt.Printf("running TTL=%d interval=%v ...\n", c.ttl, c.interval)
+			prog := newProgress(fmt.Sprintf("caching-ttl%d", c.ttl), probes)
 			out, err := dikes.Run(ctx, dikes.CachingScenario(), dikes.RunConfig{
 				Probes: probes, Seed: seed, Shards: shards,
 				TTL: c.ttl, ProbeInterval: c.interval, Rounds: 6,
+				Progress: prog,
 			})
+			prog.Finish()
 			if err != nil {
 				exitCancelled(err)
 			}
@@ -260,12 +362,22 @@ func runDDoS(ctx context.Context, probes int, seed int64, exps string, pop dikes
 		// across cores and streams them into bounded-memory accumulators.
 		// Worlds are retained only where the drill-down needs them.
 		for _, spec := range specs {
-			out, err := dikes.Run(ctx, dikes.DDoSScenario(spec), dikes.RunConfig{
+			cfg := dikes.RunConfig{
 				Probes: probes, Seed: seed, Population: pop,
 				Shards: shards, KeepWorlds: spec.Name == "I",
-			})
+			}
+			if traceOut != "" {
+				cfg.Trace = &dikes.TraceConfig{SampleEvery: traceSampleN}
+			}
+			prog := newProgress("ddos-"+spec.Name, probes)
+			cfg.Progress = prog
+			out, err := dikes.Run(ctx, dikes.DDoSScenario(spec), cfg)
+			prog.Finish()
 			if err != nil {
 				exitCancelled(err)
+			}
+			if traceOut != "" {
+				writeTrace(out.Trace, spec.Name, len(specs) > 1)
 			}
 			results = append(results, out.DDoS)
 			worlds = append(worlds, out.Worlds)
@@ -313,9 +425,11 @@ func runDDoS(ctx context.Context, probes int, seed int64, exps string, pop dikes
 
 func runGlue(ctx context.Context, probes int, seed int64, shards int) {
 	header("Appendix A: glue vs authoritative TTL (Table 5)")
+	prog := newProgress("glue", probes)
 	out, err := dikes.Run(ctx, dikes.GlueScenario(), dikes.RunConfig{
-		Probes: probes, Seed: seed, Shards: shards,
+		Probes: probes, Seed: seed, Shards: shards, Progress: prog,
 	})
+	prog.Finish()
 	if err != nil {
 		exitCancelled(err)
 	}

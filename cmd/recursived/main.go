@@ -20,6 +20,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
+	"repro/internal/telemetry"
 	"repro/internal/udprun"
 )
 
@@ -40,12 +41,20 @@ func main() {
 	harvest := flag.Bool("harvest", false, "background-fetch NS records of learned zones (Unbound-like)")
 	flag.Var(&hints, "hint", "root hint ip:port (repeatable)")
 	flag.Var(&forwards, "forward", "upstream resolver ip:port; enables forwarding mode (repeatable)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if len(hints) == 0 && len(forwards) == 0 {
 		fmt.Fprintln(os.Stderr, "recursived: need -hint or -forward")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		addr, err := telemetry.Serve(*pprofAddr)
+		if err != nil {
+			log.Fatalf("recursived: pprof listen: %v", err)
+		}
+		log.Printf("recursived: telemetry at http://%s/debug/pprof/", addr)
 	}
 
 	cfg := recursive.Config{

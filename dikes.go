@@ -49,6 +49,8 @@ import (
 	"repro/internal/retrymodel"
 	"repro/internal/stats"
 	"repro/internal/stub"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vantage"
 	"repro/internal/zone"
 )
@@ -341,6 +343,13 @@ type (
 	MetricsSnapshot = metrics.Snapshot
 	// MetricsRegistry is a named-scope metrics registry.
 	MetricsRegistry = metrics.Registry
+	// Histogram is a fixed-bounds histogram metric.
+	Histogram = metrics.Histogram
+	// HistogramSnapshot is a point-in-time histogram view with quantile
+	// estimation.
+	HistogramSnapshot = metrics.HistogramSnapshot
+	// HistogramSummary is the count/mean/P50/P90/P99 digest of a snapshot.
+	HistogramSummary = metrics.HistogramSummary
 )
 
 // Experiment entry points.
@@ -413,6 +422,43 @@ var (
 	ECDFCSV             = experiment.ECDFCSV
 	RenderUniqueRn      = experiment.RenderUniqueRn
 	RenderAmplification = experiment.RenderAmplification
+)
+
+// Tracing and telemetry (DESIGN.md §12). Set RunConfig.Trace to record a
+// deterministic query-lifecycle trace; the Outcome's Trace data exports
+// to JSONL or Chrome trace_event format and reconstructs per-VP query
+// spans for failure analysis.
+type (
+	// TraceConfig sizes the per-cell ring buffers and sets the probe
+	// sampling stride.
+	TraceConfig = trace.Config
+	// TraceData is a run's merged per-cell trace.
+	TraceData = trace.Data
+	// TraceEvent is one lifecycle event.
+	TraceEvent = trace.Event
+	// TraceSpan is one reconstructed stub query span.
+	TraceSpan = trace.Span
+	// TraceBuffer is one cell's event ring (for custom topologies: every
+	// engine has a SetTrace method accepting one).
+	TraceBuffer = trace.Buffer
+	// Progress is the live telemetry tracker of a sharded run.
+	Progress = telemetry.Progress
+)
+
+// Tracing and telemetry helpers.
+var (
+	// NewTraceBuffer creates an event ring on a clock.
+	NewTraceBuffer = trace.NewBuffer
+	// ReadTraceJSONL parses a trace written by TraceData.WriteJSONL.
+	ReadTraceJSONL = trace.ReadJSONL
+	// ValidateChromeTrace checks an exported Chrome trace_event document.
+	ValidateChromeTrace = trace.ValidateChrome
+	// FormatTraceEvent renders one event as a human-readable line.
+	FormatTraceEvent = trace.FormatEvent
+	// NewProgress creates a live progress tracker (stderr when w is nil).
+	NewProgress = telemetry.NewProgress
+	// ServeTelemetry starts the expvar + pprof HTTP endpoint.
+	ServeTelemetry = telemetry.Serve
 )
 
 // MustA builds A record data from an IPv4 literal, panicking on bad input.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/zone"
 )
 
@@ -45,9 +46,14 @@ type Server struct {
 	mu      sync.RWMutex
 	zones   []*zone.Zone // sorted by descending origin label count
 	m       counters
+	trace   *trace.Buffer
 	byRCode map[dnswire.RCode]int64
 	byType  map[dnswire.Type]int64
 }
+
+// SetTrace enables answer tracing (nil disables). The buffer carries its
+// own clock, so the transport-agnostic Handle needs none.
+func (s *Server) SetTrace(tr *trace.Buffer) { s.trace = tr }
 
 // New creates a server hosting the given zones.
 func New(zones ...*zone.Zone) *Server {
@@ -231,6 +237,11 @@ func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
 		resp.AddEDNS(4096, do)
 	}
 	s.finish(resp)
+	if tr := s.trace; tr != nil {
+		tr.Emit(trace.Event{Type: trace.EvAuthAnswer,
+			Probe: trace.ProbeFromName(question.Name),
+			A:     uint32(resp.RCode), B: uint32(question.Type), Name: question.Name})
+	}
 	return resp
 }
 

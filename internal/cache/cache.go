@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/dnswire"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Rank is the RFC 2181 §5.4.1 credibility of cached data. Higher ranks
@@ -101,8 +102,14 @@ type Cache struct {
 	cfg    Config
 	clk    clock.Clock
 	shards []*shard
+	trace  *trace.Buffer
 	m      counters
 }
+
+// SetTrace enables lookup-outcome tracing (nil disables). Only Get and
+// GetStale emit; Peek stays uninstrumented — it serves read-only internal
+// scans (zone-server lookups) whose volume would drown the trace.
+func (c *Cache) SetTrace(tr *trace.Buffer) { c.trace = tr }
 
 // counters instruments the lookup and store paths. At most one counter is
 // touched per call, and hits/stale/negative/misses partition the Get
@@ -298,6 +305,10 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 	el, ok := sh.entries[key]
 	if !ok {
 		c.m.misses.Inc()
+		if tr := c.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvCacheMiss,
+				Probe: trace.ProbeFromName(key.Name), Name: key.Name, A: uint32(key.Type)})
+		}
 		return View{}
 	}
 	item := el.Value.(*cached)
@@ -311,6 +322,10 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 		}
 		if !allowStale || now.Sub(item.expires) > window {
 			c.m.misses.Inc()
+			if tr := c.trace; tr != nil {
+				tr.Emit(trace.Event{Type: trace.EvCacheExpired,
+					Probe: trace.ProbeFromName(key.Name), Name: key.Name, A: uint32(key.Type)})
+			}
 			return View{}
 		}
 		remaining = 0
@@ -322,6 +337,17 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 		c.m.negativeHits.Inc()
 	default:
 		c.m.hits.Inc()
+	}
+	if tr := c.trace; tr != nil {
+		t := trace.EvCacheHit
+		switch {
+		case stale:
+			t = trace.EvCacheStale
+		case item.entry.Negative:
+			t = trace.EvCacheNegHit
+		}
+		tr.Emit(trace.Event{Type: t,
+			Probe: trace.ProbeFromName(key.Name), Name: key.Name, A: uint32(key.Type)})
 	}
 	sh.lru.MoveToFront(el)
 

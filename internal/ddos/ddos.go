@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // Attack describes one emulated DDoS: Loss fraction of inbound packets to
@@ -21,6 +22,10 @@ type Attack struct {
 	Loss     float64
 	Start    time.Duration
 	Duration time.Duration
+	// Trace, when set, records the attack window edges (EvAttackStart /
+	// EvAttackEnd per target) so trace analysis can correlate drops with
+	// the flood window.
+	Trace *trace.Buffer
 }
 
 // Schedule arms the attack on net using clk. It returns immediately; the
@@ -28,15 +33,23 @@ type Attack struct {
 func Schedule(clk clock.Clock, net *netsim.Network, a Attack) {
 	targets := append([]netsim.Addr(nil), a.Targets...)
 	loss := a.Loss
+	tr := a.Trace
 	clk.AfterFunc(a.Start, func() {
 		for _, t := range targets {
 			net.SetInboundLoss(t, loss)
+			if tr != nil {
+				tr.Force(trace.Event{Type: trace.EvAttackStart,
+					A: uint32(loss * 1e6), Dst: string(t)})
+			}
 		}
 	})
 	if a.Duration > 0 {
 		clk.AfterFunc(a.Start+a.Duration, func() {
 			for _, t := range targets {
 				net.SetInboundLoss(t, 0)
+				if tr != nil {
+					tr.Force(trace.Event{Type: trace.EvAttackEnd, Dst: string(t)})
+				}
 			}
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // DDoSSpec is one row of the paper's Table 4.
@@ -115,13 +116,17 @@ func RunDDoS(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *DDoSR
 // runDDoSTestbed builds, schedules, and runs one attack world — either
 // the whole monolithic population or a single cell of a sharded run —
 // and returns it ready for analysis.
-func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *Testbed {
+func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig,
+	tr *trace.Config, cell int) *Testbed {
+
 	tb := NewTestbed(TestbedConfig{
 		Probes:      probes,
 		TTL:         spec.TTL,
 		Seed:        seed,
 		Population:  pop,
 		KeepAuthLog: true,
+		Trace:       tr,
+		TraceCell:   cell,
 	})
 
 	targets := tb.AuthAddrs
@@ -142,6 +147,7 @@ func scheduleAttack(tb *Testbed, spec DDoSSpec, targets []netsim.Addr) {
 	ddos.Schedule(tb.Clk, tb.Net, ddos.Attack{
 		Targets: targets, Loss: spec.Loss,
 		Start: spec.DDoSStart, Duration: spec.DDoSDur,
+		Trace: tb.Trace,
 	})
 }
 

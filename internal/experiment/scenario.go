@@ -26,6 +26,8 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/recursive"
 	"repro/internal/retrymodel"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrCancelled is returned (wrapped) when a run's context fires before
@@ -64,6 +66,15 @@ type RunConfig struct {
 	// drill-downs (Table 7). Costs memory proportional to the whole
 	// population — leave off for scale runs.
 	KeepWorlds bool
+	// Trace enables deterministic query-lifecycle tracing: every cell
+	// records into its own ring buffer and Outcome.Trace carries the
+	// per-cell traces in cell-index order, so trace bytes are identical
+	// for every Shards/Workers value. DDoS scenarios only; caching and
+	// glue ignore it.
+	Trace *trace.Config
+	// Progress, when non-nil, receives one CellDone per finished cell
+	// (live run telemetry). Display only — it never affects results.
+	Progress *telemetry.Progress
 
 	// afterShard, when set, runs after each cell completes (on the
 	// worker that ran it). Tests use it to trigger deterministic
@@ -114,6 +125,10 @@ type Outcome struct {
 	// Worlds holds the per-cell testbeds when Config.KeepWorlds was set
 	// and the run completed (nil on cancelled runs).
 	Worlds *ShardedTestbed
+
+	// Trace holds the run's merged per-cell traces when Config.Trace was
+	// set (DDoS scenarios only).
+	Trace *trace.Data
 
 	Report *metrics.Report
 }
@@ -166,9 +181,13 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		if err := ctx.Err(); err != nil {
 			return out, cancelErr(err)
 		}
-		tb := runDDoSTestbed(spec, cfg.Probes, cfg.Seed, cfg.Population)
+		tb := runDDoSTestbed(spec, cfg.Probes, cfg.Seed, cfg.Population, cfg.Trace, 0)
 		out.DDoS = analyzeDDoS(spec, tb, rounds)
 		out.Report = out.DDoS.Report
+		if ct := captureCellTrace(tb, 0); ct != nil {
+			out.Trace = &trace.Data{SampleEvery: cfg.Trace.SampleEvery, Cells: []trace.CellTrace{*ct}}
+		}
+		cellDone(cfg, tb)
 		if cfg.KeepWorlds {
 			out.Worlds = &ShardedTestbed{ShardProbes: cfg.Probes, Shards: []*Testbed{tb}}
 		}
@@ -183,12 +202,15 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		ac   *ddosAccum
 		snap metrics.Snapshot
 		tb   *Testbed
+		ct   *trace.CellTrace
 	}
 	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
-		tb := runDDoSTestbed(spec, n, mixSeed(cfg.Seed, i), cfg.Population)
+		tb := runDDoSTestbed(spec, n, mixSeed(cfg.Seed, i), cfg.Population, cfg.Trace, i)
 		ac := newDDoSAccum(spec, tb.Start, rounds)
 		ac.absorb(tb)
-		cr := &cellResult{ac: ac, snap: tb.CollectMetrics().Snapshot()}
+		cr := &cellResult{ac: ac, snap: tb.CollectMetrics().Snapshot(),
+			ct: captureCellTrace(tb, i)}
+		cellDone(cfg, tb)
 		if cfg.KeepWorlds {
 			cr.tb = tb
 		}
@@ -201,6 +223,10 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 	total := newDDoSAccum(spec, testbedStart, rounds)
 	var snaps []metrics.Snapshot
 	worlds := &ShardedTestbed{ShardProbes: cfg.ShardProbes, Shards: make([]*Testbed, len(cells))}
+	var traced *trace.Data
+	if cfg.Trace != nil {
+		traced = &trace.Data{SampleEvery: cfg.Trace.SampleEvery}
+	}
 	for i, cr := range results {
 		if cr == nil {
 			continue
@@ -208,6 +234,11 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		total.merge(cr.ac)
 		snaps = append(snaps, cr.snap)
 		worlds.Shards[i] = cr.tb
+		if traced != nil && cr.ct != nil {
+			// results is in cell-index order, so the merged trace is too —
+			// independent of which worker ran which cell.
+			traced.Cells = append(traced.Cells, *cr.ct)
+		}
 	}
 	res := total.finalize()
 	snap := metrics.MergeSnapshots(snaps...)
@@ -225,6 +256,7 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 	}
 	out.DDoS = res
 	out.Report = res.Report
+	out.Trace = traced
 	if runErr != nil {
 		return out, cancelErr(runErr)
 	}
@@ -232,6 +264,25 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		out.Worlds = worlds
 	}
 	return out, nil
+}
+
+// captureCellTrace snapshots one testbed's ring buffer as a CellTrace;
+// nil when tracing is off.
+func captureCellTrace(tb *Testbed, cell int) *trace.CellTrace {
+	if tb.Trace == nil {
+		return nil
+	}
+	return &trace.CellTrace{Cell: cell, Dropped: tb.Trace.Dropped(), Events: tb.Trace.Events()}
+}
+
+// cellDone reports one finished cell's simulator totals to the run's
+// Progress tracker, when any.
+func cellDone(cfg RunConfig, tb *Testbed) {
+	if cfg.Progress == nil {
+		return
+	}
+	_, fired, _ := tb.Clk.Counters()
+	cfg.Progress.CellDone(fired, tb.Clk.Now().Sub(tb.Start))
 }
 
 // ---- Caching ----
@@ -278,6 +329,7 @@ func (cachingScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error)
 		ac := newCachingAccum(cc, testbedStart)
 		ac.absorb(tb)
 		cr := &cellResult{ac: ac, snap: tb.CollectMetrics().Snapshot()}
+		cellDone(cfg, tb)
 		if cfg.KeepWorlds {
 			cr.tb = tb
 		}
@@ -370,6 +422,7 @@ func (glueScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
 		res, tb := runGlueTestbed(n, mixSeed(cfg.Seed, i), cfg.Population)
 		cr := &cellResult{res: res, snap: tb.CollectMetrics().Snapshot()}
+		cellDone(cfg, tb)
 		if cfg.KeepWorlds {
 			cr.tb = tb
 		}

@@ -12,12 +12,14 @@ package experiment
 // 1-shard run over the same cells.
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vantage"
 )
 
@@ -67,10 +69,13 @@ func (ac *ddosAccum) absorb(tb *Testbed) {
 	ac.table4.VPs += tb.Pop.VPCount()
 	ac.tallyAnswers(answers)
 
-	// Per-VP classification (Figure 7).
-	for _, list := range vantage.ByVP(answers) {
+	// Per-VP classification (Figure 7). VPs are visited in sorted key
+	// order: the tallies are order-independent, but the trace's classify
+	// section must come out in the same order on every run.
+	byVP := vantage.ByVP(answers)
+	for _, k := range sortedVPKeys(byVP) {
 		tracker := classify.NewTracker()
-		for _, a := range list {
+		for _, a := range byVP[k] {
 			if !a.Ok() {
 				continue
 			}
@@ -80,10 +85,35 @@ func (ac *ddosAccum) absorb(tb *Testbed) {
 				cat = classify.AA
 			}
 			ac.classes.AddRound(clampRound(a.Round, ac.rounds), cat.String(), 1)
+			if tr := tb.Trace; tr != nil {
+				// Classification happens after the simulation finishes, so
+				// these events form a trailing annotation section whose
+				// timestamps rewind to each answer's send time (EmitAt).
+				tr.EmitAt(trace.Event{
+					At: a.SentAt.Sub(tb.Start), Type: trace.EvClassify,
+					Probe: a.ProbeID, A: uint32(clampRound(a.Round, ac.rounds)),
+					B: uint32(out.Category), Src: string(k.Recursive),
+				})
+			}
 		}
 	}
 
 	ac.absorbAuthSide(tb)
+}
+
+// sortedVPKeys orders a ByVP map's keys by (probe, recursive).
+func sortedVPKeys(m map[vantage.VPKey][]vantage.Answer) []vantage.VPKey {
+	keys := make([]vantage.VPKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ProbeID != keys[j].ProbeID {
+			return keys[i].ProbeID < keys[j].ProbeID
+		}
+		return keys[i].Recursive < keys[j].Recursive
+	})
+	return keys
 }
 
 // tallyAnswers fills the Table 4 counts, the per-round outcome series,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
+	"repro/internal/trace"
 	"repro/internal/vantage"
 	"repro/internal/zone"
 )
@@ -65,6 +66,12 @@ type TestbedConfig struct {
 	// KeepAuthLog retains the per-query authoritative tap (needed for
 	// Figures 10–12 and Table 3; costs memory on large runs).
 	KeepAuthLog bool
+	// Trace, when non-nil, enables deterministic query-lifecycle tracing:
+	// one ring buffer per testbed wired into every engine (stub, recursive,
+	// cache, netsim, authoritative). TraceCell tags the buffer with the
+	// cell index of a sharded run.
+	Trace     *trace.Config
+	TraceCell int
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -96,6 +103,8 @@ type Testbed struct {
 	Auths     []*authoritative.Server
 	Pop       *Population
 	Fleet     *vantage.Fleet
+	// Trace is the testbed's event buffer; nil unless Cfg.Trace is set.
+	Trace *trace.Buffer
 
 	serial0 uint16
 	AuthLog []AuthEvent
@@ -121,6 +130,10 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	}
 	tb.Clk = clock.NewVirtual(tb.Start)
 	tb.Net = netsim.New(tb.Clk, cfg.Seed)
+	if cfg.Trace != nil {
+		tb.Trace = trace.NewBuffer(tb.Clk, tb.Start, cfg.TraceCell, *cfg.Trace)
+		tb.Net.SetTrace(tb.Trace)
+	}
 
 	for i := 0; i < cfg.Auths; i++ {
 		tb.AuthAddrs = append(tb.AuthAddrs, netsim.Addr("192.0.2."+itoa(i+1)))
@@ -133,6 +146,14 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		[]recursive.ServerHint{{Name: "a.root-servers.net.", Addr: RootAddr}},
 		cfg.Population, cfg.Seed+1)
 	tb.Fleet = vantage.NewFleet(tb.Clk, tb.Pop.Probes, cfg.Seed+2)
+	if tb.Trace != nil {
+		for _, r := range tb.Pop.Resolvers {
+			r.SetTrace(tb.Trace)
+		}
+		for _, p := range tb.Pop.Probes {
+			p.SetTrace(tb.Trace)
+		}
+	}
 	return tb
 }
 
@@ -204,11 +225,16 @@ func (tb *Testbed) buildZones() {
 		})
 	}
 
-	authoritative.New(rootZone).Attach(tb.Net, RootAddr)
-	authoritative.New(nlZone).Attach(tb.Net, TLDAddr)
+	rootSrv := authoritative.New(rootZone)
+	rootSrv.Attach(tb.Net, RootAddr)
+	rootSrv.SetTrace(tb.Trace)
+	tldSrv := authoritative.New(nlZone)
+	tldSrv.Attach(tb.Net, TLDAddr)
+	tldSrv.SetTrace(tb.Trace)
 	for _, addr := range tb.AuthAddrs {
 		srv := authoritative.New(tb.AuthZone)
 		srv.Attach(tb.Net, addr)
+		srv.SetTrace(tb.Trace)
 		tb.Auths = append(tb.Auths, srv)
 	}
 }

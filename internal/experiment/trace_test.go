@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceJSONL runs the short DDoS spec through the sharded engine with
+// tracing on and returns the serialized trace.
+func traceJSONL(t *testing.T, shards, sampleEvery int) []byte {
+	t.Helper()
+	cfg := RunConfig{Probes: 48, ShardProbes: 16, Shards: shards, Seed: 42,
+		Trace: &trace.Config{SampleEvery: sampleEvery}}
+	out, err := Run(context.Background(), DDoSScenario(shortSpec()), cfg)
+	if err != nil {
+		t.Fatalf("Shards=%d: %v", shards, err)
+	}
+	if out.Trace == nil {
+		t.Fatalf("Shards=%d: no trace captured", shards)
+	}
+	if problems := out.Trace.Validate(); len(problems) > 0 {
+		t.Fatalf("Shards=%d: trace validation failed: %v", shards, problems)
+	}
+	var buf bytes.Buffer
+	if err := out.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatalf("Shards=%d: WriteJSONL: %v", shards, err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceShardInvariance extends the engine's determinism contract to
+// the trace: with the cell layout fixed by (Probes, ShardProbes, Seed),
+// the Shards concurrency knob must not change a single byte of the
+// merged trace — full and sampled.
+func TestTraceShardInvariance(t *testing.T) {
+	for _, sample := range []int{1, 3} {
+		base := traceJSONL(t, 1, sample)
+		if len(base) == 0 {
+			t.Fatalf("sample=%d: empty trace", sample)
+		}
+		for _, k := range []int{2, 4, 8} {
+			got := traceJSONL(t, k, sample)
+			if !bytes.Equal(base, got) {
+				t.Fatalf("sample=%d: Shards=%d trace differs from Shards=1 (%d vs %d bytes)",
+					sample, k, len(got), len(base))
+			}
+		}
+	}
+}
+
+// TestTraceMonolithicAndChrome covers the remaining export paths: the
+// monolithic (unsharded) engine honors RunConfig.Trace too, and the
+// Chrome conversion of a real run's trace passes its validator.
+func TestTraceMonolithicAndChrome(t *testing.T) {
+	cfg := RunConfig{Probes: 16, Seed: 7, Trace: &trace.Config{}}
+	out, err := Run(context.Background(), DDoSScenario(shortSpec()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || out.Trace.Len() == 0 {
+		t.Fatal("monolithic run captured no trace")
+	}
+	if problems := out.Trace.Validate(); len(problems) > 0 {
+		t.Fatalf("trace validation failed: %v", problems)
+	}
+	var chrome bytes.Buffer
+	if err := out.Trace.WriteChrome(&chrome); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	n, err := trace.ValidateChrome(bytes.NewReader(chrome.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("Chrome export contains no events")
+	}
+}

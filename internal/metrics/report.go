@@ -16,6 +16,91 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Mean returns the average observed sample, or 0 for an empty histogram
+// (never NaN — per-round summaries aggregate empty rounds routinely).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]; out-of-range values are
+// clamped) by nearest-rank bin selection with linear interpolation
+// inside the bin. Edge cases are defined, not NaN:
+//
+//   - empty histogram: 0 for every q;
+//   - single observation: every quantile coincides (the one bin's
+//     interpolated midpoint estimate);
+//   - rank lands in the overflow bin: the largest bound is returned (a
+//     floor on the true quantile — the histogram holds no upper edge).
+//
+// The first bin's lower edge is taken as 0, matching the repository's
+// non-negative (latency/count) bucket sets.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank <= cum+c {
+			if i >= len(h.Bounds) {
+				// Overflow bin: no upper edge to interpolate toward.
+				if len(h.Bounds) == 0 {
+					return h.Mean()
+				}
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	// Unreachable when Count matches the bin counts; be safe anyway.
+	return h.Mean()
+}
+
+// HistogramSummary is a division-safe digest of a histogram snapshot.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summarize digests the snapshot. Safe on empty (all zeros) and
+// single-observation histograms (all quantiles equal); see Quantile.
+func (h HistogramSnapshot) Summarize() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // ScopeSnapshot is a point-in-time copy of one scope. encoding/json
 // serializes maps with sorted keys, so marshaling a snapshot is
 // deterministic.

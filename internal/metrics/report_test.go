@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func snapshotOf(bounds []float64, samples ...float64) HistogramSnapshot {
+	var h Histogram
+	h.Init(bounds)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// TestHistogramSummaryEmpty pins the division-safe contract: an empty
+// histogram summarizes to all zeros, never NaN — per-round summaries
+// aggregate empty rounds routinely.
+func TestHistogramSummaryEmpty(t *testing.T) {
+	s := snapshotOf([]float64{10, 100})
+	if got := s.Mean(); got != 0 {
+		t.Errorf("Mean of empty = %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) of empty = %v, want 0", q, got)
+		}
+	}
+	sum := s.Summarize()
+	if sum.Count != 0 || sum.Mean != 0 || sum.P50 != 0 || sum.P90 != 0 || sum.P99 != 0 {
+		t.Errorf("Summarize of empty = %+v, want all zeros", sum)
+	}
+	for _, v := range []float64{sum.Mean, sum.P50, sum.P90, sum.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("empty summary produced NaN/Inf: %+v", sum)
+		}
+	}
+}
+
+// TestHistogramSummarySingle: with one observation every quantile must
+// coincide (the sole bin's interpolated estimate) and the mean is exact.
+func TestHistogramSummarySingle(t *testing.T) {
+	s := snapshotOf([]float64{10, 100, 1000}, 42)
+	if got := s.Mean(); got != 42 {
+		t.Errorf("Mean = %v, want 42", got)
+	}
+	sum := s.Summarize()
+	if sum.Count != 1 {
+		t.Fatalf("Count = %d, want 1", sum.Count)
+	}
+	if sum.P50 != sum.P90 || sum.P90 != sum.P99 {
+		t.Errorf("single-observation quantiles differ: %+v", sum)
+	}
+	// The observation landed in the (10, 100] bin; the interpolated
+	// estimate must stay inside it.
+	if sum.P50 <= 10 || sum.P50 > 100 {
+		t.Errorf("P50 = %v, want within the observation's bin (10, 100]", sum.P50)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	// 100 samples uniform over bins: quantiles must be monotone and land
+	// in sensible bins.
+	var samples []float64
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, float64(i))
+	}
+	s := snapshotOf([]float64{25, 50, 75, 100}, samples...)
+	p50, p90, p99 := s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	if p50 <= 25 || p50 > 75 {
+		t.Errorf("p50 = %v, want near the median bin", p50)
+	}
+	if p99 <= 75 {
+		t.Errorf("p99 = %v, want in the top bin", p99)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+// TestHistogramQuantileOverflowBin: when the rank lands past the last
+// bound, Quantile returns the largest bound (a floor, not NaN or +Inf).
+func TestHistogramQuantileOverflowBin(t *testing.T) {
+	s := snapshotOf([]float64{10}, 5000, 6000, 7000)
+	for _, q := range []float64{0.5, 0.99} {
+		if got := s.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %v, want 10 (largest bound as floor)", q, got)
+		}
+	}
+	// No bounds at all: every sample is in the overflow bin; fall back to
+	// the mean rather than inventing an edge.
+	nb := snapshotOf(nil, 3, 5)
+	if got := nb.Quantile(0.5); got != 4 {
+		t.Errorf("boundless Quantile = %v, want mean fallback 4", got)
+	}
+}
+
+func TestHistogramQuantileClampsRange(t *testing.T) {
+	s := snapshotOf([]float64{10, 100}, 1, 2, 3)
+	if got, want := s.Quantile(-0.5), s.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+	if got, want := s.Quantile(1.5), s.Quantile(1); got != want {
+		t.Errorf("Quantile(1.5) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Addr identifies a host on the simulated network (by convention an IP
@@ -64,8 +65,14 @@ type Network struct {
 	latency LatencyFunc
 	taps    []func(Event)
 	anycast map[Addr]*anycastGroup
+	trace   *trace.Buffer
 	stats   Stats
 }
+
+// SetTrace enables delivery/drop tracing (nil disables). Events are
+// attributed to probes by parsing the first question label from the
+// wire payload, allocation-free.
+func (n *Network) SetTrace(tr *trace.Buffer) { n.trace = tr }
 
 // New creates a network on clk with a seeded RNG; identical seeds give
 // identical packet fates.
@@ -246,6 +253,14 @@ func (n *Network) arrive(src, dst Addr, payload []byte) {
 	now := n.clk.Now()
 	n.mu.Unlock()
 
+	if tr := n.trace; tr != nil {
+		t := trace.EvNetDeliver
+		if dropped {
+			t = trace.EvNetDrop
+		}
+		tr.Emit(trace.Event{Type: t, Probe: trace.ProbeFromWire(payload),
+			Src: string(src), Dst: string(dst)})
+	}
 	ev := Event{Time: now, Src: src, Dst: dst, Payload: payload, Dropped: dropped}
 	for _, tap := range taps {
 		tap(ev)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/recursive"
 	"repro/internal/stub"
+	"repro/internal/trace"
 	"repro/internal/zone"
 )
 
@@ -125,6 +126,25 @@ func NewWorld(sc Scenario) (*World, error) {
 		w.Clients = append(w.Clients, c)
 	}
 	return w, nil
+}
+
+// EnableTrace wires one trace buffer into every engine of the world —
+// stub clients, resolvers (and their caches), authoritatives, and the
+// network. Call it before Run; the returned buffer holds the run's
+// events afterwards.
+func (w *World) EnableTrace(cfg trace.Config) *trace.Buffer {
+	tr := trace.NewBuffer(w.Clk, worldEpoch, 0, cfg)
+	w.Net.SetTrace(tr)
+	for _, a := range w.Auths {
+		a.SetTrace(tr)
+	}
+	for _, r := range w.Resolvers {
+		r.SetTrace(tr)
+	}
+	for _, c := range w.Clients {
+		c.SetTrace(tr)
+	}
+	return tr
 }
 
 // buildZones renders the three zone files from the scenario parameters.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // timeSecond avoids importing time twice in TTL math call sites.
@@ -49,11 +50,32 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type, shard int, cb func(R
 		r: r, name: dnswire.CanonicalName(name), qtype: qtype,
 		shard: shard, budget: &budget, cb: cb,
 	}
+	if tr := r.trace; tr != nil {
+		tr.Emit(trace.Event{Type: trace.EvResolveStart,
+			Probe: trace.ProbeFromName(t.name), Name: t.name, A: uint32(qtype),
+			Src: string(r.Addr())})
+	}
 	deadline := r.clk.AfterFunc(r.cfg.ClientTimeout, func() { t.fail() })
 	inner := t.cb
 	t.cb = func(res Result) {
 		deadline.Stop()
 		r.m.clientResponses.Inc()
+		if tr := r.trace; tr != nil {
+			stale := uint32(0)
+			if res.Stale {
+				stale = 1
+			}
+			probe := trace.ProbeFromName(t.name)
+			if res.ServFail {
+				// Terminal failures bypass sampling so a SERVFAIL chain is
+				// never invisible in a sampled trace.
+				tr.Force(trace.Event{Type: trace.EvServFail,
+					Probe: probe, Name: t.name, Src: string(r.Addr())})
+			}
+			tr.Emit(trace.Event{Type: trace.EvResolveDone,
+				Probe: probe, Name: t.name, A: uint32(res.RCode), B: stale,
+				Src: string(r.Addr())})
+		}
 		inner(res)
 	}
 	t.run()
@@ -97,6 +119,10 @@ func (t *task) armStaleTimer() {
 			return
 		}
 		t.r.m.staleServes.Inc()
+		if tr := t.r.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvStaleServe,
+				Probe: trace.ProbeFromName(t.name), Name: t.name})
+		}
 		t.finish(Result{RCode: dnswire.RCodeNoError, Answers: sv.Records,
 			Stale: true, FromCache: true})
 	})
@@ -139,6 +165,10 @@ func (t *task) fail() {
 	if t.r.cfg.ServeStale && !t.r.cfg.NoCache {
 		if v := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard); v.Hit && !v.Negative {
 			t.r.m.staleServes.Inc()
+			if tr := t.r.trace; tr != nil {
+				tr.Emit(trace.Event{Type: trace.EvStaleServe,
+					Probe: trace.ProbeFromName(t.name), Name: t.name, A: 1})
+			}
 			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, Stale: true, FromCache: true})
 			return
 		}
@@ -486,6 +516,15 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 }
 
 func (t *task) descend(newZone string, addrs []netsim.Addr) {
+	if tr := t.r.trace; tr != nil {
+		dst := ""
+		if len(addrs) > 0 {
+			dst = string(addrs[0])
+		}
+		tr.Emit(trace.Event{Type: trace.EvReferral,
+			Probe: trace.ProbeFromName(t.name), Name: newZone,
+			A: uint32(len(addrs)), Dst: dst})
+	}
 	t.zoneName = newZone
 	t.servers = addrs
 	t.tried = make(map[netsim.Addr]bool)

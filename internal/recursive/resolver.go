@@ -27,6 +27,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // ServerHint names a root (or forwarder) server.
@@ -225,7 +226,15 @@ type Resolver struct {
 	srtt     map[netsim.Addr]time.Duration
 	coalesce map[coalesceKey]*clientJob
 	harvests map[string]time.Time // zone -> last NS harvest
+	trace    *trace.Buffer
 	m        counters
+}
+
+// SetTrace enables query-lifecycle tracing on the resolver and its cache
+// (nil disables).
+func (r *Resolver) SetTrace(tr *trace.Buffer) {
+	r.trace = tr
+	r.cache.SetTrace(tr)
 }
 
 type coalesceKey struct {
@@ -342,6 +351,7 @@ type outquery struct {
 	server netsim.Addr
 	sentAt time.Time
 	timer  clock.Timer
+	name   string
 	onResp func(*dnswire.Message)
 	onFail func()
 }
@@ -353,9 +363,14 @@ func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
 	rd bool, timeout time.Duration, onResp func(*dnswire.Message), onFail func()) {
 
 	id := r.allocID()
-	oq := &outquery{id: id, server: server, sentAt: r.clk.Now(), onResp: onResp, onFail: onFail}
+	oq := &outquery{id: id, server: server, sentAt: r.clk.Now(), name: name, onResp: onResp, onFail: onFail}
 	r.inflight[id] = oq
 	r.m.upstreamQueries.Inc()
+	if tr := r.trace; tr != nil {
+		tr.Emit(trace.Event{Type: trace.EvUpstreamQuery,
+			Probe: trace.ProbeFromName(name), Name: name, A: uint32(qtype),
+			Src: string(r.Addr()), Dst: string(server)})
+	}
 
 	q := dnswire.NewQuery(id, name, qtype)
 	q.RecursionDesired = rd
@@ -375,6 +390,11 @@ func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
 		delete(r.inflight, id)
 		r.m.timeouts.Inc()
 		r.srttPenalty(server)
+		if tr := r.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvUpstreamTimeout,
+				Probe: trace.ProbeFromName(oq.name), Name: oq.name,
+				Src: string(r.Addr()), Dst: string(server)})
+		}
 		oq.onFail()
 	})
 	r.conn.Send(server, wire)

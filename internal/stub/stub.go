@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // ErrTimeout is reported when no response arrives within the deadline.
@@ -46,16 +47,19 @@ type Client struct {
 	cfg    Config
 	conn   netsim.Conn
 	nextID uint16
+	trace  *trace.Buffer
 	// inflight maps message IDs to pending queries.
 	inflight map[uint16]*pending
 }
 
 type pending struct {
 	id      uint16
+	span    uint16 // first attempt's ID; stable across retries for tracing
 	server  netsim.Addr
 	sentAt  time.Time
 	timer   clock.Timer
 	retries int
+	attempt int
 	name    string
 	qtype   dnswire.Type
 	started time.Time
@@ -78,6 +82,9 @@ func (c *Client) Attach(net *netsim.Network, addr netsim.Addr) {
 // SetConn binds the client to an existing transport.
 func (c *Client) SetConn(conn netsim.Conn) { c.conn = conn }
 
+// SetTrace enables query-lifecycle tracing (nil disables).
+func (c *Client) SetTrace(tr *trace.Buffer) { c.trace = tr }
+
 // Receive is the raw packet entry point.
 func (c *Client) Receive(src netsim.Addr, payload []byte) {
 	m, err := dnswire.Unpack(payload)
@@ -90,6 +97,16 @@ func (c *Client) Receive(src netsim.Addr, payload []byte) {
 	}
 	delete(c.inflight, m.ID)
 	p.timer.Stop()
+	if tr := c.trace; tr != nil {
+		probe := trace.ProbeFromName(p.name)
+		ev := trace.Event{Type: trace.EvStubAnswer, Probe: probe,
+			A: uint32(m.RCode), B: uint32(p.span), Name: p.name, Src: string(src)}
+		if m.RCode == dnswire.RCodeServFail {
+			tr.Force(ev) // terminal failures are never sampled out
+		} else {
+			tr.Emit(ev)
+		}
+	}
 	p.cb(Result{Msg: m, RTT: c.clk.Now().Sub(p.started), Server: src})
 }
 
@@ -119,6 +136,20 @@ func (c *Client) sendAttempt(p *pending) {
 	p.id = c.nextID
 	p.sentAt = c.clk.Now()
 	c.inflight[p.id] = p
+	p.attempt++
+	if p.attempt == 1 {
+		p.span = p.id
+	}
+	if tr := c.trace; tr != nil {
+		probe := trace.ProbeFromName(p.name)
+		if p.attempt == 1 {
+			tr.Emit(trace.Event{Type: trace.EvStubIssue, Probe: probe,
+				A: uint32(p.qtype), B: uint32(p.span), Name: p.name, Dst: string(p.server)})
+		} else {
+			tr.Emit(trace.Event{Type: trace.EvStubRetry, Probe: probe,
+				A: uint32(p.attempt), B: uint32(p.span), Name: p.name, Dst: string(p.server)})
+		}
+	}
 
 	q := dnswire.NewQuery(p.id, p.name, p.qtype)
 	wire, err := q.Pack()
@@ -136,6 +167,13 @@ func (c *Client) sendAttempt(p *pending) {
 			p.retries--
 			c.sendAttempt(p)
 			return
+		}
+		if tr := c.trace; tr != nil {
+			// Timeouts stay behind sampling: under a 90%-loss attack most
+			// queries expire, and forcing them all would defeat the
+			// sampling memory bound. SERVFAILs (rare, terminal) are forced.
+			tr.Emit(trace.Event{Type: trace.EvStubTimeout, Probe: trace.ProbeFromName(p.name),
+				A: uint32(p.attempt), B: uint32(p.span), Name: p.name, Dst: string(p.server)})
 		}
 		p.cb(Result{Err: ErrTimeout, RTT: c.clk.Now().Sub(p.started), Server: p.server})
 	})

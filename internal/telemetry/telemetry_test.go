@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilProgressIsSafe(t *testing.T) {
+	var p *Progress
+	p.CellDone(100, time.Minute) // must not panic
+	p.Finish()
+	if s := p.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", s)
+	}
+}
+
+func TestProgressAggregatesAndFinishes(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "test", 3, time.Hour) // throttle silences mid-run lines
+	p.CellDone(100, time.Minute)
+	p.CellDone(250, 2*time.Minute)
+
+	s := p.Snapshot()
+	if s.CellsDone != 2 || s.CellsTotal != 3 {
+		t.Errorf("cells = %d/%d, want 2/3", s.CellsDone, s.CellsTotal)
+	}
+	if s.Events != 350 {
+		t.Errorf("events = %d, want 350", s.Events)
+	}
+	if s.SimHorizon != 2*time.Minute {
+		t.Errorf("sim horizon = %v, want the max (2m)", s.SimHorizon)
+	}
+
+	p.CellDone(50, time.Minute) // final cell prints despite the throttle
+	p.Finish()
+	p.Finish() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "cells 3/3") {
+		t.Errorf("output missing final cell line:\n%s", out)
+	}
+	if got := strings.Count(out, "done:"); got != 1 {
+		t.Errorf("Finish printed %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{CellsDone: 2, CellsTotal: 8, Events: 1000,
+		EventsPerSec: 500, SimHorizon: time.Hour, ETA: 3 * time.Second}
+	line := s.String()
+	for _, want := range []string{"cells 2/8", "events 1000", "sim 1h0m0s", "eta 3s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+}
+
+func TestServeExposesVarsAndPprof(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewProgress(io.Discard, "serve-test", 1, time.Hour).CellDone(7, time.Second)
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body), "dikes_progress") {
+			t.Errorf("/debug/vars missing the dikes_progress expvar")
+		}
+	}
+}
+
+func TestPeakRSSMB(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("VmHWM requires /proc")
+	}
+	if got := PeakRSSMB(); got <= 0 {
+		t.Errorf("PeakRSSMB = %d, want > 0 on Linux", got)
+	}
+}

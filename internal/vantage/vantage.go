@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stub"
+	"repro/internal/trace"
 )
 
 // Prefix is the fixed 64-bit prefix of encoded answers
@@ -169,6 +170,10 @@ func (p *Probe) interpret(round int, rec netsim.Addr, sentAt time.Time, res stub
 
 // Answers returns the probe's observation log.
 func (p *Probe) Answers() []Answer { return p.answers }
+
+// SetTrace enables query-lifecycle tracing on the probe's stub client
+// (nil disables).
+func (p *Probe) SetTrace(tr *trace.Buffer) { p.client.SetTrace(tr) }
 
 // Fleet is a set of probes sharing a probing schedule.
 type Fleet struct {

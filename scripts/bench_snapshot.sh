@@ -5,6 +5,8 @@
 #                                             -> BENCH_parallel.json
 #   scripts/bench_snapshot.sh scale [matrix]  sharded scale runs
 #                                             -> BENCH_scale.json
+#   scripts/bench_snapshot.sh trace [benchtime]  tracing overhead
+#                                             -> BENCH_trace.json
 #
 # The scale matrix is a space-separated list of probes:shards pairs
 # (default: $SCALE_MATRIX or "100000:1 100000:4 1000000:8"). Each
@@ -29,6 +31,16 @@ if [ "${1:-}" = "scale" ]; then
     go run ./cmd/benchsnap <"$tmp" >BENCH_scale.json
     echo "wrote BENCH_scale.json:"
     cat BENCH_scale.json
+    exit 0
+fi
+
+if [ "${1:-}" = "trace" ]; then
+    benchtime="${2:-3x}"
+    go test -run '^$' -bench '^BenchmarkTraceOverhead$' \
+        -benchmem -benchtime "$benchtime" -timeout 0 . |
+        go run ./cmd/benchsnap > BENCH_trace.json
+    echo "wrote BENCH_trace.json:"
+    cat BENCH_trace.json
     exit 0
 fi
 

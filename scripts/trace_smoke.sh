@@ -1,0 +1,32 @@
+#!/bin/sh
+# End-to-end check of the tracing pipeline (the CI trace-smoke job):
+# record a small traced DDoS run, validate the JSONL trace structurally,
+# run the failure analysis, convert to Chrome trace_event JSON, and
+# validate that too. Everything is offline after the first step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+echo "== record: traced 120-probe spec-H run ==" >&2
+go run ./cmd/dikes -probes 120 -exp H \
+    -trace "$dir/run.jsonl" -trace-chrome "$dir/run-chrome.json" \
+    -progress ddos >/dev/null
+
+echo "== validate JSONL ==" >&2
+go run ./cmd/dikes trace -validate "$dir/run.jsonl"
+
+echo "== summary ==" >&2
+go run ./cmd/dikes trace "$dir/run.jsonl"
+
+echo "== first-failure analysis ==" >&2
+go run ./cmd/dikes trace -fail "$dir/run.jsonl"
+
+echo "== Chrome conversion (offline) matches the run's own export ==" >&2
+go run ./cmd/dikes trace -chrome "$dir/converted.json" "$dir/run.jsonl"
+go run ./cmd/dikes trace -validate-chrome "$dir/converted.json"
+go run ./cmd/dikes trace -validate-chrome "$dir/run-chrome.json"
+
+echo "trace smoke OK" >&2
