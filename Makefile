@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress
 
 all: check
 
@@ -40,11 +40,14 @@ bench-snapshot:
 # Sharded-engine scale gate: one 100k-probe 4-shard DDoS run (spec H)
 # under the race detector with a peak-RSS ceiling. Small cells keep the
 # resident set inside CI-runner memory even with the race detector's
-# shadow overhead.
+# shadow overhead. The ceiling tightened 6144 -> 4096 with the
+# timing-wheel engine (DESIGN.md §13): this configuration peaked at
+# ~1.9 GiB pre-wheel, and a 10^6-probe 8-shard run without the race
+# detector peaks at ~2.9 GiB (BENCH_wheel.json).
 SCALE_PROBES ?= 100000
 SCALE_SHARDS ?= 4
 SCALE_SHARD_PROBES ?= 2048
-SCALE_RSS_MB ?= 6144
+SCALE_RSS_MB ?= 4096
 scale-smoke:
 	SCALE_SMOKE=1 SCALE_PROBES=$(SCALE_PROBES) SCALE_SHARDS=$(SCALE_SHARDS) \
 	SCALE_SHARD_PROBES=$(SCALE_SHARD_PROBES) SCALE_RSS_MB=$(SCALE_RSS_MB) \
@@ -54,6 +57,23 @@ scale-smoke:
 # for the sharded engine, one process per configuration.
 scale-snapshot:
 	./scripts/bench_snapshot.sh scale
+
+# Writes BENCH_wheel.json: the timing-wheel engine's committed baseline —
+# hot-path micro-benchmarks plus the 10^6/10^7-probe sharded acceptance
+# runs (peak_rss_mb, vps). Refresh it on the machine class CI uses when a
+# deliberate perf change lands; the bench-regress gate diffs against it.
+wheel-snapshot:
+	./scripts/bench_snapshot.sh wheel
+
+# Benchmark regression gate: re-runs the hot-path benches and fails if
+# ns/op or allocs/op regressed beyond the tolerance vs BENCH_wheel.json
+# (scale rows in the snapshot have no fresh counterpart and are skipped).
+BENCH_REGRESS_TOL ?= 10%
+bench-regress:
+	$(GO) test -run '^$$' \
+	    -bench '^Benchmark(WirePack|WireUnpack|CachePutGet|CachePutPeek|NetworkDelivery|ResolveThroughSim)$$' \
+	    -benchmem -benchtime 1s . | \
+	    $(GO) run ./cmd/benchsnap -compare BENCH_wheel.json -max-regress $(BENCH_REGRESS_TOL) >/dev/null
 
 # Writes BENCH_trace.json: sharded spec-H runs with tracing off, sampled,
 # and full. The "off" row is the nil-check-only baseline production runs

@@ -3,13 +3,23 @@
 // "allocs_per_op": ...}}. Only fields present in a line are emitted, so it
 // works with and without -benchmem. Custom units reported through
 // b.ReportMetric (e.g. "peak_rss_mb", "vps") land in a "metrics" object.
-// Used by scripts/bench_snapshot.sh to record BENCH_parallel.json and
-// BENCH_scale.json.
+// Used by scripts/bench_snapshot.sh to record BENCH_parallel.json,
+// BENCH_scale.json, and BENCH_wheel.json.
+//
+// With -compare old.json the new snapshot is additionally diffed against
+// a committed baseline: every benchmark present in both is checked on
+// ns_per_op and allocs_per_op, and the process exits nonzero if either
+// regressed by more than -max-regress (default 10%). The new snapshot
+// still goes to stdout, so the regression gate and the snapshot refresh
+// are the same pipeline:
+//
+//	go test -bench ... | benchsnap -compare BENCH_wheel.json -max-regress 10%
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -26,6 +36,10 @@ type result struct {
 }
 
 func main() {
+	compareWith := flag.String("compare", "", "baseline snapshot JSON to diff the new results against")
+	maxRegress := flag.String("max-regress", "10%", "tolerated ns_per_op / allocs_per_op growth vs the baseline (e.g. 10% or 0.1)")
+	flag.Parse()
+
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -38,6 +52,21 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		os.Exit(1)
+	}
+
+	regressed := false
+	if *compareWith != "" {
+		tol, err := parseTolerance(*maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: -max-regress: %v\n", err)
+			os.Exit(2)
+		}
+		baseline, err := loadSnapshot(*compareWith)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(2)
+		}
+		regressed = compare(os.Stderr, baseline, results, tol)
 	}
 
 	// Emit with sorted keys so snapshots diff cleanly.
@@ -56,6 +85,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		os.Exit(1)
 	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// parseTolerance accepts "10%" or a bare ratio like "0.1".
+func parseTolerance(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cannot parse %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("tolerance %q is negative", s)
+	}
+	return v, nil
+}
+
+func loadSnapshot(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := make(map[string]result)
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+// compare diffs every benchmark present in both snapshots on ns_per_op
+// and allocs_per_op, writes one line per comparison, and reports whether
+// anything regressed beyond tol. Benchmarks only in one snapshot are
+// skipped: the regression gate runs a subset of the committed snapshot
+// (CI skips the long scale rows), and new benchmarks have no baseline.
+func compare(w *os.File, baseline, current map[string]result, tol float64) bool {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := baseline[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(w, "benchsnap: no benchmarks in common with the baseline\n")
+		return false
+	}
+	regressed := false
+	for _, name := range names {
+		old, new := baseline[name], current[name]
+		regressed = compareField(w, name, "ns/op", old.NsPerOp, new.NsPerOp, tol) || regressed
+		regressed = compareField(w, name, "allocs/op", old.AllocsPerOp, new.AllocsPerOp, tol) || regressed
+	}
+	return regressed
+}
+
+func compareField(w *os.File, name, unit string, old, new *float64, tol float64) bool {
+	if old == nil || new == nil {
+		return false
+	}
+	delta := 0.0
+	if *old != 0 {
+		delta = (*new - *old) / *old
+	}
+	verdict := "ok"
+	bad := delta > tol
+	if bad {
+		verdict = fmt.Sprintf("REGRESSION (tolerance %+.1f%%)", tol*100)
+	}
+	fmt.Fprintf(w, "%-50s %12s %14.1f -> %14.1f  %+7.1f%%  %s\n",
+		name, unit, *old, *new, delta*100, verdict)
+	return bad
 }
 
 // parseLine extracts one benchmark result line, e.g.

@@ -43,12 +43,20 @@ type counters struct {
 
 // Server hosts one or more zones at a single network address.
 type Server struct {
-	mu      sync.RWMutex
-	zones   []*zone.Zone // sorted by descending origin label count
-	m       counters
-	trace   *trace.Buffer
-	byRCode map[dnswire.RCode]int64
-	byType  map[dnswire.Type]int64
+	mu    sync.RWMutex
+	zones []*zone.Zone // sorted by descending origin label count
+	// zone0 backs zones for the ubiquitous single-zone server, so adding
+	// the first zone allocates nothing.
+	zone0 [1]*zone.Zone
+	m     counters
+	trace *trace.Buffer
+	port  netsim.Port
+	// byRCode and byType tally responses and queries. Fixed arrays keep
+	// the per-query paths allocation-free; the rare query type outside
+	// the array range falls back to a lazily built map.
+	byRCode     [16]int64
+	byType      [64]int64
+	byTypeOther map[dnswire.Type]int64
 }
 
 // SetTrace enables answer tracing (nil disables). The buffer carries its
@@ -57,24 +65,33 @@ func (s *Server) SetTrace(tr *trace.Buffer) { s.trace = tr }
 
 // New creates a server hosting the given zones.
 func New(zones ...*zone.Zone) *Server {
-	s := &Server{
-		byRCode: make(map[dnswire.RCode]int64),
-		byType:  make(map[dnswire.Type]int64),
-	}
+	s := &Server{}
 	for _, z := range zones {
 		s.AddZone(z)
 	}
 	return s
 }
 
+// Init prepares a single-zone server in place (the arena-friendly twin of
+// New, for callers that batch-allocate servers).
+func (s *Server) Init(z *zone.Zone) {
+	*s = Server{}
+	s.AddZone(z)
+}
+
 // AddZone adds z to the served set.
 func (s *Server) AddZone(z *zone.Zone) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.zones == nil {
+		s.zones = s.zone0[:0]
+	}
 	s.zones = append(s.zones, z)
-	sort.SliceStable(s.zones, func(i, j int) bool {
-		return dnswire.CountLabels(s.zones[i].Origin()) > dnswire.CountLabels(s.zones[j].Origin())
-	})
+	if len(s.zones) > 1 {
+		sort.SliceStable(s.zones, func(i, j int) bool {
+			return dnswire.CountLabels(s.zones[i].Origin()) > dnswire.CountLabels(s.zones[j].Origin())
+		})
+	}
 }
 
 // Zones returns the hosted zones, most specific first.
@@ -107,12 +124,19 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out.ByRCode = make(map[dnswire.RCode]int64, len(s.byRCode))
+	out.ByRCode = make(map[dnswire.RCode]int64)
 	for k, v := range s.byRCode {
-		out.ByRCode[k] = v
+		if v != 0 {
+			out.ByRCode[dnswire.RCode(k)] = v
+		}
 	}
-	out.ByType = make(map[dnswire.Type]int64, len(s.byType))
+	out.ByType = make(map[dnswire.Type]int64)
 	for k, v := range s.byType {
+		if v != 0 {
+			out.ByType[dnswire.Type(k)] = v
+		}
+	}
+	for k, v := range s.byTypeOther {
 		out.ByType[k] = v
 	}
 	return out
@@ -129,9 +153,16 @@ func (s *Server) CollectMetrics(sc *metrics.Scope) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for k, v := range s.byRCode {
-		sc.Counter("rcode_" + k.String()).Add(v)
+		if v != 0 {
+			sc.Counter("rcode_" + dnswire.RCode(k).String()).Add(v)
+		}
 	}
 	for k, v := range s.byType {
+		if v != 0 {
+			sc.Counter("qtype_" + dnswire.Type(k).String()).Add(v)
+		}
+	}
+	for k, v := range s.byTypeOther {
 		sc.Counter("qtype_" + k.String()).Add(v)
 	}
 }
@@ -154,17 +185,31 @@ func (s *Server) HandleWireTCP(payload []byte) []byte {
 	return s.handleWire(payload, true)
 }
 
+// msgPool recycles decode/encode scratch messages for the wire path. The
+// pool (rather than per-server scratch) keeps handleWire safe for the
+// real servers in cmd/, which handle connections concurrently.
+var msgPool = sync.Pool{New: func() any { return new(dnswire.Message) }}
+
 func (s *Server) handleWire(payload []byte, tcp bool) []byte {
-	q, err := dnswire.Unpack(payload)
-	if err != nil {
+	return s.handleWireAppend(payload, tcp, nil)
+}
+
+// handleWireAppend is handleWire appending the response onto dst (which
+// may be nil): the simulated packet path hands in a pooled buffer, the
+// TCP/UDP daemons pass nil and own the returned slice.
+func (s *Server) handleWireAppend(payload []byte, tcp bool, dst []byte) []byte {
+	q := msgPool.Get().(*dnswire.Message)
+	defer msgPool.Put(q)
+	if err := dnswire.UnpackInto(q, payload); err != nil {
 		s.m.malformed.Inc()
 		return nil
 	}
-	resp := s.Handle(q)
-	if resp == nil {
+	resp := msgPool.Get().(*dnswire.Message)
+	defer msgPool.Put(resp)
+	if !s.handle(q, resp) {
 		return nil
 	}
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack(dst)
 	if err != nil {
 		return nil
 	}
@@ -173,7 +218,7 @@ func (s *Server) handleWire(payload []byte, tcp bool) []byte {
 		trunc := *resp
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
-		if wire, err = trunc.Pack(); err != nil {
+		if wire, err = trunc.AppendPack(wire[:0]); err != nil {
 			return nil
 		}
 	}
@@ -198,34 +243,52 @@ func udpLimit(q *dnswire.Message) int {
 // Handle answers a parsed query. It returns nil for messages that must be
 // ignored (responses, or queries without a question).
 func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
-	if q.Response {
+	resp := &dnswire.Message{}
+	if !s.handle(q, resp) {
 		return nil
 	}
+	return resp
+}
+
+// handle answers q into resp (a response skeleton is built in place, so
+// pooled messages keep their section capacity). It reports whether resp
+// holds a response to send.
+func (s *Server) handle(q, resp *dnswire.Message) bool {
+	if q.Response {
+		return false
+	}
 	s.m.queries.Inc()
-	resp := dnswire.NewResponse(q)
+	resp.ResetResponse(q)
 	resp.RecursionAvailable = false
 
 	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
 		resp.RCode = dnswire.RCodeNotImp
 		s.finish(resp)
-		return resp
+		return true
 	}
 	question := q.Questions[0]
 	question.Name = dnswire.CanonicalName(question.Name)
 	if question.Class != dnswire.ClassIN && question.Class != dnswire.ClassANY {
 		resp.RCode = dnswire.RCodeRefused
 		s.finish(resp)
-		return resp
+		return true
 	}
 	s.mu.Lock()
-	s.byType[question.Type]++
+	if question.Type < dnswire.Type(len(s.byType)) {
+		s.byType[question.Type]++
+	} else {
+		if s.byTypeOther == nil {
+			s.byTypeOther = make(map[dnswire.Type]int64)
+		}
+		s.byTypeOther[question.Type]++
+	}
 	s.mu.Unlock()
 
 	z := s.findZone(question.Name)
 	if z == nil {
 		resp.RCode = dnswire.RCodeRefused
 		s.finish(resp)
-		return resp
+		return true
 	}
 	_, do, hasEDNS := q.EDNS()
 	s.answerFromZone(resp, z, question.Name, question.Type, 0)
@@ -242,7 +305,7 @@ func (s *Server) Handle(q *dnswire.Message) *dnswire.Message {
 			Probe: trace.ProbeFromName(question.Name),
 			A:     uint32(resp.RCode), B: uint32(question.Type), Name: question.Name})
 	}
-	return resp
+	return true
 }
 
 // addDenialProof attaches the covering NSEC record to negative responses
@@ -289,39 +352,41 @@ func (s *Server) addSignatures(resp *dnswire.Message, z *zone.Zone) {
 }
 
 func (s *Server) answerFromZone(resp *dnswire.Message, z *zone.Zone, name string, qtype dnswire.Type, depth int) {
-	res := z.Lookup(name, qtype)
-	switch res.Kind {
+	// Records land in resp.Answers and glue in resp.Additionals without an
+	// intermediate slice; the delegation branch relocates the NS set into
+	// the authority section afterwards.
+	ansStart := len(resp.Answers)
+	kind, soa := z.AppendLookup(name, qtype, &resp.Answers, &resp.Additionals)
+	switch kind {
 	case zone.Success:
 		resp.Authoritative = true
-		resp.Answers = append(resp.Answers, res.Records...)
 		if qtype == dnswire.TypeNS {
-			s.addNSGlue(resp, z, res.Records)
+			s.addNSGlue(resp, z, resp.Answers[ansStart:])
 		}
 	case zone.CName:
 		resp.Authoritative = true
-		resp.Answers = append(resp.Answers, res.Records...)
-		target := dnswire.CanonicalName(res.Records[0].Data.(dnswire.CNAME).Target)
+		target := dnswire.CanonicalName(resp.Answers[ansStart].Data.(dnswire.CNAME).Target)
 		if depth < maxCNAMEChase && dnswire.IsSubdomain(target, z.Origin()) {
 			s.answerFromZone(resp, z, target, qtype, depth+1)
 		}
 	case zone.Delegation:
 		// Referral: not authoritative, NS set in authority, glue in
 		// additional (the Appendix A parent-side shape).
-		resp.Authorities = append(resp.Authorities, res.Records...)
-		resp.Additionals = append(resp.Additionals, res.Glue...)
+		resp.Authorities = append(resp.Authorities, resp.Answers[ansStart:]...)
+		resp.Answers = resp.Answers[:ansStart]
 		s.m.referrals.Inc()
 	case zone.NXDomain:
 		resp.Authoritative = true
 		if depth == 0 {
 			resp.RCode = dnswire.RCodeNXDomain
 		}
-		if res.SOA.Data != nil {
-			resp.Authorities = append(resp.Authorities, res.SOA)
+		if soa.Data != nil {
+			resp.Authorities = append(resp.Authorities, soa)
 		}
 	case zone.NoData:
 		resp.Authoritative = true
-		if res.SOA.Data != nil {
-			resp.Authorities = append(resp.Authorities, res.SOA)
+		if soa.Data != nil {
+			resp.Authorities = append(resp.Authorities, soa)
 		}
 	case zone.NotInZone:
 		resp.RCode = dnswire.RCodeRefused
@@ -337,8 +402,10 @@ func (s *Server) addNSGlue(resp *dnswire.Message, z *zone.Zone, nsSet []dnswire.
 		}
 		host := dnswire.CanonicalName(ns.Host)
 		for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
-			if res := z.Lookup(host, t); res.Kind == zone.Success {
-				resp.Additionals = append(resp.Additionals, res.Records...)
+			start := len(resp.Additionals)
+			var spill []dnswire.RR
+			if kind, _ := z.AppendLookup(host, t, &resp.Additionals, &spill); kind != zone.Success {
+				resp.Additionals = resp.Additionals[:start]
 			}
 		}
 	}
@@ -347,17 +414,27 @@ func (s *Server) addNSGlue(resp *dnswire.Message, z *zone.Zone, nsSet []dnswire.
 func (s *Server) finish(resp *dnswire.Message) {
 	s.m.responses.Inc()
 	s.mu.Lock()
-	s.byRCode[resp.RCode]++
+	s.byRCode[resp.RCode&0xF]++
 	s.mu.Unlock()
 }
 
 // Attach binds the server to addr on the network and returns the port.
 func (s *Server) Attach(net *netsim.Network, addr netsim.Addr) *netsim.Port {
-	var port *netsim.Port
-	port = net.Bind(addr, func(src netsim.Addr, payload []byte) {
-		if out := s.HandleWire(payload); out != nil {
-			port.Send(src, out)
-		}
-	})
-	return port
+	s.port = net.BindPort(addr, s.receive)
+	return &s.port
 }
+
+// receive is the wire entry point for the attached port.
+func (s *Server) receive(src netsim.Addr, payload []byte) {
+	bp := wireBufPool.Get().(*[]byte)
+	if out := s.handleWireAppend(payload, false, (*bp)[:0]); out != nil {
+		s.port.Send(src, out) // Send copies; out's buffer goes back to the pool
+		*bp = out[:0]
+	}
+	wireBufPool.Put(bp)
+}
+
+// wireBufPool recycles response wire buffers for the simulated packet
+// path (netsim copies payloads on Send, so a buffer is free for reuse as
+// soon as Send returns).
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}

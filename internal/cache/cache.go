@@ -8,7 +8,6 @@
 package cache
 
 import (
-	"container/list"
 	"time"
 
 	"repro/internal/clock"
@@ -101,7 +100,8 @@ const defaultStaleWindow = time.Hour
 type Cache struct {
 	cfg    Config
 	clk    clock.Clock
-	shards []*shard
+	shards []shard
+	shard0 [1]shard // inline backing for the common single-shard case
 	trace  *trace.Buffer
 	m      counters
 }
@@ -137,29 +137,117 @@ func (c *Cache) CollectMetrics(s *metrics.Scope) {
 	s.Counter("evictions").Add(c.m.evictions.Value())
 }
 
+// shard is a single backend cache. The zero value is empty and ready:
+// entries is allocated on first Put, so idle shards stay allocation-free.
+// The LRU list is intrusive — cached nodes carry their own prev/next
+// links — so a store costs one allocation (the node), not two.
 type shard struct {
-	entries map[Key]*list.Element
-	lru     *list.List // front = most recent
+	entries map[Key]*cached
+	// head/tail of the recency list; head = most recent.
+	head, tail *cached
+	count      int
+	// Node arena: fresh nodes come from slab chunks and evicted nodes are
+	// recycled through free (linked via next), so a steady-state shard
+	// allocates one chunk per slabChunk insertions instead of one node
+	// per Put.
+	slab []cached
+	used int
+	free *cached
+}
+
+// slabChunk is the node-arena growth quantum.
+const slabChunk = 32
+
+func (sh *shard) newNode() *cached {
+	if n := sh.free; n != nil {
+		sh.free = n.next
+		*n = cached{}
+		return n
+	}
+	if sh.used == len(sh.slab) {
+		sh.slab = make([]cached, slabChunk)
+		sh.used = 0
+	}
+	n := &sh.slab[sh.used]
+	sh.used++
+	return n
+}
+
+func (sh *shard) freeNode(n *cached) {
+	*n = cached{next: sh.free}
+	sh.free = n
 }
 
 type cached struct {
-	key      Key
-	entry    Entry
-	storedAt time.Time
-	expires  time.Time
+	key        Key
+	entry      Entry
+	storedAt   time.Time
+	expires    time.Time
+	prev, next *cached
 }
 
-// New creates a cache on clk with the given configuration.
+// moveToFront makes item the most recently used node.
+func (sh *shard) moveToFront(item *cached) {
+	if sh.head == item {
+		return
+	}
+	sh.unlink(item)
+	sh.pushFront(item)
+}
+
+func (sh *shard) pushFront(item *cached) {
+	item.prev = nil
+	item.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = item
+	}
+	sh.head = item
+	if sh.tail == nil {
+		sh.tail = item
+	}
+	sh.count++
+}
+
+func (sh *shard) unlink(item *cached) {
+	if item.prev != nil {
+		item.prev.next = item.next
+	} else {
+		sh.head = item.next
+	}
+	if item.next != nil {
+		item.next.prev = item.prev
+	} else {
+		sh.tail = item.prev
+	}
+	item.prev, item.next = nil, nil
+	sh.count--
+}
+
+// New creates a cache on clk with the given configuration. Shards are
+// value-typed and lazily initialized: an idle shard (most of a large
+// population's caches, most of the time) costs its struct header and
+// nothing else until the first Put.
 func New(clk clock.Clock, cfg Config) *Cache {
+	c := &Cache{}
+	c.Init(clk, cfg)
+	return c
+}
+
+// Init prepares a Cache in place (the embedded-by-value twin of New, for
+// callers that arena-allocate the enclosing struct). Single-shard caches
+// (the overwhelmingly common shape) use the inline shard0 buffer and
+// allocate nothing.
+func (c *Cache) Init(clk clock.Clock, cfg Config) {
 	n := cfg.Shards
 	if n < 1 {
 		n = 1
 	}
-	c := &Cache{cfg: cfg, clk: clk, shards: make([]*shard, n)}
-	for i := range c.shards {
-		c.shards[i] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+	*c = Cache{cfg: cfg, clk: clk}
+	if n == 1 {
+		c.shards = c.shard0[:]
+	} else {
+		c.shards = make([]shard, n)
 	}
-	return c
 }
 
 // Shards returns the number of independent shards.
@@ -177,7 +265,7 @@ func shardIndex(hint, n int) int {
 }
 
 func (c *Cache) shard(hint int) *shard {
-	return c.shards[shardIndex(hint, len(c.shards))]
+	return &c.shards[shardIndex(hint, len(c.shards))]
 }
 
 // effectiveTTL applies the configured floor/cap to a record TTL.
@@ -196,13 +284,15 @@ func (c *Cache) effectiveTTL(ttl time.Duration) time.Duration {
 func (c *Cache) Put(key Key, e Entry, shardHint int) {
 	key.Name = dnswire.CanonicalName(key.Name)
 	sh := c.shard(shardHint)
+	if sh.entries == nil {
+		sh.entries = make(map[Key]*cached)
+	}
 	now := c.clk.Now()
 
 	c.m.puts.Inc()
-	el, exists := sh.entries[key]
+	item, exists := sh.entries[key]
 	if exists {
-		have := el.Value.(*cached)
-		if have.entry.Rank > e.Rank && have.expires.After(now) {
+		if item.entry.Rank > e.Rank && item.expires.After(now) {
 			return
 		}
 	}
@@ -237,18 +327,20 @@ func (c *Cache) Put(key Key, e Entry, shardHint int) {
 		// Overwrite the resident struct rather than allocating a fresh one.
 		// Callers aliasing the old Records via Peek keep their (now old)
 		// slice; only the header in the cache is replaced.
-		item := el.Value.(*cached)
 		item.entry, item.storedAt, item.expires = e, now, now.Add(ttl)
-		sh.lru.MoveToFront(el)
+		sh.moveToFront(item)
 		return
 	}
-	item := &cached{key: key, entry: e, storedAt: now, expires: now.Add(ttl)}
-	sh.entries[key] = sh.lru.PushFront(item)
+	item = sh.newNode()
+	item.key, item.entry, item.storedAt, item.expires = key, e, now, now.Add(ttl)
+	sh.entries[key] = item
+	sh.pushFront(item)
 	if c.cfg.Capacity > 0 {
-		for sh.lru.Len() > c.cfg.Capacity {
-			oldest := sh.lru.Back()
-			sh.lru.Remove(oldest)
-			delete(sh.entries, oldest.Value.(*cached).key)
+		for sh.count > c.cfg.Capacity {
+			oldest := sh.tail
+			sh.unlink(oldest)
+			delete(sh.entries, oldest.key)
+			sh.freeNode(oldest)
 			c.m.evictions.Inc()
 		}
 	}
@@ -268,19 +360,18 @@ func (c *Cache) Get(key Key, shardHint int) View {
 func (c *Cache) Peek(key Key, shardHint int) View {
 	key.Name = dnswire.CanonicalName(key.Name)
 	sh := c.shard(shardHint)
-	el, ok := sh.entries[key]
+	item, ok := sh.entries[key]
 	if !ok {
 		c.m.peekMisses.Inc()
 		return View{}
 	}
-	item := el.Value.(*cached)
 	now := c.clk.Now()
 	if !item.expires.After(now) {
 		c.m.peekMisses.Inc()
 		return View{}
 	}
 	c.m.peekHits.Inc()
-	sh.lru.MoveToFront(el)
+	sh.moveToFront(item)
 	return View{
 		Hit:      true,
 		Records:  item.entry.Records,
@@ -302,7 +393,7 @@ func (c *Cache) GetStale(key Key, shardHint int) View {
 func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 	key.Name = dnswire.CanonicalName(key.Name)
 	sh := c.shard(shardHint)
-	el, ok := sh.entries[key]
+	item, ok := sh.entries[key]
 	if !ok {
 		c.m.misses.Inc()
 		if tr := c.trace; tr != nil {
@@ -311,7 +402,6 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 		}
 		return View{}
 	}
-	item := el.Value.(*cached)
 	now := c.clk.Now()
 	remaining := item.expires.Sub(now)
 	stale := remaining <= 0
@@ -349,7 +439,7 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 		tr.Emit(trace.Event{Type: t,
 			Probe: trace.ProbeFromName(key.Name), Name: key.Name, A: uint32(key.Type)})
 	}
-	sh.lru.MoveToFront(el)
+	sh.moveToFront(item)
 
 	v := View{
 		Hit:      true,
@@ -378,21 +468,21 @@ func (c *Cache) get(key Key, shardHint int, allowStale bool) View {
 // §3.1).
 func (c *Cache) Flush() {
 	for i := range c.shards {
-		c.shards[i] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+		c.shards[i] = shard{}
 	}
 }
 
 // FlushShard empties a single backend cache.
 func (c *Cache) FlushShard(hint int) {
-	c.shards[shardIndex(hint, len(c.shards))] = &shard{entries: make(map[Key]*list.Element), lru: list.New()}
+	c.shards[shardIndex(hint, len(c.shards))] = shard{}
 }
 
 // Len returns the total number of entries across shards, including expired
 // ones not yet evicted.
 func (c *Cache) Len() int {
 	n := 0
-	for _, sh := range c.shards {
-		n += sh.lru.Len()
+	for i := range c.shards {
+		n += c.shards[i].count
 	}
 	return n
 }
@@ -404,8 +494,7 @@ func (c *Cache) Dump(shardHint int) []dnswire.RR {
 	sh := c.shard(shardHint)
 	now := c.clk.Now()
 	var out []dnswire.RR
-	for _, el := range sh.entries {
-		item := el.Value.(*cached)
+	for _, item := range sh.entries {
 		if !item.expires.After(now) || item.entry.Negative {
 			continue
 		}

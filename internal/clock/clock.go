@@ -6,11 +6,13 @@
 // with AfterFunc run on the goroutine that calls Run, in timestamp order.
 // Multi-hour experiments with tens of thousands of resolvers execute in
 // milliseconds, and runs are bit-for-bit reproducible for a given seed.
+//
+// Virtual is backed by a hierarchical timing wheel (see wheel.go); the
+// previous container/heap implementation survives as Heap (heapref.go),
+// the reference oracle for the differential property tests.
 package clock
 
 import (
-	"container/heap"
-	"sync"
 	"time"
 )
 
@@ -38,6 +40,45 @@ type ArgScheduler interface {
 	AfterFuncArg(d time.Duration, f func(arg any), arg any)
 }
 
+// RefScheduler is the cancelable flavor of ArgScheduler: it returns a
+// TimerRef by value, so a cancelable timer with a static callback costs
+// zero allocations on the virtual clock (the resolver and stub timeout
+// paths, one per upstream query, run through it).
+type RefScheduler interface {
+	AfterFuncRef(d time.Duration, f func(arg any), arg any) TimerRef
+}
+
+// TimerRef is a cancelable pending callback held by value. The zero
+// TimerRef is valid and Stop on it reports false.
+type TimerRef struct {
+	// Exactly one of the backends is set.
+	e   *event   // virtual-clock node
+	v   *Virtual // owning wheel
+	gen uint32   // node generation at schedule time
+	t   Timer    // fallback for foreign Clock implementations
+}
+
+// Stop cancels the timer. It reports whether the call was stopped before
+// it fired; after the callback ran (or on a second Stop) it reports false.
+func (r TimerRef) Stop() bool {
+	if r.e != nil {
+		return r.v.stopNode(r.e, r.gen)
+	}
+	if r.t != nil {
+		return r.t.Stop()
+	}
+	return false
+}
+
+// AfterFuncRef schedules f(arg) on any Clock, using the allocation-free
+// RefScheduler path when clk provides it.
+func AfterFuncRef(clk Clock, d time.Duration, f func(arg any), arg any) TimerRef {
+	if rs, ok := clk.(RefScheduler); ok {
+		return rs.AfterFuncRef(d, f, arg)
+	}
+	return TimerRef{t: clk.AfterFunc(d, func() { f(arg) })}
+}
+
 // Real is a Clock backed by the time package.
 type Real struct{}
 
@@ -55,240 +96,11 @@ func (Real) AfterFuncArg(d time.Duration, f func(any), arg any) {
 	time.AfterFunc(d, func() { f(arg) })
 }
 
+// AfterFuncRef implements RefScheduler.
+func (Real) AfterFuncRef(d time.Duration, f func(any), arg any) TimerRef {
+	return TimerRef{t: realTimer{time.AfterFunc(d, func() { f(arg) })}}
+}
+
 type realTimer struct{ t *time.Timer }
 
 func (r realTimer) Stop() bool { return r.t.Stop() }
-
-// Virtual is a deterministic simulated clock. The zero value is not usable;
-// call NewVirtual.
-//
-// Fired and canceled events are recycled through a free list, and the heap
-// is compacted when more than half of it is dead timers, so multi-hour
-// runs with millions of short-lived timers stay allocation- and
-// memory-flat.
-type Virtual struct {
-	mu      sync.Mutex
-	now     time.Time
-	heap    eventHeap
-	seq     uint64 // tiebreaker for events at the same instant
-	dead    int    // canceled events still sitting in the heap
-	free    []*event
-	fired   int64 // live events executed
-	stopped int64 // timers canceled before firing
-}
-
-// NewVirtual returns a virtual clock starting at start.
-func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
-}
-
-// event is a scheduled callback: either a plain closure f or the
-// closure-free pair (fArg, arg). Events are pooled; gen distinguishes the
-// timer a caller holds from a later reuse of the same struct.
-type event struct {
-	at   time.Time
-	seq  uint64
-	f    func()
-	fArg func(any)
-	arg  any
-	dead bool
-	gen  uint32
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Now implements Clock.
-func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
-}
-
-// allocEvent returns a recycled or fresh event. Caller holds v.mu.
-func (v *Virtual) allocEvent() *event {
-	if n := len(v.free); n > 0 {
-		e := v.free[n-1]
-		v.free[n-1] = nil
-		v.free = v.free[:n-1]
-		return e
-	}
-	return &event{}
-}
-
-// recycle returns a popped event to the free list, invalidating any Timer
-// still pointing at it. Caller holds v.mu.
-func (v *Virtual) recycle(e *event) {
-	e.gen++
-	e.f, e.fArg, e.arg = nil, nil, nil
-	e.dead = false
-	v.free = append(v.free, e)
-}
-
-// schedule inserts a prepared event. Caller holds v.mu.
-func (v *Virtual) schedule(e *event, d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	e.at = v.now.Add(d)
-	e.seq = v.seq
-	v.seq++
-	heap.Push(&v.heap, e)
-}
-
-// AfterFunc implements Clock. Negative durations fire at the current
-// instant (still via the event loop, never synchronously).
-func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	e := v.allocEvent()
-	e.f = f
-	v.schedule(e, d)
-	return virtualTimer{e: e, gen: e.gen, v: v}
-}
-
-// AfterFuncArg implements ArgScheduler: like AfterFunc but f receives arg
-// and no Timer is returned, so callers with a static callback pay no
-// per-event allocation at all.
-func (v *Virtual) AfterFuncArg(d time.Duration, f func(any), arg any) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	e := v.allocEvent()
-	e.fArg, e.arg = f, arg
-	v.schedule(e, d)
-}
-
-type virtualTimer struct {
-	e   *event
-	v   *Virtual
-	gen uint32
-}
-
-func (t virtualTimer) Stop() bool {
-	t.v.mu.Lock()
-	defer t.v.mu.Unlock()
-	if t.e.gen != t.gen || t.e.dead {
-		return false // already fired (and possibly recycled) or stopped
-	}
-	t.e.dead = true
-	t.v.dead++
-	t.v.stopped++
-	t.v.compact()
-	return true
-}
-
-// compact rebuilds the heap without dead events once they outnumber live
-// ones, so canceled timers with far-future deadlines (resolver client
-// timeouts, mostly) do not accumulate. Caller holds v.mu.
-func (v *Virtual) compact() {
-	const minDead = 64 // below this the dead events are cheaper than a rebuild
-	if v.dead < minDead || v.dead <= len(v.heap)/2 {
-		return
-	}
-	live := v.heap[:0]
-	for _, e := range v.heap {
-		if e.dead {
-			v.recycle(e)
-		} else {
-			live = append(live, e)
-		}
-	}
-	for i := len(live); i < len(v.heap); i++ {
-		v.heap[i] = nil
-	}
-	v.heap = live
-	v.dead = 0
-	heap.Init(&v.heap)
-}
-
-// step runs the earliest pending event, if any, and reports whether one ran
-// or was discarded.
-func (v *Virtual) step(limit time.Time, useLimit bool) bool {
-	v.mu.Lock()
-	if len(v.heap) == 0 {
-		v.mu.Unlock()
-		return false
-	}
-	e := v.heap[0]
-	if useLimit && e.at.After(limit) {
-		v.now = limit
-		v.mu.Unlock()
-		return false
-	}
-	heap.Pop(&v.heap)
-	if e.dead {
-		v.dead--
-		v.recycle(e)
-		v.mu.Unlock()
-		return true
-	}
-	f, fArg, arg := e.f, e.fArg, e.arg
-	v.now = e.at
-	v.fired++
-	v.recycle(e)
-	v.mu.Unlock()
-	// Run without the lock so callbacks can schedule more events. The
-	// event itself is already recycled; a late Stop on its timer sees the
-	// generation bump and reports "too late".
-	if fArg != nil {
-		fArg(arg)
-	} else {
-		f()
-	}
-	return true
-}
-
-// Run processes events until none remain.
-func (v *Virtual) Run() {
-	for v.step(time.Time{}, false) {
-	}
-}
-
-// RunUntil processes events with timestamps at or before deadline, then
-// advances the clock to deadline.
-func (v *Virtual) RunUntil(deadline time.Time) {
-	for v.step(deadline, true) {
-	}
-	v.mu.Lock()
-	if v.now.Before(deadline) {
-		v.now = deadline
-	}
-	v.mu.Unlock()
-}
-
-// RunFor processes events for d of simulated time from the current instant.
-func (v *Virtual) RunFor(d time.Duration) {
-	v.RunUntil(v.Now().Add(d))
-}
-
-// Pending returns the number of scheduled live (not canceled) events.
-func (v *Virtual) Pending() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return len(v.heap) - v.dead
-}
-
-// Counters reports cumulative event-loop totals: events scheduled, events
-// executed, and timers canceled before firing.
-func (v *Virtual) Counters() (scheduled, fired, stopped int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return int64(v.seq), v.fired, v.stopped
-}

@@ -150,7 +150,10 @@ func TestVirtualAfterFuncArg(t *testing.T) {
 	}
 }
 
-func TestVirtualDeadCompaction(t *testing.T) {
+func TestVirtualStopReclaimsNodes(t *testing.T) {
+	// The wheel analogue of the old heap-compaction test: canceled timers
+	// must leave the wheel immediately (O(1) unlink to the free list), not
+	// linger until their far-future deadlines come around.
 	v := NewVirtual(epoch)
 	const n = 1000
 	timers := make([]Timer, 0, n)
@@ -165,8 +168,47 @@ func TestVirtualDeadCompaction(t *testing.T) {
 	if got := v.Pending(); got != 0 {
 		t.Errorf("Pending = %d after stopping everything", got)
 	}
-	// Compaction must have dropped the dead events from the heap rather
-	// than retaining them until their far-future deadlines pop.
+	v.mu.Lock()
+	linked := 0
+	for l := range v.slots {
+		for s := range v.slots[l] {
+			for e := v.slots[l][s]; e != nil; e = e.next {
+				linked++
+			}
+		}
+	}
+	for e := v.far; e != nil; e = e.next {
+		linked++
+	}
+	v.mu.Unlock()
+	if linked != 0 {
+		t.Errorf("wheel still links %d nodes after stopping everything", linked)
+	}
+	fired := false
+	v.AfterFunc(time.Minute, func() { fired = true })
+	v.Run()
+	if !fired {
+		t.Error("event scheduled after mass cancel did not fire")
+	}
+}
+
+func TestHeapDeadCompaction(t *testing.T) {
+	// Pins the reference engine's compaction semantics: dead events are
+	// dropped from the heap once they outnumber live ones.
+	v := NewHeap(epoch)
+	const n = 1000
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, v.AfterFunc(time.Hour, func() {}))
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop returned false for pending timer")
+		}
+	}
+	if got := v.Pending(); got != 0 {
+		t.Errorf("Pending = %d after stopping everything", got)
+	}
 	v.mu.Lock()
 	heapLen, dead := len(v.heap), v.dead
 	v.mu.Unlock()

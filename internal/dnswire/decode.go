@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // Parsing errors.
@@ -79,10 +80,37 @@ func (p *parser) name() (string, error) {
 	return n, nil
 }
 
+// nameIntern canonicalizes decoded names through a process-wide table: a
+// simulation decodes the same handful of names millions of times, and a
+// map hit costs no allocation (the []byte-keyed lookup does not copy).
+// The table is capped so adversarial or huge-population runs degrade to
+// per-name allocation instead of unbounded growth.
+var nameIntern = struct {
+	mu sync.Mutex
+	m  map[string]string
+}{m: make(map[string]string, 256)}
+
+const nameInternCap = 1 << 17
+
+func internName(b []byte) string {
+	ni := &nameIntern
+	ni.mu.Lock()
+	s, ok := ni.m[string(b)]
+	if !ok {
+		s = string(b)
+		if len(ni.m) < nameInternCap {
+			ni.m[s] = s
+		}
+	}
+	ni.mu.Unlock()
+	return s
+}
+
 // readName decodes a name at off in data, returning the canonical name and
 // the offset just past the name's in-place encoding. The presentation form
-// is assembled (and lowercased) in a stack buffer, so decoding costs one
-// string allocation per name regardless of label count.
+// is assembled (and lowercased) in a stack buffer, so decoding costs at
+// most one string allocation per name regardless of label count (none when
+// the name interns).
 func readName(data []byte, off int) (string, int, error) {
 	var buf [MaxNameLen]byte // wire length caps the presentation length too
 	name := buf[:0]
@@ -102,7 +130,7 @@ func readName(data []byte, off int) (string, int, error) {
 			if len(name) == 0 {
 				return ".", next, nil
 			}
-			return string(name), next, nil
+			return internName(name), next, nil
 		case l&0xC0 == 0xC0:
 			if off+1 >= len(data) {
 				return "", 0, ErrTruncatedMessage
@@ -145,15 +173,33 @@ func readName(data []byte, off int) (string, int, error) {
 
 // Unpack parses a complete DNS message from wire format.
 func Unpack(data []byte) (*Message, error) {
+	m := &Message{}
+	if err := UnpackInto(m, data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto parses a complete DNS message from wire format into m,
+// reusing m's section slices (their backing arrays, not their contents).
+// Steady-state decoding through a scratch or pooled Message is therefore
+// allocation-free. On error m holds partially decoded data and must not
+// be used.
+func UnpackInto(m *Message, data []byte) error {
 	p := &parser{data: data}
-	var m Message
+	*m = Message{
+		Questions:   m.Questions[:0],
+		Answers:     m.Answers[:0],
+		Authorities: m.Authorities[:0],
+		Additionals: m.Additionals[:0],
+	}
 	id, err := p.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	flags, err := p.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.ID = id
 	m.Response = flags&(1<<15) != 0
@@ -166,35 +212,45 @@ func Unpack(data []byte) (*Message, error) {
 	m.CheckingDisabled = flags&(1<<4) != 0
 	m.RCode = RCode(flags & 0xf)
 
-	counts := make([]uint16, 4)
+	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = p.uint16(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for i := 0; i < int(counts[0]); i++ {
 		q, err := p.question()
 		if err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		m.Questions = append(m.Questions, q)
 	}
-	secs := []*[]RR{&m.Answers, &m.Authorities, &m.Additionals}
-	secNames := []string{"answer", "authority", "additional"}
-	for s, sec := range secs {
+	for s := 0; s < 3; s++ {
+		sec := &m.Answers
+		switch s {
+		case 1:
+			sec = &m.Authorities
+		case 2:
+			sec = &m.Additionals
+		}
+		if c := int(counts[s+1]); c > 0 && cap(*sec) < c {
+			*sec = make([]RR, 0, c)
+		}
 		for i := 0; i < int(counts[s+1]); i++ {
 			rr, err := p.rr()
 			if err != nil {
-				return nil, fmt.Errorf("%s %d: %w", secNames[s], i, err)
+				return fmt.Errorf("%s %d: %w", sectionNames[s], i, err)
 			}
 			*sec = append(*sec, rr)
 		}
 	}
 	if p.off != len(data) {
-		return nil, ErrTrailingGarbage
+		return ErrTrailingGarbage
 	}
-	return &m, nil
+	return nil
 }
+
+var sectionNames = [3]string{"answer", "authority", "additional"}
 
 func (p *parser) question() (Question, error) {
 	var q Question
@@ -258,19 +314,25 @@ func (p *parser) rdata(t Type, end int) (RData, error) {
 		if err != nil {
 			return nil, err
 		}
-		return A{Addr: netip.AddrFrom4([4]byte(b))}, nil
+		return internA(A{Addr: netip.AddrFrom4([4]byte(b))}), nil
 	case TypeAAAA:
 		b, err := p.bytes(16)
 		if err != nil {
 			return nil, err
 		}
-		return AAAA{Addr: netip.AddrFrom16([16]byte(b))}, nil
+		return internAAAA(AAAA{Addr: netip.AddrFrom16([16]byte(b))}), nil
 	case TypeNS:
 		h, err := p.name()
-		return NS{Host: h}, err
+		if err != nil {
+			return nil, err
+		}
+		return internNS(NS{Host: h}), nil
 	case TypeCNAME:
 		h, err := p.name()
-		return CNAME{Target: h}, err
+		if err != nil {
+			return nil, err
+		}
+		return internCNAME(CNAME{Target: h}), nil
 	case TypePTR:
 		h, err := p.name()
 		return PTR{Target: h}, err
@@ -304,13 +366,13 @@ func (p *parser) rdata(t Type, end int) (RData, error) {
 		if s.RName, err = p.name(); err != nil {
 			return nil, err
 		}
-		vals := []*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum}
+		vals := [5]*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum}
 		for _, v := range vals {
 			if *v, err = p.uint32(); err != nil {
 				return nil, err
 			}
 		}
-		return s, nil
+		return internSOA(s), nil
 	case TypeDS:
 		var d DS
 		var err error
@@ -348,4 +410,107 @@ func (p *parser) rdata(t Type, end int) (RData, error) {
 		}
 		return Unknown{Type: t, Data: append([]byte(nil), rest...)}, nil
 	}
+}
+
+// rdataIntern canonicalizes decoded rdata values of the hot comparable
+// types (A, AAAA, NS, CNAME, SOA). Returning a cached interface value
+// skips the heap boxing every decode would otherwise pay; the tables are
+// typed (one map per rdata kind) so a cache hit boxes nothing — a
+// map[any] key would re-box the struct just to perform the lookup. Like
+// the name table each map is capped so unbounded-value workloads degrade
+// to per-record boxing instead of unbounded growth.
+const rdataInternCap = 1 << 16
+
+var rdataIntern struct {
+	mu    sync.Mutex
+	a     map[A]RData
+	aaaa  map[AAAA]RData
+	ns    map[NS]RData
+	cname map[CNAME]RData
+	soa   map[SOA]RData
+}
+
+func internA(v A) RData {
+	ri := &rdataIntern
+	ri.mu.Lock()
+	d, ok := ri.a[v]
+	if !ok {
+		d = v
+		if ri.a == nil {
+			ri.a = make(map[A]RData, 256)
+		}
+		if len(ri.a) < rdataInternCap {
+			ri.a[v] = d
+		}
+	}
+	ri.mu.Unlock()
+	return d
+}
+
+func internAAAA(v AAAA) RData {
+	ri := &rdataIntern
+	ri.mu.Lock()
+	d, ok := ri.aaaa[v]
+	if !ok {
+		d = v
+		if ri.aaaa == nil {
+			ri.aaaa = make(map[AAAA]RData, 256)
+		}
+		if len(ri.aaaa) < rdataInternCap {
+			ri.aaaa[v] = d
+		}
+	}
+	ri.mu.Unlock()
+	return d
+}
+
+func internNS(v NS) RData {
+	ri := &rdataIntern
+	ri.mu.Lock()
+	d, ok := ri.ns[v]
+	if !ok {
+		d = v
+		if ri.ns == nil {
+			ri.ns = make(map[NS]RData, 256)
+		}
+		if len(ri.ns) < rdataInternCap {
+			ri.ns[v] = d
+		}
+	}
+	ri.mu.Unlock()
+	return d
+}
+
+func internCNAME(v CNAME) RData {
+	ri := &rdataIntern
+	ri.mu.Lock()
+	d, ok := ri.cname[v]
+	if !ok {
+		d = v
+		if ri.cname == nil {
+			ri.cname = make(map[CNAME]RData, 256)
+		}
+		if len(ri.cname) < rdataInternCap {
+			ri.cname[v] = d
+		}
+	}
+	ri.mu.Unlock()
+	return d
+}
+
+func internSOA(v SOA) RData {
+	ri := &rdataIntern
+	ri.mu.Lock()
+	d, ok := ri.soa[v]
+	if !ok {
+		d = v
+		if ri.soa == nil {
+			ri.soa = make(map[SOA]RData, 256)
+		}
+		if len(ri.soa) < rdataInternCap {
+			ri.soa[v] = d
+		}
+	}
+	ri.mu.Unlock()
+	return d
 }

@@ -72,16 +72,24 @@ func (b *builder) name(n string, allowCompress bool) {
 
 // Pack encodes the message into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	return m.pack(true)
+	return m.pack(nil, true)
+}
+
+// AppendPack appends the compressed wire encoding of m to dst and returns
+// the extended slice, allocating only when dst lacks capacity. Senders
+// whose transport copies the payload (netsim does; UDP writes do) can
+// recycle one buffer across every send.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	return m.pack(dst, true)
 }
 
 // PackUncompressed encodes the message without name compression; useful for
 // testing decoders against both forms.
 func (m *Message) PackUncompressed() ([]byte, error) {
-	return m.pack(false)
+	return m.pack(nil, false)
 }
 
-func (m *Message) pack(compress bool) ([]byte, error) {
+func (m *Message) pack(dst []byte, compress bool) ([]byte, error) {
 	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
 		len(m.Authorities) > 0xffff || len(m.Additionals) > 0xffff {
 		return nil, fmt.Errorf("dnswire: section too large")
@@ -110,32 +118,34 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 			}
 		}
 	}
-	// The builder's buffer is pooled; hand the caller an exact-size copy.
-	out := make([]byte, len(b.buf))
-	copy(out, b.buf)
-	return out, nil
+	// The builder's buffer is pooled; hand the caller a copy.
+	return append(dst, b.buf...), nil
 }
 
-// rdataNames lists the domain names embedded in the known rdata types.
-// The builder cannot faithfully encode a name with empty or oversized
-// labels (it would emit a premature terminator), so Pack validates these
-// like owner names and refuses rather than producing corrupt wire.
-func rdataNames(d RData) []string {
+// validRDataNames checks the domain names embedded in the known rdata
+// types. The builder cannot faithfully encode a name with empty or
+// oversized labels (it would emit a premature terminator), so Pack
+// validates these like owner names and refuses rather than producing
+// corrupt wire.
+func validRDataNames(d RData) error {
 	switch v := d.(type) {
 	case NS:
-		return []string{v.Host}
+		return ValidName(v.Host)
 	case CNAME:
-		return []string{v.Target}
+		return ValidName(v.Target)
 	case PTR:
-		return []string{v.Target}
+		return ValidName(v.Target)
 	case MX:
-		return []string{v.Host}
+		return ValidName(v.Host)
 	case SOA:
-		return []string{v.MName, v.RName}
+		if err := ValidName(v.MName); err != nil {
+			return err
+		}
+		return ValidName(v.RName)
 	case RRSIG:
-		return []string{v.SignerName}
+		return ValidName(v.SignerName)
 	case NSEC:
-		return []string{v.NextName}
+		return ValidName(v.NextName)
 	}
 	return nil
 }
@@ -147,10 +157,8 @@ func packRR(b *builder, rr RR) error {
 	if err := ValidName(rr.Name); err != nil {
 		return fmt.Errorf("dnswire: record %q: %w", rr.Name, err)
 	}
-	for _, n := range rdataNames(rr.Data) {
-		if err := ValidName(n); err != nil {
-			return fmt.Errorf("dnswire: record %q rdata name %q: %w", rr.Name, n, err)
-		}
+	if err := validRDataNames(rr.Data); err != nil {
+		return fmt.Errorf("dnswire: record %q rdata name: %w", rr.Name, err)
 	}
 	b.name(rr.Name, true)
 	b.uint16(uint16(rr.Type()))

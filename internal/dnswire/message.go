@@ -76,6 +76,20 @@ func NewQuery(id uint16, name string, t Type) *Message {
 	}
 }
 
+// ResetQuery re-initializes m as a standard recursion-desired query for
+// (name, type), the in-place twin of NewQuery: section backing arrays are
+// kept so a scratch Message builds queries allocation-free.
+func (m *Message) ResetQuery(id uint16, name string, t Type) {
+	*m = Message{
+		Header:      Header{ID: id, Opcode: OpcodeQuery, RecursionDesired: true},
+		Questions:   m.Questions[:0],
+		Answers:     m.Answers[:0],
+		Authorities: m.Authorities[:0],
+		Additionals: m.Additionals[:0],
+	}
+	m.Questions = append(m.Questions, Question{Name: CanonicalName(name), Type: t, Class: ClassIN})
+}
+
 // NewResponse builds a response skeleton mirroring the query's ID, question
 // and recursion-desired flag.
 func NewResponse(query *Message) *Message {
@@ -89,6 +103,25 @@ func NewResponse(query *Message) *Message {
 	}
 	resp.Questions = append(resp.Questions, query.Questions...)
 	return resp
+}
+
+// ResetResponse re-initializes m as a response skeleton for query (the
+// in-place twin of NewResponse): section backing arrays are kept so a
+// scratch or pooled Message builds responses allocation-free.
+func (m *Message) ResetResponse(query *Message) {
+	*m = Message{
+		Header: Header{
+			ID:               query.ID,
+			Response:         true,
+			Opcode:           query.Opcode,
+			RecursionDesired: query.RecursionDesired,
+		},
+		Questions:   m.Questions[:0],
+		Answers:     m.Answers[:0],
+		Authorities: m.Authorities[:0],
+		Additionals: m.Additionals[:0],
+	}
+	m.Questions = append(m.Questions, query.Questions...)
 }
 
 func (m *Message) String() string {

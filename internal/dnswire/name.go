@@ -69,8 +69,21 @@ func SplitLabels(name string) []string {
 }
 
 // CountLabels returns the number of labels in name. The root has zero.
+// A canonical name carries one trailing dot per label, so this is a dot
+// count — no splitting, no allocation (the referral-descent hot path
+// calls this per zone comparison).
 func CountLabels(name string) int {
-	return len(SplitLabels(name))
+	name = CanonicalName(name)
+	if name == "." {
+		return 0
+	}
+	n := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			n++
+		}
+	}
+	return n
 }
 
 // ValidName reports whether name is a syntactically valid canonical domain
@@ -81,14 +94,20 @@ func ValidName(name string) error {
 		return nil
 	}
 	wire := 1 // root terminator
-	for _, l := range SplitLabels(name) {
-		if l == "" {
+	start := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 {
 			return ErrEmptyLabel
 		}
-		if len(l) > MaxLabelLen {
+		if l > MaxLabelLen {
 			return ErrLabelTooLong
 		}
-		wire += 1 + len(l)
+		wire += 1 + l
+		start = i + 1
 	}
 	if wire > MaxNameLen {
 		return ErrNameTooLong

@@ -78,8 +78,11 @@ func TestPopulationMix(t *testing.T) {
 	if kinds[DirectHonest] < vps*4/10 {
 		t.Errorf("direct honest = %d of %d", kinds[DirectHonest], vps)
 	}
-	if len(tb.Pop.RnGoogle) != 24 {
-		t.Errorf("google backends = %d", len(tb.Pop.RnGoogle))
+	if len(tb.Pop.GoogleRn) != 24 {
+		t.Errorf("google backends = %d", len(tb.Pop.GoogleRn))
+	}
+	if !tb.Pop.IsGoogleRn(tb.Pop.GoogleRn[0]) || tb.Pop.IsGoogleRn("probe-1") {
+		t.Error("IsGoogleRn misclassifies")
 	}
 }
 

@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
+	"repro/internal/trace"
 	"repro/internal/vantage"
 )
 
@@ -175,11 +177,88 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 
 // Population is the assembled resolver-and-probe world.
 type Population struct {
-	Probes    []*vantage.Probe
-	R1Meta    map[netsim.Addr]R1Meta
-	RnGoogle  map[netsim.Addr]bool // Google farm backend addresses
-	RnPublic  map[netsim.Addr]bool // all public farm backends
-	Resolvers []*recursive.Resolver
+	Probes []*vantage.Probe
+	R1Meta map[netsim.Addr]R1Meta
+	// GoogleRn lists the Google farm's backend addresses (the slice is
+	// shared with the farm LB's forwarder list; treat as read-only).
+	GoogleRn []netsim.Addr
+	// Resolvers are the population's recursives, lazily materialized: a
+	// cell describes thousands of resolvers but a run only pays for the
+	// ones traffic actually reaches.
+	Resolvers []*LazyResolver
+
+	googleRnSet map[netsim.Addr]bool // lazy index over GoogleRn
+}
+
+// IsGoogleRn reports whether addr is a Google-farm backend. The lookup
+// index is built on first use: construction stays allocation-free and
+// only analysis passes pay for the map.
+func (p *Population) IsGoogleRn(addr netsim.Addr) bool {
+	if p.googleRnSet == nil {
+		if len(p.GoogleRn) == 0 {
+			return false
+		}
+		p.googleRnSet = make(map[netsim.Addr]bool, len(p.GoogleRn))
+		for _, rn := range p.GoogleRn {
+			p.googleRnSet[rn] = true
+		}
+	}
+	return p.googleRnSet[addr]
+}
+
+// LazyResolver is a deferred recursive resolver: the full config is fixed
+// at population build time (so RNG draw order is identical to eager
+// construction), but NewResolver and the network bind run only when the
+// first packet is delivered to its address.
+type LazyResolver struct {
+	clk  clock.Clock
+	net  *netsim.Network
+	cfg  recursive.Config
+	addr netsim.Addr
+	tr   *trace.Buffer
+	r    *recursive.Resolver
+}
+
+// Materialize builds the resolver; netsim calls it on first delivery.
+func (l *LazyResolver) Materialize() {
+	r := recursive.NewResolver(l.clk, l.cfg)
+	if l.tr != nil {
+		r.SetTrace(l.tr)
+	}
+	r.Attach(l.net, l.addr)
+	l.r = r
+}
+
+// Resolver returns the materialized resolver, nil if it never saw traffic.
+func (l *LazyResolver) Resolver() *recursive.Resolver { return l.r }
+
+// Addr returns the resolver's network address.
+func (l *LazyResolver) Addr() netsim.Addr { return l.addr }
+
+// SetTrace enables query-lifecycle tracing, now or at materialization.
+func (l *LazyResolver) SetTrace(tr *trace.Buffer) {
+	l.tr = tr
+	if l.r != nil {
+		l.r.SetTrace(tr)
+	}
+}
+
+// defer registers a lazy resolver at addr. Handles are carved from a
+// chunked arena: appending never moves earlier entries (a full chunk is
+// retired, not grown), so returned pointers stay valid.
+func (b *builder) deferResolver(addr netsim.Addr, cfg recursive.Config) *LazyResolver {
+	if len(b.slab) == cap(b.slab) {
+		n := 2 * cap(b.slab)
+		if n < 64 {
+			n = 64
+		}
+		b.slab = make([]LazyResolver, 0, n)
+	}
+	b.slab = append(b.slab, LazyResolver{clk: b.clk, net: b.net, cfg: cfg, addr: addr})
+	l := &b.slab[len(b.slab)-1]
+	b.net.BindLazy(addr, l)
+	b.pop.Resolvers = append(b.pop.Resolvers, l)
+	return l
 }
 
 // builder carries construction state.
@@ -192,6 +271,7 @@ type builder struct {
 	domain string
 
 	pop        *Population
+	slab       []LazyResolver // arena for lazy handles; chunked, pointers stable
 	nextAddr   int
 	googleLB   netsim.Addr
 	otherLB    netsim.Addr
@@ -212,14 +292,13 @@ func BuildPopulation(clk clock.Clock, net *netsim.Network, probes int, domain st
 		clk: clk, net: net, hints: hints, cfg: cfg,
 		rng: rand.New(rand.NewSource(seed)), domain: domain,
 		pop: &Population{
-			R1Meta:   make(map[netsim.Addr]R1Meta),
-			RnGoogle: make(map[netsim.Addr]bool),
-			RnPublic: make(map[netsim.Addr]bool),
+			R1Meta:    make(map[netsim.Addr]R1Meta),
+			Resolvers: make([]*LazyResolver, 0, 64),
 		},
 		seedSeq: seed * 7919,
 	}
-	b.googleLB = b.buildFarm("google", cfg.GoogleBackends, false)
-	b.otherLB = b.buildFarm("pubdns", cfg.OtherBackends, true)
+	b.googleLB, b.pop.GoogleRn = b.buildFarm("google", "google-rn", "google-lb", cfg.GoogleBackends, false)
+	b.otherLB, _ = b.buildFarm("pubdns", "pubdns-rn", "pubdns-lb", cfg.OtherBackends, true)
 
 	for id := 1; id <= probes; id++ {
 		nRec := 1
@@ -249,9 +328,34 @@ func BuildPopulation(clk clock.Clock, net *netsim.Network, probes int, domain st
 	return b.pop
 }
 
+// addrIntern caches generated host addresses. The builder's address
+// sequence is deterministic, so same-shaped testbeds (every shard of a
+// run, every benchmark iteration) produce the same strings; interning
+// makes the steady-state cost zero allocations.
+var addrIntern struct {
+	mu sync.Mutex
+	m  map[addrKey]netsim.Addr
+}
+
+type addrKey struct {
+	prefix string
+	n      int
+}
+
 func (b *builder) addr(prefix string) netsim.Addr {
 	b.nextAddr++
-	return netsim.Addr(prefix + "-" + itoa(b.nextAddr))
+	k := addrKey{prefix, b.nextAddr}
+	addrIntern.mu.Lock()
+	a, ok := addrIntern.m[k]
+	if !ok {
+		a = netsim.Addr(prefix + "-" + itoa(k.n))
+		if addrIntern.m == nil {
+			addrIntern.m = make(map[addrKey]netsim.Addr)
+		}
+		addrIntern.m[k] = a
+	}
+	addrIntern.mu.Unlock()
+	return a
 }
 
 func (b *builder) nextSeed() int64 {
@@ -259,39 +363,63 @@ func (b *builder) nextSeed() int64 {
 	return b.seedSeq
 }
 
+// farmAddrKey identifies a farm's backend address sequence: the interned
+// addresses are fully determined by (prefix, first counter value, count).
+type farmAddrKey struct {
+	prefix string
+	start  int
+	n      int
+}
+
+// farmAddrIntern shares backend address slices across testbeds. The
+// slices are read-only by contract (forwarder rotation copies before
+// shuffling), so identical farm shapes reuse one allocation.
+var farmAddrIntern struct {
+	mu sync.Mutex
+	m  map[farmAddrKey][]netsim.Addr
+}
+
 // buildFarm creates a fragmented public resolver farm: an uncached
 // load-balancer frontend spreading queries over independently cached
-// iterative backends.
-func (b *builder) buildFarm(name string, backends int, serveStale bool) netsim.Addr {
-	var backendAddrs []netsim.Addr
+// iterative backends. It returns the LB address and the backend list.
+func (b *builder) buildFarm(name, rnPrefix, lbName string, backends int, serveStale bool) (netsim.Addr, []netsim.Addr) {
+	key := farmAddrKey{prefix: rnPrefix, start: b.nextAddr, n: backends}
+	farmAddrIntern.mu.Lock()
+	backendAddrs, interned := farmAddrIntern.m[key]
+	farmAddrIntern.mu.Unlock()
+	if !interned {
+		backendAddrs = make([]netsim.Addr, 0, backends)
+	}
 	for i := 0; i < backends; i++ {
-		addr := b.addr(name + "-rn")
-		r := recursive.NewResolver(b.clk, recursive.Config{
+		addr := b.addr(rnPrefix)
+		b.deferResolver(addr, recursive.Config{
 			RootHints:  b.hints,
 			Cache:      cache.Config{MaxTTL: b.cfg.FarmTTLCap},
 			ServeStale: serveStale,
 			Harvest:    b.cfg.Harvest,
 			Seed:       b.nextSeed(),
 		})
-		r.Attach(b.net, addr)
-		b.pop.Resolvers = append(b.pop.Resolvers, r)
-		backendAddrs = append(backendAddrs, addr)
-		b.pop.RnPublic[addr] = true
-		if name == "google" {
-			b.pop.RnGoogle[addr] = true
+		if !interned {
+			backendAddrs = append(backendAddrs, addr)
 		}
 	}
-	lb := b.addr(name + "-lb")
-	front := recursive.NewResolver(b.clk, recursive.Config{
+	if !interned {
+		farmAddrIntern.mu.Lock()
+		if farmAddrIntern.m == nil {
+			farmAddrIntern.m = make(map[farmAddrKey][]netsim.Addr)
+		}
+		farmAddrIntern.m[key] = backendAddrs
+		farmAddrIntern.mu.Unlock()
+	}
+	lb := b.addr(lbName)
+	b.deferResolver(lb, recursive.Config{
 		Forwarders:      backendAddrs,
 		NoCache:         true,
 		ExplorationProb: 1, // pure load balancing: uniform backend choice
 		MaxAttempts:     4,
 		Seed:            b.nextSeed(),
 	})
-	front.Attach(b.net, lb)
-	b.pop.Resolvers = append(b.pop.Resolvers, front)
-	return lb
+	return lb, backendAddrs
 }
 
 // buildR1 creates (or reuses) the first-hop recursive for one vantage
@@ -303,9 +431,7 @@ func (b *builder) buildR1() netsim.Addr {
 	case r < cfg.FracBroken:
 		// A resolver that always SERVFAILs (no usable root hints).
 		addr := b.addr("broken-r1")
-		br := recursive.NewResolver(b.clk, recursive.Config{Seed: b.nextSeed()})
-		br.Attach(b.net, addr)
-		b.pop.Resolvers = append(b.pop.Resolvers, br)
+		b.deferResolver(addr, recursive.Config{Seed: b.nextSeed()})
 		b.pop.R1Meta[addr] = R1Meta{Kind: BrokenR1}
 		return addr
 	case r < cfg.FracBroken+cfg.FracFarmGoogle:
@@ -328,7 +454,7 @@ func (b *builder) buildR1() netsim.Addr {
 // buildDirect creates a per-VP single-tier iterative recursive.
 func (b *builder) buildDirect(kind R1Kind, cc cache.Config) netsim.Addr {
 	addr := b.addr("isp-r1")
-	r := recursive.NewResolver(b.clk, recursive.Config{
+	l := b.deferResolver(addr, recursive.Config{
 		RootHints:          b.hints,
 		Cache:              cc,
 		Harvest:            b.cfg.Harvest,
@@ -337,10 +463,8 @@ func (b *builder) buildDirect(kind R1Kind, cc cache.Config) netsim.Addr {
 		Prefetch:           b.cfg.PrefetchDirect,
 		Seed:               b.nextSeed(),
 	})
-	r.Attach(b.net, addr)
-	b.pop.Resolvers = append(b.pop.Resolvers, r)
 	b.pop.R1Meta[addr] = R1Meta{Kind: kind}
-	b.scheduleFlushes(r)
+	b.scheduleFlushes(l)
 	return addr
 }
 
@@ -352,13 +476,11 @@ func (b *builder) buildMultiTierR1() netsim.Addr {
 		b.mtPoolUsed = 0
 		for i := 0; i < b.cfg.MultiTierPoolSize; i++ {
 			rnAddr := b.addr("mt-rn")
-			rn := recursive.NewResolver(b.clk, recursive.Config{
+			rn := b.deferResolver(rnAddr, recursive.Config{
 				RootHints: b.hints,
 				Harvest:   b.cfg.Harvest,
 				Seed:      b.nextSeed(),
 			})
-			rn.Attach(b.net, rnAddr)
-			b.pop.Resolvers = append(b.pop.Resolvers, rn)
 			b.scheduleFlushes(rn)
 			b.mtPool = append(b.mtPool, rnAddr)
 		}
@@ -369,22 +491,21 @@ func (b *builder) buildMultiTierR1() netsim.Addr {
 	b.mtPoolUsed++
 
 	addr := b.addr("mt-r1")
-	r1 := recursive.NewResolver(b.clk, recursive.Config{
+	b.deferResolver(addr, recursive.Config{
 		Forwarders:      b.mtPool,
 		NoCache:         true,
 		ExplorationProb: 1, // spread over the pool
 		MaxAttempts:     6,
 		Seed:            b.nextSeed(),
 	})
-	r1.Attach(b.net, addr)
-	b.pop.Resolvers = append(b.pop.Resolvers, r1)
 	b.pop.R1Meta[addr] = R1Meta{Kind: MultiTier}
 	return addr
 }
 
 // scheduleFlushes arms random cache flushes over the next 12 hours,
-// modeling resolver restarts (§3.1).
-func (b *builder) scheduleFlushes(r *recursive.Resolver) {
+// modeling resolver restarts (§3.1). Flushing a resolver that never
+// materialized is a no-op either way: its cache is empty by definition.
+func (b *builder) scheduleFlushes(l *LazyResolver) {
 	if b.cfg.FlushPerHour <= 0 {
 		return
 	}
@@ -392,7 +513,11 @@ func (b *builder) scheduleFlushes(r *recursive.Resolver) {
 		if b.rng.Float64() < b.cfg.FlushPerHour {
 			at := time.Duration(h)*time.Hour +
 				time.Duration(b.rng.Int63n(int64(time.Hour)))
-			b.clk.AfterFunc(at, func() { r.Cache().Flush() })
+			b.clk.AfterFunc(at, func() {
+				if r := l.Resolver(); r != nil {
+					r.Cache().Flush()
+				}
+			})
 		}
 	}
 }

@@ -338,7 +338,7 @@ func (ac *cachingAccum) absorbTable3(tb *Testbed, a vantage.Answer, fetchers map
 	}
 	viaGoogle := false
 	for _, rn := range fetchers[k] {
-		if tb.Pop.RnGoogle[rn] {
+		if tb.Pop.IsGoogleRn(rn) {
 			viaGoogle = true
 			break
 		}

@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/authoritative"
@@ -135,9 +136,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		tb.Net.SetTrace(tb.Trace)
 	}
 
-	for i := 0; i < cfg.Auths; i++ {
-		tb.AuthAddrs = append(tb.AuthAddrs, netsim.Addr("192.0.2."+itoa(i+1)))
-	}
+	tb.AuthAddrs = authAddrs(cfg.Auths)
 
 	tb.buildZones()
 	tb.installTap()
@@ -148,7 +147,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	tb.Fleet = vantage.NewFleet(tb.Clk, tb.Pop.Probes, cfg.Seed+2)
 	if tb.Trace != nil {
 		for _, r := range tb.Pop.Resolvers {
-			r.SetTrace(tb.Trace)
+			r.SetTrace(tb.Trace) // applies now or at lazy materialization
 		}
 		for _, p := range tb.Pop.Probes {
 			p.SetTrace(tb.Trace)
@@ -171,9 +170,58 @@ func itoa(v int) string {
 	return string(b[i:])
 }
 
-// buildZones constructs root, nl, and cachetest.nl and attaches the
-// servers.
-func (tb *Testbed) buildZones() {
+// sharedHierarchy memoizes the root and nl zones plus the authoritative
+// address list. Both zones are immutable once built (only the per-testbed
+// cachetest.nl zone sees Replace/BumpSerial from rotations and the glue
+// study), zone.Zone is safe for concurrent readers, and their contents
+// depend only on the authoritative count — so every testbed with the same
+// count shares one copy instead of re-parsing ~15 records per build.
+var sharedHierarchy struct {
+	mu    sync.Mutex
+	addrs map[int][]netsim.Addr
+	root  *zone.Zone
+	nl    map[int]*zone.Zone
+}
+
+// authAddrs returns the shared cachetest.nl authoritative address list for
+// an n-server testbed. Callers treat the slice as read-only.
+func authAddrs(n int) []netsim.Addr {
+	h := &sharedHierarchy
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if a, ok := h.addrs[n]; ok {
+		return a
+	}
+	a := make([]netsim.Addr, n)
+	for i := range a {
+		a[i] = netsim.Addr("192.0.2." + itoa(i+1))
+	}
+	if h.addrs == nil {
+		h.addrs = make(map[int][]netsim.Addr)
+	}
+	h.addrs[n] = a
+	return a
+}
+
+// hierarchyZones returns the shared root and nl zones delegating to the
+// given authoritatives.
+func hierarchyZones(authAddrs []netsim.Addr) (root, nl *zone.Zone) {
+	h := &sharedHierarchy
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.root == nil {
+		h.root = buildRootZone()
+		h.nl = make(map[int]*zone.Zone)
+	}
+	nl = h.nl[len(authAddrs)]
+	if nl == nil {
+		nl = buildNLZone(authAddrs)
+		h.nl[len(authAddrs)] = nl
+	}
+	return h.root, nl
+}
+
+func buildRootZone() *zone.Zone {
 	rootZone := zone.New(".")
 	rootZone.MustAdd(dnswire.RR{Name: ".", TTL: 518400, Data: dnswire.SOA{
 		MName: "a.root-servers.net.", RName: "nstld.verisign-grs.com.",
@@ -188,7 +236,10 @@ func (tb *Testbed) buildZones() {
 	rootZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 86400, Data: dnswire.DS{
 		KeyTag: 34112, Algorithm: 8, DigestType: 2, Digest: []byte{0xaa, 0xbb},
 	}})
+	return rootZone
+}
 
+func buildNLZone(authAddrs []netsim.Addr) *zone.Zone {
 	nlZone := zone.New("nl.")
 	nlZone.MustAdd(dnswire.RR{Name: "nl.", TTL: 3600, Data: dnswire.SOA{
 		MName: "ns1.dns.nl.", RName: "hostmaster.dns.nl.",
@@ -199,40 +250,88 @@ func (tb *Testbed) buildZones() {
 		Data: dnswire.A{Addr: dnswire.MustAddr(TLDAddr)}})
 	// Delegation of the test domain, glue with the paper's 3600 s
 	// referral TTL (Appendix A).
-	for i, addr := range tb.AuthAddrs {
+	for i, addr := range authAddrs {
 		host := "ns" + itoa(i+1) + "." + Domain
 		nlZone.MustAdd(dnswire.RR{Name: Domain, TTL: 3600, Data: dnswire.NS{Host: host}})
 		nlZone.MustAdd(dnswire.RR{Name: host, TTL: 3600,
 			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
 	}
+	return nlZone
+}
 
-	tb.AuthZone = zone.New(Domain)
-	tb.AuthZone.MustAdd(dnswire.RR{Name: Domain, TTL: tb.Cfg.TTL, Data: dnswire.SOA{
+// authZoneKey identifies a cachetest.nl zone shape for template reuse.
+type authZoneKey struct {
+	ttl, negTTL   uint32
+	probes, auths int
+}
+
+// authZoneTemplates memoizes pristine cachetest.nl zones by shape. A
+// testbed's zone is mutated over a run (serial bumps, AAAA rotations, the
+// glue study's Replace calls), so each testbed gets its own Clone of the
+// shared template — cloning copies prebuilt maps instead of re-validating
+// and re-parsing every record, which matters when shards build thousands
+// of same-shaped testbeds.
+var authZoneTemplates struct {
+	mu sync.Mutex
+	m  map[authZoneKey]*zone.Zone
+}
+
+func authZoneTemplate(k authZoneKey, addrs []netsim.Addr) *zone.Zone {
+	t := &authZoneTemplates
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if z, ok := t.m[k]; ok {
+		return z
+	}
+	z := zone.New(Domain)
+	z.MustAdd(dnswire.RR{Name: Domain, TTL: k.ttl, Data: dnswire.SOA{
 		MName: "ns1." + Domain, RName: "hostmaster." + Domain,
-		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 864000, Minimum: tb.Cfg.NegTTL,
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 864000, Minimum: k.negTTL,
 	}})
-	tb.serial0 = 1
-	for i, addr := range tb.AuthAddrs {
+	for i, addr := range addrs {
 		host := "ns" + itoa(i+1) + "." + Domain
-		tb.AuthZone.MustAdd(dnswire.RR{Name: Domain, TTL: tb.Cfg.TTL, Data: dnswire.NS{Host: host}})
-		tb.AuthZone.MustAdd(dnswire.RR{Name: host, TTL: tb.Cfg.TTL,
+		z.MustAdd(dnswire.RR{Name: Domain, TTL: k.ttl, Data: dnswire.NS{Host: host}})
+		z.MustAdd(dnswire.RR{Name: host, TTL: k.ttl,
 			Data: dnswire.A{Addr: dnswire.MustAddr(string(addr))}})
 	}
-	for id := 1; id <= tb.Cfg.Probes; id++ {
-		tb.AuthZone.MustAdd(dnswire.RR{
-			Name: vantage.QName(uint16(id), Domain), TTL: tb.Cfg.TTL,
-			Data: dnswire.AAAA{Addr: vantage.EncodeAAAA(tb.serial0, uint16(id), tb.Cfg.TTL)},
+	for id := 1; id <= k.probes; id++ {
+		z.MustAdd(dnswire.RR{
+			Name: vantage.QName(uint16(id), Domain), TTL: k.ttl,
+			Data: dnswire.AAAA{Addr: vantage.EncodeAAAA(1, uint16(id), k.ttl)},
 		})
 	}
+	if t.m == nil {
+		t.m = make(map[authZoneKey]*zone.Zone)
+	}
+	t.m[k] = z
+	return z
+}
 
-	rootSrv := authoritative.New(rootZone)
+// buildZones builds the per-testbed cachetest.nl zone, fetches the shared
+// root/nl zones, and attaches the servers.
+func (tb *Testbed) buildZones() {
+	rootZone, nlZone := hierarchyZones(tb.AuthAddrs)
+
+	tb.AuthZone = authZoneTemplate(authZoneKey{
+		ttl: tb.Cfg.TTL, negTTL: tb.Cfg.NegTTL,
+		probes: tb.Cfg.Probes, auths: len(tb.AuthAddrs),
+	}, tb.AuthAddrs).Clone()
+	tb.serial0 = 1
+
+	// One slab for the whole hierarchy's servers; tb.Auths views into it.
+	servers := make([]authoritative.Server, 2+len(tb.AuthAddrs))
+	rootSrv := &servers[0]
+	rootSrv.Init(rootZone)
 	rootSrv.Attach(tb.Net, RootAddr)
 	rootSrv.SetTrace(tb.Trace)
-	tldSrv := authoritative.New(nlZone)
+	tldSrv := &servers[1]
+	tldSrv.Init(nlZone)
 	tldSrv.Attach(tb.Net, TLDAddr)
 	tldSrv.SetTrace(tb.Trace)
-	for _, addr := range tb.AuthAddrs {
-		srv := authoritative.New(tb.AuthZone)
+	tb.Auths = make([]*authoritative.Server, 0, len(tb.AuthAddrs))
+	for i, addr := range tb.AuthAddrs {
+		srv := &servers[2+i]
+		srv.Init(tb.AuthZone)
 		srv.Attach(tb.Net, addr)
 		srv.SetTrace(tb.Trace)
 		tb.Auths = append(tb.Auths, srv)
@@ -246,12 +345,15 @@ func (tb *Testbed) installTap() {
 	for _, a := range tb.AuthAddrs {
 		isAuth[a] = true
 	}
+	// The tap decodes into one scratch message: the simulator delivers
+	// packets on a single goroutine and the tap retains nothing.
+	var tapMsg dnswire.Message
 	tb.Net.AddTap(func(ev netsim.Event) {
 		if !isAuth[ev.Dst] {
 			return
 		}
-		m, err := dnswire.Unpack(ev.Payload)
-		if err != nil || m.Response || len(m.Questions) != 1 {
+		m := &tapMsg
+		if err := dnswire.UnpackInto(m, ev.Payload); err != nil || m.Response || len(m.Questions) != 1 {
 			return
 		}
 		tb.tapArrivals.Inc()
@@ -281,7 +383,11 @@ func (tb *Testbed) installTap() {
 func (tb *Testbed) CollectMetrics() *metrics.Registry {
 	reg := metrics.NewRegistry()
 	rs, cs := reg.Scope("resolver"), reg.Scope("cache")
-	for _, r := range tb.Pop.Resolvers {
+	for _, l := range tb.Pop.Resolvers {
+		r := l.Resolver()
+		if r == nil {
+			continue // never materialized: all counters are zero
+		}
 		r.CollectMetrics(rs)
 		r.Cache().CollectMetrics(cs)
 	}

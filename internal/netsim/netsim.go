@@ -60,6 +60,7 @@ type Network struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	hosts   map[Addr]func(src Addr, payload []byte)
+	lazy    map[Addr]LazyHost // deferred host constructors, see BindLazy
 	inLoss  map[Addr]float64
 	pairs   map[[2]Addr]time.Duration
 	latency LatencyFunc
@@ -77,12 +78,12 @@ func (n *Network) SetTrace(tr *trace.Buffer) { n.trace = tr }
 // New creates a network on clk with a seeded RNG; identical seeds give
 // identical packet fates.
 func New(clk clock.Clock, seed int64) *Network {
+	// inLoss and pairs stay nil until the first override: reads of a nil
+	// map are fine, and most networks never install one.
 	n := &Network{
-		clk:    clk,
-		rng:    rand.New(rand.NewSource(seed)),
-		hosts:  make(map[Addr]func(src Addr, payload []byte)),
-		inLoss: make(map[Addr]float64),
-		pairs:  make(map[[2]Addr]time.Duration),
+		clk:   clk,
+		rng:   rand.New(rand.NewSource(seed)),
+		hosts: make(map[Addr]func(src Addr, payload []byte), 64),
 	}
 	n.latency = n.defaultLatency
 	n.argClk, _ = clk.(clock.ArgScheduler)
@@ -116,12 +117,47 @@ func (n *Network) Bind(addr Addr, recv func(src Addr, payload []byte)) *Port {
 	return &Port{net: n, addr: addr}
 }
 
+// BindPort is Bind returning the Port by value, for callers that embed
+// the port in their own struct instead of holding a pointer.
+func (n *Network) BindPort(addr Addr, recv func(src Addr, payload []byte)) Port {
+	n.Bind(addr, recv)
+	return Port{net: n, addr: addr}
+}
+
 // Detach removes the host at addr; in-flight packets to it are counted as
 // Dead on arrival.
 func (n *Network) Detach(addr Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.hosts, addr)
+	delete(n.lazy, addr)
+}
+
+// LazyHost is a deferred host constructor registered with BindLazy. An
+// interface (rather than a func value) lets callers register an existing
+// object without allocating a bound-method closure per host.
+type LazyHost interface {
+	// Materialize builds the host and registers its real receiver via
+	// Bind (directly or through a client/resolver Attach). Called at most
+	// once, outside the network lock.
+	Materialize()
+}
+
+// BindLazy defers a host's construction until the first packet is
+// delivered to addr. Population builders use this so the many resolvers
+// a cell describes but never exercises cost nothing: a lazy host is
+// "bound" for liveness accounting (arrivals are never counted Dead) but
+// allocates only on first traffic.
+func (n *Network) BindLazy(addr Addr, h LazyHost) {
+	if addr == "" {
+		panic("netsim: empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.lazy == nil {
+		n.lazy = make(map[Addr]LazyHost, 64)
+	}
+	n.lazy[addr] = h
 }
 
 // SetInboundLoss sets the probability in [0,1] that a packet arriving at
@@ -136,6 +172,9 @@ func (n *Network) SetInboundLoss(dst Addr, p float64) {
 	if p == 0 {
 		delete(n.inLoss, dst)
 	} else {
+		if n.inLoss == nil {
+			n.inLoss = make(map[Addr]float64)
+		}
 		n.inLoss[dst] = p
 	}
 }
@@ -159,6 +198,9 @@ func (n *Network) SetLatency(fn LatencyFunc) {
 func (n *Network) SetPairDelay(a, b Addr, oneWay time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.pairs == nil {
+		n.pairs = make(map[[2]Addr]time.Duration)
+	}
 	n.pairs[[2]Addr{a, b}] = oneWay
 	n.pairs[[2]Addr{b, a}] = oneWay
 }
@@ -193,24 +235,31 @@ func (n *Network) CollectMetrics(s *metrics.Scope) {
 type packet struct {
 	net      *Network
 	src, dst Addr
-	payload  []byte
+	payload  []byte // aliases buf; valid until the packet is pooled
+	buf      []byte // owned storage, recycled across packets
 }
 
 var packetPool = sync.Pool{New: func() any { return new(packet) }}
 
 // deliverPacket is the static arrival callback handed to ArgScheduler.
+// The packet (and the payload aliasing its buffer) returns to the pool
+// only after the receiver ran: receive callbacks may read the payload for
+// the duration of the call but must not retain it.
 func deliverPacket(arg any) {
 	p := arg.(*packet)
-	net, src, dst, payload := p.net, p.src, p.dst, p.payload
-	*p = packet{}
+	p.net.arrive(p.src, p.dst, p.payload)
+	p.net, p.src, p.dst, p.payload = nil, "", "", nil
 	packetPool.Put(p)
-	net.arrive(src, dst, payload)
 }
 
 // Send schedules delivery of payload from src to dst after the modeled
 // one-way delay. The loss decision is made at arrival time, so loss-rate
 // changes (DDoS onset/end) apply to packets already in flight, as they
 // would at a congested last-hop router.
+//
+// The network copies payload before returning: callers may reuse their
+// buffer for the next send, and receivers must not retain the delivered
+// slice past their callback.
 func (n *Network) Send(src, dst Addr, payload []byte) {
 	n.mu.Lock()
 	// Anycast destinations resolve to the catchment-selected site; both
@@ -222,11 +271,13 @@ func (n *Network) Send(src, dst Addr, payload []byte) {
 
 	if n.argClk != nil {
 		p := packetPool.Get().(*packet)
-		p.net, p.src, p.dst, p.payload = n, src, site, payload
+		p.buf = append(p.buf[:0], payload...)
+		p.net, p.src, p.dst, p.payload = n, src, site, p.buf
 		n.argClk.AfterFuncArg(delay, deliverPacket, p)
 		return
 	}
-	n.clk.AfterFunc(delay, func() { n.arrive(src, site, payload) })
+	buf := append([]byte(nil), payload...)
+	n.clk.AfterFunc(delay, func() { n.arrive(src, site, buf) })
 }
 
 func (n *Network) pairDelayLocked(src, dst Addr) time.Duration {
@@ -241,6 +292,18 @@ func (n *Network) arrive(src, dst Addr, payload []byte) {
 	loss := n.inLoss[dst]
 	dropped := loss > 0 && n.rng.Float64() < loss
 	recv := n.hosts[dst]
+	if recv == nil && !dropped && n.lazy != nil {
+		if h := n.lazy[dst]; h != nil {
+			delete(n.lazy, dst)
+			// Materialize outside the lock: the host registers its
+			// receiver via Bind, which re-locks. Dropped packets skip
+			// materialization — a drop never reaches the host either way.
+			n.mu.Unlock()
+			h.Materialize()
+			n.mu.Lock()
+			recv = n.hosts[dst]
+		}
+	}
 	taps := n.taps
 	switch {
 	case dropped:
@@ -286,6 +349,9 @@ func (p *Port) Send(dst Addr, payload []byte) {
 
 // Conn is the transport contract the DNS engines program against: the
 // simulator's Port implements it, and cmd/ wraps real UDP sockets in it.
+// Conn is the transport half a protocol endpoint needs. Send must copy
+// (or otherwise finish with) the payload before returning, so callers can
+// recycle one buffer across sends; Network.Send and UDP writes both do.
 type Conn interface {
 	Addr() Addr
 	Send(dst Addr, payload []byte)

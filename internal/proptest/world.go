@@ -69,12 +69,31 @@ type RunResult struct {
 	ReportJSON []byte
 }
 
+// SimClock is the clock driver a World needs: scheduling plus the run
+// loop and its accounting. Both the timing-wheel clock (clock.Virtual)
+// and the heap-backed reference (clock.Heap) satisfy it, which is what
+// lets the differential property test run the same scenario on either
+// engine and demand identical results.
+type SimClock interface {
+	clock.Clock
+	Run()
+	RunUntil(deadline time.Time)
+	RunFor(d time.Duration)
+	Pending() int
+	Counters() (scheduled, fired, stopped int64)
+}
+
+var (
+	_ SimClock = (*clock.Virtual)(nil)
+	_ SimClock = (*clock.Heap)(nil)
+)
+
 // World is a materialized scenario: hierarchy, resolvers, and clients on
 // one virtual clock. Tests that need finer control (pair delays, manual
 // resolution phases) build a World and drive the pieces directly instead
 // of calling Run.
 type World struct {
-	Clk       *clock.Virtual
+	Clk       SimClock
 	Net       *netsim.Network
 	Auths     []*authoritative.Server // root, tld, leaf1, leaf2
 	Resolvers []*recursive.Resolver
@@ -83,9 +102,16 @@ type World struct {
 }
 
 // NewWorld builds the scenario's ecosystem without scheduling any
-// queries.
+// queries, on the production timing-wheel clock.
 func NewWorld(sc Scenario) (*World, error) {
-	w := &World{Clk: clock.NewVirtual(worldEpoch), sc: sc}
+	return NewWorldOnClock(sc, clock.NewVirtual(worldEpoch))
+}
+
+// NewWorldOnClock is NewWorld on a caller-supplied clock engine. The
+// clock must start at the world epoch (time.Date(2018, 5, 1, ...)) or
+// TTL arithmetic in the scenario invariants will not line up.
+func NewWorldOnClock(sc Scenario, clk SimClock) (*World, error) {
+	w := &World{Clk: clk, sc: sc}
 	w.Net = netsim.New(w.Clk, sc.Seed)
 
 	rootZone, tldZone, leafZone, err := buildZones(sc)

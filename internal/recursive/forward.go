@@ -12,12 +12,12 @@ import (
 // out over many Rn resolvers (§6.2, Figure 11).
 func (t *task) forward() {
 	t.timeout = t.r.cfg.InitialTimeout * 2 // upstream does full resolution
-	t.tried = make(map[netsim.Addr]bool)
 	t.attempt = 0
 	t.servers = append([]netsim.Addr(nil), t.r.cfg.Forwarders...)
-	t.r.rng.Shuffle(len(t.servers), func(i, j int) {
+	t.r.random().Shuffle(len(t.servers), func(i, j int) {
 		t.servers[i], t.servers[j] = t.servers[j], t.servers[i]
 	})
+	t.resetTried(len(t.servers))
 	t.forwardNext()
 }
 
@@ -29,30 +29,28 @@ func (t *task) forwardNext() {
 		t.fail()
 		return
 	}
-	server, ok := t.r.pickServer(t.servers, t.tried)
+	idx, ok := t.r.pickServer(t.servers, t.tried)
 	if !ok {
 		// Same backoff contract as the iterative path: the timeout doubles
 		// per rotation over the forwarder list, not per attempt.
-		t.tried = make(map[netsim.Addr]bool)
+		t.resetTried(len(t.servers))
 		t.timeout *= 2
 		if t.timeout > t.r.cfg.MaxTimeout {
 			t.timeout = t.r.cfg.MaxTimeout
 		}
-		server, ok = t.r.pickServer(t.servers, t.tried)
+		idx, ok = t.r.pickServer(t.servers, t.tried)
 		if !ok {
 			t.fail()
 			return
 		}
 	}
-	t.tried[server] = true
+	t.markTried(idx)
 	t.attempt++
 	*t.budget--
 	if t.attempt > 1 {
 		t.r.m.upstreamRetries.Inc()
 	}
-	t.r.send(server, t.name, t.qtype, true, t.timeout,
-		func(m *dnswire.Message) { t.handleForwardResponse(m) },
-		func() { t.forwardNext() })
+	t.r.send(t, t.servers[idx], true)
 }
 
 func (t *task) handleForwardResponse(m *dnswire.Message) {
@@ -66,7 +64,11 @@ func (t *task) handleForwardResponse(m *dnswire.Message) {
 	case dnswire.RCodeNoError:
 		if len(m.Answers) > 0 {
 			t.cacheRRs(m.Answers, cache.RankAnswer)
-			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: m.Answers})
+			// Copy: m may be the resolver's scratch message, but a Result
+			// can outlive this dispatch (client callbacks retain it).
+			answers := make([]dnswire.RR, len(m.Answers))
+			copy(answers, m.Answers)
+			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: answers})
 			return
 		}
 		// NODATA passthrough.

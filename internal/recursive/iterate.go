@@ -1,9 +1,12 @@
 package recursive
 
 import (
+	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/clock"
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
@@ -30,13 +33,47 @@ type task struct {
 	// records, Appendix A).
 	skipCacheLookup bool
 	cb              func(Result)
+	// root marks the client-facing task created by Resolve; delivery runs
+	// the client-response bookkeeping (deadline, metrics, trace) inline
+	// instead of through a wrapping closure.
+	root     bool
+	deadline clock.TimerRef
 
 	// fetch state for the current zone iteration
 	zoneName string
 	servers  []netsim.Addr
-	tried    map[netsim.Addr]bool
-	attempt  int
-	timeout  time.Duration
+	// tried is a bitset over servers indices (reset each rotation round).
+	// A bitset instead of a map: rotation is the hottest retry path and a
+	// task reuses one small allocation for its whole life.
+	tried   []uint64
+	attempt int
+	timeout time.Duration
+}
+
+// resetTried clears the tried bitset for a candidate list of n servers,
+// reusing the task's existing words when they are large enough.
+func (t *task) resetTried(n int) {
+	w := (n + 63) / 64
+	if cap(t.tried) < w {
+		t.tried = make([]uint64, w)
+		return
+	}
+	t.tried = t.tried[:w]
+	for i := range t.tried {
+		t.tried[i] = 0
+	}
+}
+
+// markTried records that servers[idx] was attempted. Every index holding
+// the same address is marked, preserving the semantics of the map this
+// replaces (a duplicated candidate was tried once, not per copy).
+func (t *task) markTried(idx int) {
+	a := t.servers[idx]
+	for i, s := range t.servers {
+		if s == a {
+			t.tried[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
 }
 
 // Resolve answers (name, qtype) using the cache and, on a miss, upstream
@@ -48,38 +85,19 @@ func (r *Resolver) Resolve(name string, qtype dnswire.Type, shard int, cb func(R
 	budget := r.cfg.WorkBudget
 	t := &task{
 		r: r, name: dnswire.CanonicalName(name), qtype: qtype,
-		shard: shard, budget: &budget, cb: cb,
+		shard: shard, budget: &budget, cb: cb, root: true,
 	}
 	if tr := r.trace; tr != nil {
 		tr.Emit(trace.Event{Type: trace.EvResolveStart,
 			Probe: trace.ProbeFromName(t.name), Name: t.name, A: uint32(qtype),
 			Src: string(r.Addr())})
 	}
-	deadline := r.clk.AfterFunc(r.cfg.ClientTimeout, func() { t.fail() })
-	inner := t.cb
-	t.cb = func(res Result) {
-		deadline.Stop()
-		r.m.clientResponses.Inc()
-		if tr := r.trace; tr != nil {
-			stale := uint32(0)
-			if res.Stale {
-				stale = 1
-			}
-			probe := trace.ProbeFromName(t.name)
-			if res.ServFail {
-				// Terminal failures bypass sampling so a SERVFAIL chain is
-				// never invisible in a sampled trace.
-				tr.Force(trace.Event{Type: trace.EvServFail,
-					Probe: probe, Name: t.name, Src: string(r.Addr())})
-			}
-			tr.Emit(trace.Event{Type: trace.EvResolveDone,
-				Probe: probe, Name: t.name, A: uint32(res.RCode), B: stale,
-				Src: string(r.Addr())})
-		}
-		inner(res)
-	}
+	t.deadline = clock.AfterFuncRef(r.clk, r.cfg.ClientTimeout, taskDeadline, t)
 	t.run()
 }
+
+// taskDeadline is the static client-timeout callback armed by Resolve.
+func taskDeadline(arg any) { arg.(*task).fail() }
 
 func (t *task) run() {
 	if t.cacheAnswer() {
@@ -152,6 +170,33 @@ func (t *task) finish(res Result) {
 					res.Answers[i].TTL = minTTL
 				}
 			}
+		}
+	}
+	t.deliver(res)
+}
+
+// deliver hands res to the task's callback, running the client-response
+// bookkeeping first when this is the Resolve-created root task.
+func (t *task) deliver(res Result) {
+	if t.root {
+		t.deadline.Stop()
+		r := t.r
+		r.m.clientResponses.Inc()
+		if tr := r.trace; tr != nil {
+			stale := uint32(0)
+			if res.Stale {
+				stale = 1
+			}
+			probe := trace.ProbeFromName(t.name)
+			if res.ServFail {
+				// Terminal failures bypass sampling so a SERVFAIL chain is
+				// never invisible in a sampled trace.
+				tr.Force(trace.Event{Type: trace.EvServFail,
+					Probe: probe, Name: t.name, Src: string(r.Addr())})
+			}
+			tr.Emit(trace.Event{Type: trace.EvResolveDone,
+				Probe: probe, Name: t.name, A: uint32(res.RCode), B: stale,
+				Src: string(r.Addr())})
 		}
 	}
 	t.cb(res)
@@ -235,13 +280,13 @@ func (t *task) cacheAnswer() bool {
 // usable addresses, falling back to the root hints.
 func (t *task) initFetch() bool {
 	t.timeout = t.r.cfg.InitialTimeout
-	t.tried = make(map[netsim.Addr]bool)
 	t.attempt = 0
 
 	if !t.r.cfg.NoCache {
 		for z := t.name; ; z = dnswire.Parent(z) {
 			if addrs := t.zoneServersFromCache(z); len(addrs) > 0 {
 				t.zoneName, t.servers = z, addrs
+				t.resetTried(len(t.servers))
 				return true
 			}
 			if z == "." {
@@ -257,6 +302,7 @@ func (t *task) initFetch() bool {
 	for _, h := range t.r.cfg.RootHints {
 		t.servers = append(t.servers, h.Addr)
 	}
+	t.resetTried(len(t.servers))
 	return true
 }
 
@@ -273,7 +319,7 @@ func (t *task) zoneServersFromCache(zone string) []netsim.Addr {
 		a := t.r.cache.Peek(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
 		if a.Hit && !a.Negative {
 			for _, arr := range a.Records {
-				addrs = append(addrs, netsim.Addr(arr.Data.(dnswire.A).Addr.String()))
+				addrs = append(addrs, internAddr(arr.Data.(dnswire.A).Addr))
 			}
 		}
 	}
@@ -294,34 +340,32 @@ func (t *task) tryNextServer() {
 		t.fail()
 		return
 	}
-	server, ok := t.r.pickServer(t.servers, t.tried)
+	idx, ok := t.r.pickServer(t.servers, t.tried)
 	if !ok {
 		// All candidates tried this round; start another round with a
 		// doubled timeout. The per-query timeout grows only here, so every
 		// server within one round of the list is probed with the same
 		// deadline — exponential backoff across rounds, as the
 		// Config.InitialTimeout contract documents.
-		t.tried = make(map[netsim.Addr]bool)
+		t.resetTried(len(t.servers))
 		t.timeout *= 2
 		if t.timeout > t.r.cfg.MaxTimeout {
 			t.timeout = t.r.cfg.MaxTimeout
 		}
-		server, ok = t.r.pickServer(t.servers, t.tried)
+		idx, ok = t.r.pickServer(t.servers, t.tried)
 		if !ok {
 			t.fail()
 			return
 		}
 	}
-	t.tried[server] = true
+	t.markTried(idx)
 	t.attempt++
 	*t.budget--
 	if t.attempt > 1 {
 		t.r.m.upstreamRetries.Inc()
 	}
 
-	t.r.send(server, t.name, t.qtype, false, t.timeout,
-		func(m *dnswire.Message) { t.handleResponse(server, m) },
-		func() { t.tryNextServer() })
+	t.r.send(t, t.servers[idx], false)
 }
 
 // handleResponse processes an upstream reply for the current fetch.
@@ -352,7 +396,7 @@ func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 		t.handleAnswer(m)
 		return
 	}
-	if ns := referralNS(m, t.zoneName, t.name); len(ns) > 0 {
+	if ns := referralNS(t.r, m, t.zoneName, t.name); len(ns) > 0 {
 		t.handleReferral(m, ns)
 		return
 	}
@@ -471,37 +515,60 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 	newZone := dnswire.CanonicalName(ns[0].Name)
 	t.cacheAuthorityAndGlue(m)
 
-	var addrs []netsim.Addr
-	glueHosts := make(map[string][]netsim.Addr)
-	for _, rr := range m.Additionals {
-		a, ok := rr.Data.(dnswire.A)
-		if !ok {
-			continue
-		}
-		host := dnswire.CanonicalName(rr.Name)
-		if !dnswire.IsSubdomain(host, newZone) {
-			// Out-of-bailiwick glue: the parent has no authority over
-			// addresses outside the zone it is delegating, so a response
-			// volunteering them is the classic poisoning vector. Such NS
-			// hosts are resolved independently below instead.
-			continue
-		}
-		glueHosts[host] = append(glueHosts[host], netsim.Addr(a.Addr.String()))
-	}
-	var hosts []string
+	// Gather in-bailiwick glue in NS-host order: count, then fill an
+	// exact-size slice (it becomes t.servers, so it must be owned). The
+	// host×additional scan replaces a per-referral map; both lists are a
+	// handful of records. Out-of-bailiwick glue is skipped: the parent has
+	// no authority over addresses outside the zone it is delegating, so a
+	// response volunteering them is the classic poisoning vector. Such NS
+	// hosts are resolved independently below instead.
+	n := 0
 	for _, rr := range ns {
 		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
-		hosts = append(hosts, host)
-		addrs = append(addrs, glueHosts[host]...)
+		for _, g := range m.Additionals {
+			if _, ok := g.Data.(dnswire.A); !ok {
+				continue
+			}
+			gh := dnswire.CanonicalName(g.Name)
+			if gh == host && dnswire.IsSubdomain(gh, newZone) {
+				n++
+			}
+		}
 	}
-	if !t.r.cfg.NoCache && len(addrs) == 0 {
+	var addrs []netsim.Addr
+	if n > 0 {
+		addrs = make([]netsim.Addr, 0, n)
+		for _, rr := range ns {
+			host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
+			for _, g := range m.Additionals {
+				a, ok := g.Data.(dnswire.A)
+				if !ok {
+					continue
+				}
+				gh := dnswire.CanonicalName(g.Name)
+				if gh == host && dnswire.IsSubdomain(gh, newZone) {
+					addrs = append(addrs, internAddr(a.Addr))
+				}
+			}
+		}
+		t.descend(newZone, addrs)
+		return
+	}
+
+	// Glueless referral: the host list is only needed now, off the hot
+	// path.
+	hosts := make([]string, 0, len(ns))
+	for _, rr := range ns {
+		hosts = append(hosts, dnswire.CanonicalName(rr.Data.(dnswire.NS).Host))
+	}
+	if !t.r.cfg.NoCache {
 		// Try cache for the NS host addresses (they may be out of
 		// bailiwick but already known).
 		for _, host := range hosts {
 			v := t.r.cache.Peek(cache.Key{Name: host, Type: dnswire.TypeA}, t.shard)
 			if v.Hit && !v.Negative {
 				for _, rr := range v.Records {
-					addrs = append(addrs, netsim.Addr(rr.Data.(dnswire.A).Addr.String()))
+					addrs = append(addrs, internAddr(rr.Data.(dnswire.A).Addr))
 				}
 			}
 		}
@@ -527,7 +594,7 @@ func (t *task) descend(newZone string, addrs []netsim.Addr) {
 	}
 	t.zoneName = newZone
 	t.servers = addrs
-	t.tried = make(map[netsim.Addr]bool)
+	t.resetTried(len(addrs))
 	// Referral progress resets the attempt counter; the shared budget
 	// still bounds total work.
 	t.attempt = 0
@@ -564,7 +631,7 @@ func (t *task) resolveNSAddrs(hosts []string, newZone string) {
 				var addrs []netsim.Addr
 				for _, rr := range res.Answers {
 					if a, ok := rr.Data.(dnswire.A); ok {
-						addrs = append(addrs, netsim.Addr(a.Addr.String()))
+						addrs = append(addrs, internAddr(a.Addr))
 					}
 				}
 				if len(addrs) > 0 {
@@ -590,6 +657,9 @@ func (r *Resolver) maybeHarvest(zone string, shard int, _ *int) {
 	now := r.clk.Now()
 	if last, ok := r.harvests[zone]; ok && now.Sub(last) < harvestInterval {
 		return
+	}
+	if r.harvests == nil {
+		r.harvests = make(map[string]time.Time)
 	}
 	r.harvests[zone] = now
 	pool := r.cfg.WorkBudget/4 + 2
@@ -708,16 +778,38 @@ func (t *task) validateAnswer(m *dnswire.Message) bool {
 }
 
 // cacheRRs groups records into RRsets and stores them at the given rank.
+// Grouping is done by rescanning from each first occurrence rather than
+// through a scratch map: the lists are a handful of records, the cache
+// retains each set (so those slices must be freshly allocated either
+// way), and the rescan makes the Put order deterministic.
 func (t *task) cacheRRs(rrs []dnswire.RR, rank cache.Rank) {
-	if t.r.cfg.NoCache {
+	if t.r.cfg.NoCache || len(rrs) == 0 {
 		return
 	}
-	groups := make(map[cache.Key][]dnswire.RR)
-	for _, rr := range rrs {
-		k := cache.Key{Name: dnswire.CanonicalName(rr.Name), Type: rr.Type()}
-		groups[k] = append(groups[k], rr)
-	}
-	for k, set := range groups {
+	for i := range rrs {
+		k := cache.Key{Name: dnswire.CanonicalName(rrs[i].Name), Type: rrs[i].Type()}
+		n, first := 0, true
+		for j := range rrs {
+			kj := cache.Key{Name: dnswire.CanonicalName(rrs[j].Name), Type: rrs[j].Type()}
+			if kj != k {
+				continue
+			}
+			if j < i {
+				first = false
+				break
+			}
+			n++
+		}
+		if !first {
+			continue
+		}
+		set := make([]dnswire.RR, 0, n)
+		for j := i; j < len(rrs); j++ {
+			kj := cache.Key{Name: dnswire.CanonicalName(rrs[j].Name), Type: rrs[j].Type()}
+			if kj == k {
+				set = append(set, rrs[j])
+			}
+		}
 		t.r.cache.Put(k, cache.Entry{Records: set, Rank: rank}, t.shard)
 	}
 }
@@ -732,7 +824,11 @@ func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 	if t.r.cfg.NoCache {
 		return
 	}
-	var nsRRs []dnswire.RR
+	// The NS and glue lists live only for this call (cacheRRs copies what
+	// the cache keeps), so they borrow the resolver's scratch buffer. The
+	// event loop is single-threaded and this function never yields, so the
+	// buffer cannot be observed mid-use.
+	nsRRs := t.r.rrScratch[:0]
 	for _, rr := range m.Authorities {
 		if rr.Type() == dnswire.TypeNS {
 			nsRRs = append(nsRRs, rr)
@@ -759,9 +855,10 @@ func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 		}
 	}
 	if bailiwick == "" {
+		t.r.rrScratch = nsRRs[:0]
 		return // no NS set in sight: no additional is credible
 	}
-	var glue []dnswire.RR
+	glue := nsRRs[:0] // the NS set was copied by cacheRRs above
 	for _, rr := range m.Additionals {
 		if typ := rr.Type(); typ != dnswire.TypeA && typ != dnswire.TypeAAAA {
 			continue
@@ -772,6 +869,7 @@ func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 		glue = append(glue, rr)
 	}
 	t.cacheRRs(glue, cache.RankAdditional)
+	t.r.rrScratch = glue[:0]
 }
 
 // cacheNegative stores an NXDOMAIN or NODATA entry for the current name.
@@ -801,11 +899,15 @@ func soaOf(m *dnswire.Message) dnswire.RR {
 // referralNS returns the NS set of a referral that makes downward
 // progress: owned by a name deeper than the current zone and enclosing
 // the query name.
-func referralNS(m *dnswire.Message, currentZone, qname string) []dnswire.RR {
+// The returned slice borrows r's scratch buffer: it is valid only until
+// the next referralNS call on this resolver (callers consume it within
+// the same event dispatch).
+func referralNS(r *Resolver, m *dnswire.Message, currentZone, qname string) []dnswire.RR {
 	if m.Authoritative {
 		return nil
 	}
-	var ns []dnswire.RR
+	ns := r.nsScratch[:0]
+	defer func() { r.nsScratch = ns[:0] }()
 	owner := ""
 	for _, rr := range m.Authorities {
 		if rr.Type() != dnswire.TypeNS {
@@ -829,4 +931,27 @@ func referralNS(m *dnswire.Message, currentZone, qname string) []dnswire.RR {
 		return nil // upward or sideways referral: lame
 	}
 	return ns
+}
+
+// internAddr converts a glue address to its simulator string form through
+// a process-wide cache: referrals repeat the same handful of server
+// addresses millions of times per run, and netip's formatter allocates on
+// every call.
+func internAddr(a netip.Addr) netsim.Addr {
+	addrIntern.mu.Lock()
+	s, ok := addrIntern.m[a]
+	if !ok {
+		s = netsim.Addr(a.String())
+		if addrIntern.m == nil {
+			addrIntern.m = make(map[netip.Addr]netsim.Addr)
+		}
+		addrIntern.m[a] = s
+	}
+	addrIntern.mu.Unlock()
+	return s
+}
+
+var addrIntern struct {
+	mu sync.Mutex
+	m  map[netip.Addr]netsim.Addr
 }

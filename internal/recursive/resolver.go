@@ -217,17 +217,37 @@ type Result struct {
 type Resolver struct {
 	clk   clock.Clock
 	cfg   Config
-	cache *cache.Cache
-	rng   *rand.Rand
+	cache cache.Cache
+	rng   *rand.Rand // lazy; use random()
 	conn  netsim.Conn
 
 	nextID   uint16
 	inflight map[uint16]*outquery
+	oqFree   *outquery // outquery freelist
 	srtt     map[netsim.Addr]time.Duration
 	coalesce map[coalesceKey]*clientJob
 	harvests map[string]time.Time // zone -> last NS harvest
 	trace    *trace.Buffer
 	m        counters
+
+	// rrScratch and nsScratch are reusable record buffers for the
+	// single-threaded response-processing path (cacheAuthorityAndGlue and
+	// referralNS respectively); their contents never survive an event
+	// dispatch.
+	rrScratch []dnswire.RR
+	nsScratch []dnswire.RR
+	// upMsg is the scratch decode target for upstream responses. Response
+	// processing never retains the message or its section slices (data
+	// that outlives the dispatch — cache sets, Result answers — is always
+	// copied), so one message per resolver serves every response.
+	upMsg dnswire.Message
+	// qMsg and respMsg are scratch encode sources (upstream queries and
+	// client responses), and packBuf the scratch wire buffer; all three
+	// are transmitted before the dispatch returns and never retained
+	// (Conn.Send copies).
+	qMsg    dnswire.Message
+	respMsg dnswire.Message
+	packBuf []byte
 }
 
 // SetTrace enables query-lifecycle tracing on the resolver and its cache
@@ -247,23 +267,28 @@ type coalesceKey struct {
 // resolving.
 func NewResolver(clk clock.Clock, cfg Config) *Resolver {
 	cfg = cfg.withDefaults()
-	r := &Resolver{
-		clk:      clk,
-		cfg:      cfg,
-		cache:    cache.New(clk, cfg.Cache),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		inflight: make(map[uint16]*outquery),
-		srtt:     make(map[netsim.Addr]time.Duration),
-		coalesce: make(map[coalesceKey]*clientJob),
-		harvests: make(map[string]time.Time),
-	}
-	r.m.upstreamRTTms.Init(metrics.DefaultLatencyBucketsMs)
+	// Hot state (rng, in-flight and SRTT maps, the RTT histogram) is
+	// created on first use: a large population builds thousands of
+	// resolvers per cell but exercises only the handful its probes query,
+	// so an idle resolver must cost a couple of allocations, not dozens.
+	r := &Resolver{clk: clk, cfg: cfg}
+	r.cache.Init(clk, cfg.Cache)
+	r.m.upstreamRTTms.Init(metrics.DefaultLatencyBucketsMs) // aliases shared bounds; no allocation
 	return r
+}
+
+// random returns the resolver's deterministic RNG, creating it on first
+// draw (the draw sequence for a given seed is unchanged by the laziness).
+func (r *Resolver) random() *rand.Rand {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.cfg.Seed))
+	}
+	return r.rng
 }
 
 // Cache exposes the resolver cache (tests and the Appendix A cache-dump
 // reproduction use it).
-func (r *Resolver) Cache() *cache.Cache { return r.cache }
+func (r *Resolver) Cache() *cache.Cache { return &r.cache }
 
 // Stats returns a snapshot of the counters.
 func (r *Resolver) Stats() Stats {
@@ -322,14 +347,27 @@ func (r *Resolver) Attach(net *netsim.Network, addr netsim.Addr) {
 	r.conn = net.Bind(addr, r.Receive)
 }
 
+// headerLen is the fixed DNS header size; anything shorter cannot carry
+// a QR bit, let alone a message.
+const headerLen = 12
+
 // Receive is the raw packet entry point (exported for custom transports).
+// The QR bit routes before decoding: responses decode into the resolver's
+// scratch message, while client queries get a fresh one (coalescing
+// retains them until the answer is delivered).
 func (r *Resolver) Receive(src netsim.Addr, payload []byte) {
-	m, err := dnswire.Unpack(payload)
-	if err != nil {
+	if len(payload) < headerLen {
 		return
 	}
-	if m.Response {
-		r.handleUpstream(m)
+	if payload[2]&0x80 != 0 {
+		if err := dnswire.UnpackInto(&r.upMsg, payload); err != nil {
+			return
+		}
+		r.handleUpstream(&r.upMsg)
+		return
+	}
+	m, err := dnswire.Unpack(payload)
+	if err != nil {
 		return
 	}
 	r.serveClient(src, m)
@@ -345,59 +383,97 @@ func (r *Resolver) allocID() uint16 {
 	}
 }
 
-// outquery is one upstream query awaiting a response or timeout.
+// outquery is one upstream query awaiting a response or timeout. Nodes
+// are pooled on the resolver (see getOQ/putOQ): the continuation is the
+// owning task plus a mode bit instead of per-send closures, so a query
+// burst allocates nothing after the first rotation.
 type outquery struct {
 	id     uint16
+	fwd    bool // forward-mode continuation (forwardNext vs tryNextServer)
 	server netsim.Addr
 	sentAt time.Time
-	timer  clock.Timer
-	name   string
-	onResp func(*dnswire.Message)
-	onFail func()
+	timer  clock.TimerRef
+	t      *task
+	next   *outquery // freelist link
 }
 
-// send transmits (name, qtype) to server and arms a timeout. rd sets the
-// recursion-desired bit (true only when the upstream is itself a
-// recursive, i.e. forwarding mode).
-func (r *Resolver) send(server netsim.Addr, name string, qtype dnswire.Type,
-	rd bool, timeout time.Duration, onResp func(*dnswire.Message), onFail func()) {
+func (r *Resolver) getOQ() *outquery {
+	if oq := r.oqFree; oq != nil {
+		r.oqFree = oq.next
+		oq.next = nil
+		return oq
+	}
+	return new(outquery)
+}
 
+func (r *Resolver) putOQ(oq *outquery) {
+	*oq = outquery{next: r.oqFree}
+	r.oqFree = oq
+}
+
+// send transmits the task's (name, qtype) to server and arms a timeout.
+// fwd marks forwarding mode: the recursion-desired bit is set (the
+// upstream is itself a recursive) and failures continue the forwarder
+// rotation instead of the iterative one.
+func (r *Resolver) send(t *task, server netsim.Addr, fwd bool) {
 	id := r.allocID()
-	oq := &outquery{id: id, server: server, sentAt: r.clk.Now(), name: name, onResp: onResp, onFail: onFail}
+	oq := r.getOQ()
+	oq.id, oq.fwd, oq.server, oq.sentAt, oq.t = id, fwd, server, r.clk.Now(), t
+	if r.inflight == nil {
+		r.inflight = make(map[uint16]*outquery)
+	}
 	r.inflight[id] = oq
 	r.m.upstreamQueries.Inc()
 	if tr := r.trace; tr != nil {
 		tr.Emit(trace.Event{Type: trace.EvUpstreamQuery,
-			Probe: trace.ProbeFromName(name), Name: name, A: uint32(qtype),
+			Probe: trace.ProbeFromName(t.name), Name: t.name, A: uint32(t.qtype),
 			Src: string(r.Addr()), Dst: string(server)})
 	}
 
-	q := dnswire.NewQuery(id, name, qtype)
-	q.RecursionDesired = rd
+	q := &r.qMsg
+	q.ResetQuery(id, t.name, t.qtype)
+	q.RecursionDesired = fwd
 	if len(r.cfg.TrustAnchors) > 0 {
 		q.AddEDNS(4096, true)
 	}
-	wire, err := q.Pack()
+	wire, err := q.AppendPack(r.packBuf[:0])
+	r.packBuf = wire[:0]
 	if err != nil {
 		delete(r.inflight, id)
-		onFail()
+		r.putOQ(oq)
+		if fwd {
+			t.forwardNext()
+		} else {
+			t.tryNextServer()
+		}
 		return
 	}
-	oq.timer = r.clk.AfterFunc(timeout, func() {
-		if r.inflight[id] != oq {
-			return
-		}
-		delete(r.inflight, id)
-		r.m.timeouts.Inc()
-		r.srttPenalty(server)
-		if tr := r.trace; tr != nil {
-			tr.Emit(trace.Event{Type: trace.EvUpstreamTimeout,
-				Probe: trace.ProbeFromName(oq.name), Name: oq.name,
-				Src: string(r.Addr()), Dst: string(server)})
-		}
-		oq.onFail()
-	})
+	oq.timer = clock.AfterFuncRef(r.clk, t.timeout, outqueryTimeout, oq)
 	r.conn.Send(server, wire)
+}
+
+// outqueryTimeout is the static timeout callback armed by send.
+func outqueryTimeout(arg any) {
+	oq := arg.(*outquery)
+	t, server, fwd := oq.t, oq.server, oq.fwd
+	r := t.r
+	if r.inflight[oq.id] != oq {
+		return
+	}
+	delete(r.inflight, oq.id)
+	r.m.timeouts.Inc()
+	r.srttPenalty(server)
+	if tr := r.trace; tr != nil {
+		tr.Emit(trace.Event{Type: trace.EvUpstreamTimeout,
+			Probe: trace.ProbeFromName(t.name), Name: t.name,
+			Src: string(r.Addr()), Dst: string(server)})
+	}
+	r.putOQ(oq)
+	if fwd {
+		t.forwardNext()
+	} else {
+		t.tryNextServer()
+	}
 }
 
 // handleUpstream routes a response to its pending query.
@@ -411,11 +487,20 @@ func (r *Resolver) handleUpstream(m *dnswire.Message) {
 	sample := r.clk.Now().Sub(oq.sentAt)
 	r.m.upstreamRTTms.Observe(float64(sample) / float64(time.Millisecond))
 	r.srttUpdate(oq.server, sample)
-	oq.onResp(m)
+	t, server, fwd := oq.t, oq.server, oq.fwd
+	r.putOQ(oq)
+	if fwd {
+		t.handleForwardResponse(m)
+	} else {
+		t.handleResponse(server, m)
+	}
 }
 
 // srttUpdate folds a new RTT sample into the server's smoothed RTT.
 func (r *Resolver) srttUpdate(server netsim.Addr, sample time.Duration) {
+	if r.srtt == nil {
+		r.srtt = make(map[netsim.Addr]time.Duration)
+	}
 	if old, ok := r.srtt[server]; ok {
 		r.srtt[server] = (old*7 + sample*3) / 10
 	} else {
@@ -426,6 +511,9 @@ func (r *Resolver) srttUpdate(server netsim.Addr, sample time.Duration) {
 // srttPenalty doubles a server's SRTT after a timeout so selection drifts
 // away from unresponsive servers (BIND-style decay).
 func (r *Resolver) srttPenalty(server netsim.Addr) {
+	if r.srtt == nil {
+		r.srtt = make(map[netsim.Addr]time.Duration)
+	}
 	if old, ok := r.srtt[server]; ok {
 		penalized := old * 2
 		if penalized > 10*time.Second {
@@ -437,34 +525,46 @@ func (r *Resolver) srttPenalty(server netsim.Addr) {
 	}
 }
 
-// pickServer chooses the next candidate address, preferring low SRTT but
-// exploring randomly with ExplorationProb, and avoiding addresses in
-// tried.
-func (r *Resolver) pickServer(candidates []netsim.Addr, tried map[netsim.Addr]bool) (netsim.Addr, bool) {
-	var avail []netsim.Addr
-	for _, a := range candidates {
-		if !tried[a] {
-			avail = append(avail, a)
+// pickServer chooses the next candidate index, preferring low SRTT but
+// exploring randomly with ExplorationProb, and skipping indices whose bit
+// is set in tried.
+func (r *Resolver) pickServer(candidates []netsim.Addr, tried []uint64) (int, bool) {
+	isTried := func(i int) bool { return tried[i>>6]&(1<<(uint(i)&63)) != 0 }
+	n := 0
+	for i := range candidates {
+		if !isTried(i) {
+			n++
 		}
 	}
-	if len(avail) == 0 {
-		return "", false
+	if n == 0 {
+		return 0, false
 	}
-	if r.rng.Float64() < r.cfg.ExplorationProb {
-		return avail[r.rng.Intn(len(avail))], true
+	if r.random().Float64() < r.cfg.ExplorationProb {
+		k := r.rng.Intn(n)
+		for i := range candidates {
+			if isTried(i) {
+				continue
+			}
+			if k == 0 {
+				return i, true
+			}
+			k--
+		}
 	}
-	best := avail[0]
-	bestRTT, ok := r.srtt[best]
-	if !ok {
-		return best, true // unknown servers get tried eagerly
-	}
-	for _, a := range avail[1:] {
+	// Lowest SRTT wins; the first server with no SRTT yet is tried
+	// eagerly, matching the exploration contract for unknown servers.
+	best := -1
+	var bestRTT time.Duration
+	for i, a := range candidates {
+		if isTried(i) {
+			continue
+		}
 		rtt, ok := r.srtt[a]
 		if !ok {
-			return a, true
+			return i, true
 		}
-		if rtt < bestRTT {
-			best, bestRTT = a, rtt
+		if best < 0 || rtt < bestRTT {
+			best, bestRTT = i, rtt
 		}
 	}
 	return best, true

@@ -39,10 +39,13 @@ func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
 	// cache (§3.5): pick the shard here so coalescing is per-backend.
 	shard := 0
 	if n := r.cache.Shards(); n > 1 {
-		shard = r.rng.Intn(n)
+		shard = r.random().Intn(n)
 	}
 
 	key := coalesceKey{name: name, qtype: question.Type, shard: shard}
+	if r.coalesce == nil {
+		r.coalesce = make(map[coalesceKey]*clientJob)
+	}
 	if job, ok := r.coalesce[key]; ok {
 		job.waiters = append(job.waiters, waiter{src: src, q: q})
 		return
@@ -53,7 +56,8 @@ func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
 	r.Resolve(name, question.Type, shard, func(res Result) {
 		delete(r.coalesce, key)
 		for _, w := range job.waiters {
-			r.respond(w.src, r.buildResponse(w.q, res))
+			// respMsg is packed and sent before the next waiter reuses it.
+			r.respond(w.src, r.buildResponseInto(&r.respMsg, w.q, res))
 		}
 	})
 }
@@ -82,7 +86,7 @@ func (r *Resolver) HandleQuery(q *dnswire.Message, cb func(*dnswire.Message)) {
 	}
 	shard := 0
 	if n := r.cache.Shards(); n > 1 {
-		shard = r.rng.Intn(n)
+		shard = r.random().Intn(n)
 	}
 	r.Resolve(dnswire.CanonicalName(question.Name), question.Type, shard,
 		func(res Result) { cb(r.buildResponse(q, res)) })
@@ -90,7 +94,13 @@ func (r *Resolver) HandleQuery(q *dnswire.Message, cb func(*dnswire.Message)) {
 
 // buildResponse renders a Result as a DNS response to q.
 func (r *Resolver) buildResponse(q *dnswire.Message, res Result) *dnswire.Message {
-	resp := dnswire.NewResponse(q)
+	return r.buildResponseInto(&dnswire.Message{}, q, res)
+}
+
+// buildResponseInto renders the response into resp (typically the
+// resolver's scratch message) and returns it.
+func (r *Resolver) buildResponseInto(resp, q *dnswire.Message, res Result) *dnswire.Message {
+	resp.ResetResponse(q)
 	resp.RecursionAvailable = true
 	resp.RCode = res.RCode
 	resp.Answers = append(resp.Answers, res.Answers...)
@@ -105,7 +115,8 @@ func (r *Resolver) buildResponse(q *dnswire.Message, res Result) *dnswire.Messag
 const maxUDPPayload = 512
 
 func (r *Resolver) respond(dst netsim.Addr, resp *dnswire.Message) {
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack(r.packBuf[:0])
+	r.packBuf = wire[:0]
 	if err != nil {
 		return
 	}
@@ -113,7 +124,7 @@ func (r *Resolver) respond(dst netsim.Addr, resp *dnswire.Message) {
 		trunc := *resp
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
-		if wire, err = trunc.Pack(); err != nil {
+		if wire, err = trunc.AppendPack(wire[:0]); err != nil {
 			return
 		}
 	}

@@ -93,7 +93,7 @@ type Probe struct {
 	Domain     string
 
 	client   *stub.Client
-	rng      *rand.Rand
+	seed     int64 // reserved for per-probe jitter; nothing draws today
 	clk      clock.Clock
 	answers  []Answer
 	sent     metrics.Counter
@@ -111,7 +111,7 @@ func NewProbe(clk clock.Clock, net *netsim.Network, id uint16, addr netsim.Addr,
 		ID: id, Addr: addr, Recursives: recursives,
 		Domain: domain,
 		client: stub.New(clk, stub.Config{}),
-		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 		clk:    clk,
 	}
 	p.client.Attach(net, addr)
@@ -179,12 +179,25 @@ func (p *Probe) SetTrace(tr *trace.Buffer) { p.client.SetTrace(tr) }
 type Fleet struct {
 	Probes []*Probe
 	clk    clock.Clock
-	rng    *rand.Rand
+	seed   int64
+	rng    *rand.Rand // seeded on first draw; see random
 }
 
 // NewFleet groups probes for scheduling. seed drives the per-round smear.
 func NewFleet(clk clock.Clock, probes []*Probe, seed int64) *Fleet {
-	return &Fleet{Probes: probes, clk: clk, rng: rand.New(rand.NewSource(seed))}
+	return &Fleet{Probes: probes, clk: clk, seed: seed}
+}
+
+// random seeds the fleet RNG on first use. Seeding math/rand's source
+// walks a 607-entry table — measurable when many small worlds are built
+// (one per cell, one per benchmark iteration) — so fleets that never
+// smear a schedule never pay it. First-draw seeding produces the exact
+// sequence eager seeding did.
+func (f *Fleet) random() *rand.Rand {
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.seed))
+	}
+	return f.rng
 }
 
 // Schedule arms timers for rounds of queries: round r fires at
@@ -201,7 +214,7 @@ func (f *Fleet) Schedule(start time.Time, interval, smear time.Duration, rounds 
 			r := r
 			at := start.Add(time.Duration(r) * interval)
 			if smear > 0 {
-				at = at.Add(time.Duration(f.rng.Int63n(int64(smear))))
+				at = at.Add(time.Duration(f.random().Int63n(int64(smear))))
 			}
 			f.clk.AfterFunc(at.Sub(now), func() { p.QueryRound(r) })
 		}

@@ -76,6 +76,11 @@ type Zone struct {
 	rrsets  map[Key][]dnswire.RR
 	nodes   map[string]bool // names that exist (own data or have descendants)
 	withers map[string]int  // descendant counts for node bookkeeping
+
+	// cowSrc, when non-nil, marks this zone as a copy-on-write clone still
+	// borrowing cowSrc's maps. The first mutation copies them (under
+	// cowSrc's read lock) and detaches. See Clone.
+	cowSrc *Zone
 }
 
 // New creates an empty zone rooted at origin.
@@ -90,6 +95,54 @@ func New(origin string) *Zone {
 
 // Origin returns the zone apex name.
 func (z *Zone) Origin() string { return z.origin }
+
+// Clone returns a logical copy of the zone: mutating either zone never
+// shows through the other. The copy is lazy — it borrows the source's
+// maps until its first mutation, when it deep-copies them (sharing RData
+// values, which are immutable by contract). A clone that is only ever
+// read, the common case for zones stamped out of a shared template, costs
+// one struct allocation. Cloning also skips per-record name validation
+// and node bookkeeping, which is much cheaper than replaying Add.
+//
+// Mutating the source while read-only clones are live is safe (the copy
+// is taken under the source's lock), but such mutations may or may not be
+// visible through a still-borrowing clone — clone from templates that no
+// longer change.
+func (z *Zone) Clone() *Zone {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return &Zone{
+		origin:  z.origin,
+		rrsets:  z.rrsets,
+		nodes:   z.nodes,
+		withers: z.withers,
+		cowSrc:  z,
+	}
+}
+
+// ensureOwnedLocked detaches a copy-on-write clone from its source before
+// the first mutation. Caller holds z.mu for writing.
+func (z *Zone) ensureOwnedLocked() {
+	src := z.cowSrc
+	if src == nil {
+		return
+	}
+	src.mu.RLock()
+	rrsets := make(map[Key][]dnswire.RR, len(z.rrsets))
+	for k, v := range z.rrsets {
+		rrsets[k] = copyRRs(v)
+	}
+	nodes := make(map[string]bool, len(z.nodes))
+	for k, v := range z.nodes {
+		nodes[k] = v
+	}
+	withers := make(map[string]int, len(z.withers))
+	for k, v := range z.withers {
+		withers[k] = v
+	}
+	src.mu.RUnlock()
+	z.rrsets, z.nodes, z.withers, z.cowSrc = rrsets, nodes, withers, nil
+}
 
 // Add inserts rr into the zone. All records of one RRset must share a TTL;
 // Add normalizes later records to the first one's TTL. Duplicate data is
@@ -110,6 +163,7 @@ func (z *Zone) Add(rr dnswire.RR) error {
 	}
 	z.mu.Lock()
 	defer z.mu.Unlock()
+	z.ensureOwnedLocked()
 	k := Key{Name: rr.Name, Type: rr.Type()}
 	set := z.rrsets[k]
 	for _, have := range set {
@@ -167,6 +221,7 @@ func (z *Zone) Remove(name string, t dnswire.Type) {
 	if !ok {
 		return
 	}
+	z.ensureOwnedLocked()
 	delete(z.rrsets, k)
 	for range set {
 		z.removeNodeLocked(name)
@@ -214,10 +269,11 @@ func (z *Zone) BumpSerial() uint32 {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	k := Key{Name: z.origin, Type: dnswire.TypeSOA}
-	set := z.rrsets[k]
-	if len(set) == 0 {
+	if len(z.rrsets[k]) == 0 {
 		return 0
 	}
+	z.ensureOwnedLocked()
+	set := z.rrsets[k]
 	soa := set[0].Data.(dnswire.SOA)
 	soa.Serial++
 	set[0].Data = soa
@@ -261,9 +317,19 @@ func (z *Zone) Len() int {
 
 // Lookup resolves (name, qtype) within the zone per RFC 1034 §4.3.2.
 func (z *Zone) Lookup(name string, qtype dnswire.Type) Result {
+	var res Result
+	res.Kind, res.SOA = z.AppendLookup(name, qtype, &res.Records, &res.Glue)
+	return res
+}
+
+// AppendLookup is the allocation-free twin of Lookup: answer records are
+// appended onto *recs and delegation glue onto *glue (both may grow), and
+// the result kind plus the zone SOA (set only for negative answers) are
+// returned. Callers reusing slice capacity pay no per-lookup allocations.
+func (z *Zone) AppendLookup(name string, qtype dnswire.Type, recs, glue *[]dnswire.RR) (ResultKind, dnswire.RR) {
 	name = dnswire.CanonicalName(name)
 	if !dnswire.IsSubdomain(name, z.origin) {
-		return Result{Kind: NotInZone}
+		return NotInZone, dnswire.RR{}
 	}
 	z.mu.RLock()
 	defer z.mu.RUnlock()
@@ -273,37 +339,48 @@ func (z *Zone) Lookup(name string, qtype dnswire.Type) Result {
 	// delegation. DS queries are answered by the parent side of the cut.
 	if cut := z.cutLocked(name, qtype); cut != "" {
 		ns := z.rrsets[Key{Name: cut, Type: dnswire.TypeNS}]
-		return Result{Kind: Delegation, Records: copyRRs(ns), Glue: z.glueLocked(ns)}
+		*recs = append(*recs, ns...)
+		z.appendGlueLocked(glue, ns)
+		return Delegation, dnswire.RR{}
 	}
 
 	if set := z.rrsets[Key{Name: name, Type: qtype}]; len(set) > 0 {
-		return Result{Kind: Success, Records: copyRRs(set)}
+		*recs = append(*recs, set...)
+		return Success, dnswire.RR{}
 	}
 	if qtype != dnswire.TypeCNAME {
 		if set := z.rrsets[Key{Name: name, Type: dnswire.TypeCNAME}]; len(set) > 0 {
-			return Result{Kind: CName, Records: copyRRs(set)}
+			*recs = append(*recs, set...)
+			return CName, dnswire.RR{}
 		}
 	}
 	if z.nodes[name] {
-		return z.negativeLocked(NoData)
+		return NoData, z.soaLocked()
 	}
 	// Wildcard synthesis: find the closest encloser and test *.<encloser>.
-	if res, ok := z.wildcardLocked(name, qtype); ok {
-		return res
+	if kind, ok := z.appendWildcardLocked(name, qtype, recs); ok {
+		if kind == NoData {
+			return NoData, z.soaLocked()
+		}
+		return kind, dnswire.RR{}
 	}
-	return z.negativeLocked(NXDomain)
+	return NXDomain, z.soaLocked()
 }
 
 // cutLocked returns the name of the zone cut covering name, or "".
+//
+// Every candidate cut is a suffix of the canonical name strictly longer
+// than the apex, so the walk slices name at label boundaries instead of
+// splitting and re-joining labels — zero allocations on the per-query
+// lookup path.
 func (z *Zone) cutLocked(name string, qtype dnswire.Type) string {
-	labels := dnswire.SplitLabels(name)
-	originCount := dnswire.CountLabels(z.origin)
+	limit := len(name) - len(z.origin)
+	if z.origin == "." {
+		limit = len(name)
+	}
 	// Candidate cut names from shallowest (just below apex) to the name.
-	for i := len(labels) - originCount - 1; i >= 0; i-- {
-		candidate := strings.Join(labels[i:], ".") + "."
-		if candidate == z.origin {
-			continue
-		}
+	for o := prevLabelStart(name, limit); o >= 0; o = prevLabelStart(name, o) {
+		candidate := name[o:]
 		if len(z.rrsets[Key{Name: candidate, Type: dnswire.TypeNS}]) == 0 {
 			continue
 		}
@@ -316,51 +393,61 @@ func (z *Zone) cutLocked(name string, qtype dnswire.Type) string {
 	return ""
 }
 
-func (z *Zone) glueLocked(ns []dnswire.RR) []dnswire.RR {
-	var glue []dnswire.RR
+// prevLabelStart returns the largest label-start offset in name strictly
+// below bound, or -1 when none remains.
+func prevLabelStart(name string, bound int) int {
+	if bound <= 0 {
+		return -1
+	}
+	if i := strings.LastIndexByte(name[:bound-1], '.'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+func (z *Zone) appendGlueLocked(glue *[]dnswire.RR, ns []dnswire.RR) {
 	for _, rr := range ns {
 		host := dnswire.CanonicalName(rr.Data.(dnswire.NS).Host)
 		if !dnswire.IsSubdomain(host, z.origin) {
 			continue
 		}
-		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeA}]...)
-		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeAAAA}]...)
+		*glue = append(*glue, z.rrsets[Key{Name: host, Type: dnswire.TypeA}]...)
+		*glue = append(*glue, z.rrsets[Key{Name: host, Type: dnswire.TypeAAAA}]...)
 	}
-	return copyRRs(glue)
 }
 
-func (z *Zone) wildcardLocked(name string, qtype dnswire.Type) (Result, bool) {
+func (z *Zone) appendWildcardLocked(name string, qtype dnswire.Type, recs *[]dnswire.RR) (ResultKind, bool) {
 	for n := dnswire.Parent(name); dnswire.IsSubdomain(n, z.origin); n = dnswire.Parent(n) {
 		wc := dnswire.Join("*", n)
 		if set := z.rrsets[Key{Name: wc, Type: qtype}]; len(set) > 0 {
-			out := copyRRs(set)
-			for i := range out {
-				out[i].Name = name
+			start := len(*recs)
+			*recs = append(*recs, set...)
+			for i := range (*recs)[start:] {
+				(*recs)[start+i].Name = name
 			}
-			return Result{Kind: Success, Records: out}, true
+			return Success, true
 		}
 		if z.nodes[wc] {
 			// A wildcard exists but not for this type: NODATA.
-			return z.negativeLocked(NoData), true
+			return NoData, true
 		}
 		if z.nodes[n] {
 			// The closest encloser exists without a matching wildcard:
 			// stop, the answer is NXDOMAIN.
-			return Result{}, false
+			return 0, false
 		}
 		if n == z.origin || n == "." {
 			break
 		}
 	}
-	return Result{}, false
+	return 0, false
 }
 
-func (z *Zone) negativeLocked(kind ResultKind) Result {
-	res := Result{Kind: kind}
+func (z *Zone) soaLocked() dnswire.RR {
 	if set := z.rrsets[Key{Name: z.origin, Type: dnswire.TypeSOA}]; len(set) > 0 {
-		res.SOA = set[0]
+		return set[0]
 	}
-	return res
+	return dnswire.RR{}
 }
 
 func copyRRs(rrs []dnswire.RR) []dnswire.RR {

@@ -7,11 +7,19 @@
 #                                             -> BENCH_scale.json
 #   scripts/bench_snapshot.sh trace [benchtime]  tracing overhead
 #                                             -> BENCH_trace.json
+#   scripts/bench_snapshot.sh wheel [benchtime]  timing-wheel engine gate
+#                                             -> BENCH_wheel.json
 #
 # The scale matrix is a space-separated list of probes:shards pairs
 # (default: $SCALE_MATRIX or "100000:1 100000:4 1000000:8"). Each
 # configuration runs in its own process because peak_rss_mb comes from
 # VmHWM, a process-lifetime high-water mark.
+#
+# The wheel snapshot combines the hot-path micro-benchmarks with
+# full-scale sharded runs ($WHEEL_MATRIX, default "1000000:8
+# 10000000:8") in one file: it is the committed baseline the CI
+# bench-regress job compares fresh bench runs against, and the record of
+# the 10^6/10^7-probe acceptance runs (peak_rss_mb, vps).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +39,28 @@ if [ "${1:-}" = "scale" ]; then
     go run ./cmd/benchsnap <"$tmp" >BENCH_scale.json
     echo "wrote BENCH_scale.json:"
     cat BENCH_scale.json
+    exit 0
+fi
+
+if [ "${1:-}" = "wheel" ]; then
+    benchtime="${2:-1s}"
+    matrix="${WHEEL_MATRIX:-1000000:8 10000000:8}"
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    go test -run '^$' \
+        -bench '^Benchmark(WirePack|WireUnpack|CachePutGet|CachePutPeek|NetworkDelivery|ResolveThroughSim)$' \
+        -benchmem -benchtime "$benchtime" . >"$tmp"
+    for cfg in $matrix; do
+        probes="${cfg%%:*}"
+        shards="${cfg##*:}"
+        echo "wheel scale run: probes=$probes shards=$shards" >&2
+        SCALE_PROBES="$probes" SCALE_SHARDS="$shards" \
+            go test -run '^$' -bench '^BenchmarkScaleShards$' \
+            -benchtime 1x -timeout 0 . >>"$tmp"
+    done
+    go run ./cmd/benchsnap <"$tmp" >BENCH_wheel.json
+    echo "wrote BENCH_wheel.json:"
+    cat BENCH_wheel.json
     exit 0
 fi
 
