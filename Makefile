@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke size-guard
 
 all: check
 
@@ -85,3 +85,15 @@ trace-snapshot:
 # validate, analyze, and convert it. See scripts/trace_smoke.sh.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Adversary-family gate: the three adversarial scenarios (NXNS
+# amplification, off-path poisoning, reflection) small-scale, sharded,
+# under the race detector, plus the adversarial resolver property axis.
+adversary-smoke:
+	$(GO) test -race -run '^TestAdversarySmoke$$' -v ./internal/experiment
+	$(GO) test -race -run '^TestAdversarialReferralProperty$$' ./internal/recursive
+
+# Fails if any tracked or staged file exceeds the 1 MB budget (build
+# artifacts and run logs do not belong in the tree).
+size-guard:
+	./scripts/size_guard.sh

@@ -4,6 +4,8 @@
 //	dikes caching   — §3 baseline: Tables 1-3, Figures 3/13
 //	dikes ddos      — §5/§6 attack emulations: Table 4, Figures 6-12, 14-15
 //	dikes glue      — Appendix A: Table 5
+//	dikes adversary — adversarial extensions: NXNS amplification,
+//	                  off-path poisoning, reflection
 //	dikes passive   — §4: Figures 4-5
 //	dikes retries   — §6.2 / Appendix E: Figure 16
 //	dikes all       — everything above
@@ -42,7 +44,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	progress := flag.Bool("progress", false, "print live run telemetry (cells done, events/s, peak rss, eta) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|passive|retries|implications|check|trace|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|passive|retries|implications|check|trace|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -116,6 +118,8 @@ func main() {
 		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
 	case "glue":
 		runGlue(ctx, *probes, *seed, *shards)
+	case "adversary":
+		runAdversary(ctx, *probes, *seed, *shards)
 	case "passive":
 		runPassive(*seed)
 	case "retries":
@@ -128,6 +132,7 @@ func main() {
 		runCaching(ctx, *probes, *seed, *workers, *shards)
 		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
 		runGlue(ctx, *probes, *seed, *shards)
+		runAdversary(ctx, *probes, *seed, *shards)
 		runPassive(*seed)
 		runRetries(*seed)
 		runImplications(*seed)
@@ -435,6 +440,55 @@ func runGlue(ctx context.Context, probes int, seed int64, shards int) {
 	}
 	collectReport(out.Report)
 	fmt.Print(dikes.RenderTable5(out.Glue))
+}
+
+func runAdversary(ctx context.Context, probes int, seed int64, shards int) {
+	header("adversary family: NXNS amplification, off-path poisoning, reflection")
+
+	// One sharded (or monolithic, shards=0) run per scenario; each gets
+	// its own trace file when -trace is set, named after the scenario.
+	run := func(sc dikes.Scenario) *dikes.Outcome {
+		cfg := dikes.RunConfig{Probes: probes, Seed: seed, Shards: shards}
+		if traceOut != "" {
+			cfg.Trace = &dikes.TraceConfig{SampleEvery: traceSampleN}
+		}
+		prog := newProgress(sc.Name(), probes)
+		cfg.Progress = prog
+		out, err := dikes.Run(ctx, sc, cfg)
+		prog.Finish()
+		if err != nil {
+			exitCancelled(err)
+		}
+		if traceOut != "" {
+			writeTrace(out.Trace, sc.Name(), true)
+		}
+		collectReport(out.Report)
+		return out
+	}
+
+	fmt.Printf("\nNXNS-style referral amplification vs delegation width\n")
+	for _, k := range []int{0, 5} {
+		out := run(dikes.NXNSScenario(dikes.NXNSSpec{MaxFetch: k}))
+		fmt.Print(dikes.RenderNXNS(out.NXNS))
+		fmt.Println()
+	}
+
+	fmt.Printf("off-path poisoning: success vs query-ID entropy and bailiwick checking\n")
+	var poisons []*dikes.PoisonResult
+	for _, spec := range []dikes.PoisonSpec{
+		{NoBailiwick: true},
+		{},
+		{RandomIDs: true, NoBailiwick: true},
+		{RandomIDs: true},
+	} {
+		out := run(dikes.PoisonScenario(spec))
+		poisons = append(poisons, out.Poison)
+	}
+	fmt.Print(dikes.RenderPoison(poisons))
+
+	fmt.Printf("\nreflection: victim-side amplification by query shape\n")
+	out := run(dikes.ReflectScenario(dikes.ReflectSpec{}))
+	fmt.Print(dikes.RenderReflect(out.Reflect))
 }
 
 func runPassive(seed int64) {

@@ -174,12 +174,20 @@ func printTimeline(td *dikes.TraceData, cell int, probe uint16) {
 // the attack edges that explain them.
 func explainFirstFailure(td *dikes.TraceData) {
 	sp, ok := td.FirstFailure()
+	kind := "failure"
 	if !ok {
-		fmt.Println("no failing query spans in this trace")
+		// Adversary traces: a poisoned query completes "ok" (the stub
+		// cannot tell), so surface the earliest hijacked span instead.
+		if sp, ok = td.FirstHijack(); ok {
+			kind = "hijack (spoofed answer accepted)"
+		}
+	}
+	if !ok {
+		fmt.Println("no failing or hijacked query spans in this trace")
 		return
 	}
-	fmt.Printf("first failure: probe %d (cell %d), query %q, outcome %s after %d retries\n",
-		sp.Probe, sp.Cell, sp.Name, sp.Outcome, sp.Retries)
+	fmt.Printf("first %s: probe %d (cell %d), query %q, outcome %s after %d retries\n",
+		kind, sp.Probe, sp.Cell, sp.Name, sp.Outcome, sp.Retries)
 	fmt.Printf("window: %v .. %v (sim time since run start)\n\n", sp.Start, sp.End)
 	for _, ev := range td.Explain(sp) {
 		fmt.Println(dikes.FormatTraceEvent(ev))

@@ -268,6 +268,12 @@ var (
 	GlueScenario = experiment.GlueScenario
 	// CheckScenario is the reproduction self-test as a Scenario.
 	CheckScenario = experiment.CheckScenario
+
+	// NXNSScenario, PoisonScenario, and ReflectScenario are the
+	// adversarial scenario family.
+	NXNSScenario    = experiment.NXNSScenario
+	PoisonScenario  = experiment.PoisonScenario
+	ReflectScenario = experiment.ReflectScenario
 	// RunDDoSMatrixCtx is the cancellable Table 4 matrix runner.
 	RunDDoSMatrixCtx = experiment.RunDDoSMatrixCtx
 	// RunCachingSweepCtx is the cancellable §3 sweep runner.
@@ -318,6 +324,18 @@ type (
 	NlSimConfig = experiment.NlSimConfig
 	// NlSimResult is its outcome.
 	NlSimResult = experiment.NlSimResult
+	// NXNSSpec shapes the NXNS amplification experiment.
+	NXNSSpec = experiment.NXNSSpec
+	// NXNSResult is its amplification-vs-width outcome.
+	NXNSResult = experiment.NXNSResult
+	// PoisonSpec shapes the off-path poisoning experiment.
+	PoisonSpec = experiment.PoisonSpec
+	// PoisonResult is one defense combo's poisoning outcome.
+	PoisonResult = experiment.PoisonResult
+	// ReflectSpec shapes the reflection/amplification experiment.
+	ReflectSpec = experiment.ReflectSpec
+	// ReflectResult is its per-shape amplification outcome.
+	ReflectResult = experiment.ReflectResult
 	// NlConfig and RootConfig parameterize the §4 passive analyses.
 	NlConfig = passive.NlConfig
 	// NlResult is the Figure 4 outcome.
@@ -422,6 +440,9 @@ var (
 	ECDFCSV             = experiment.ECDFCSV
 	RenderUniqueRn      = experiment.RenderUniqueRn
 	RenderAmplification = experiment.RenderAmplification
+	RenderNXNS          = experiment.RenderNXNS
+	RenderPoison        = experiment.RenderPoison
+	RenderReflect       = experiment.RenderReflect
 )
 
 // Tracing and telemetry (DESIGN.md §12). Set RunConfig.Trace to record a

@@ -47,6 +47,19 @@ func main() {
 	fmt.Printf("caching baseline (TTL 3600): miss rate %.1f%%\n\n",
 		100*out.Caching.MissRate)
 
+	// The adversary family rides the same engine: a malicious wide
+	// delegation amplifies each client query at the victim's servers
+	// unless the resolver caps its glueless NS fan-out (max-fetch(k)).
+	out, err = dikes.Run(ctx, dikes.NXNSScenario(dikes.NXNSSpec{
+		Widths: []int{12}, MaxFetch: 4,
+	}), dikes.RunConfig{Probes: 64, Seed: 42, Shards: 2, ShardProbes: 32})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("NXNS width 12 with max-fetch(4): amplification %.2f\n\n",
+		out.NXNS.Rows[0].Amplification())
+
 	// Cancellation is cooperative and typed: a cancelled run returns the
 	// merged partial results of the cells that finished plus an error
 	// satisfying errors.Is(err, dikes.ErrCancelled).

@@ -1,0 +1,215 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/zone"
+)
+
+var epoch = time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
+
+func TestNXNSHostNameRoundTrip(t *testing.T) {
+	name := NXNSHostName(2, "1414", "cachetest.nl.")
+	if name != "ns3.1414.nx.cachetest.nl." {
+		t.Fatalf("NXNSHostName = %q", name)
+	}
+	label, ok := ParseNXNSHost(name)
+	if !ok || label != "1414" {
+		t.Fatalf("ParseNXNSHost(%q) = %q, %v", name, label, ok)
+	}
+	if _, ok := ParseNXNSHost("ns1.cachetest.nl."); ok {
+		t.Fatal("ParseNXNSHost accepted a victim infrastructure name")
+	}
+}
+
+func TestNXNSAuthReferralShape(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	auth := NewNXNSAuth(NXNSConfig{
+		Zone: "evil.nl.", Width: 7, VictimDomain: "cachetest.nl.",
+	})
+	auth.Attach(net, "203.0.113.66")
+
+	var got *dnswire.Message
+	net.Bind("10.0.0.1", func(src netsim.Addr, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil {
+			t.Errorf("response unpack: %v", err)
+			return
+		}
+		got = m
+	})
+	q := dnswire.NewQuery(9, "1414.evil.nl.", dnswire.TypeAAAA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send("10.0.0.1", "203.0.113.66", wire)
+	clk.Run()
+
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if got.Authoritative || got.RCode != dnswire.RCodeNoError || len(got.Answers) != 0 {
+		t.Fatalf("referral header wrong: %+v", got)
+	}
+	if len(got.Authorities) != 7 {
+		t.Fatalf("referral carries %d NS records, want 7", len(got.Authorities))
+	}
+	if len(got.Additionals) != 0 {
+		t.Fatalf("NXNS referral must be glueless, got %d additionals", len(got.Additionals))
+	}
+	for j, rr := range got.Authorities {
+		if dnswire.CanonicalName(rr.Name) != "1414.evil.nl." {
+			t.Fatalf("NS owner = %q, want the query name", rr.Name)
+		}
+		host := rr.Data.(dnswire.NS).Host
+		if want := NXNSHostName(j, "1414", "cachetest.nl."); host != want {
+			t.Fatalf("NS target %d = %q, want %q", j, host, want)
+		}
+	}
+	if auth.Referrals() != 1 {
+		t.Fatalf("Referrals = %d", auth.Referrals())
+	}
+
+	// Out-of-zone queries are refused, not amplified.
+	got = nil
+	q = dnswire.NewQuery(10, "www.good.nl.", dnswire.TypeA)
+	wire, _ = q.Pack()
+	net.Send("10.0.0.1", "203.0.113.66", wire)
+	clk.Run()
+	if got == nil || got.RCode != dnswire.RCodeRefused {
+		t.Fatalf("out-of-zone query: got %+v, want REFUSED", got)
+	}
+}
+
+func TestSpooferWavesAndPortGuess(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+
+	type pkt struct {
+		src netsim.Addr
+		id  uint16
+	}
+	var arrived []pkt
+	net.Bind("10.0.0.53", func(src netsim.Addr, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil {
+			t.Errorf("forged packet unpack: %v", err)
+			return
+		}
+		if !m.Response || len(m.Answers) != 1 {
+			t.Errorf("forged packet shape: %+v", m)
+		}
+		arrived = append(arrived, pkt{src, m.ID})
+	})
+
+	sp := NewSpoofer(clk, net, SpoofConfig{
+		Target: "10.0.0.53", Source: "192.0.2.1",
+		IDWindow: 8, Waves: 3, WaveEvery: 2 * time.Millisecond,
+	})
+	payload := ForgedPayload{Answers: []dnswire.RR{{
+		Name: "9.cachetest.nl.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::bad")},
+	}}}
+	sp.Spray("9.cachetest.nl.", dnswire.TypeAAAA, payload, time.Millisecond)
+	clk.Run()
+
+	if len(arrived) != 3*8 {
+		t.Fatalf("%d forged packets arrived, want 24", len(arrived))
+	}
+	seen := map[uint16]int{}
+	for _, p := range arrived {
+		if p.src != netsim.Addr("192.0.2.1") {
+			t.Fatalf("forged packet source = %s, want the spoofed 192.0.2.1", p.src)
+		}
+		seen[p.id]++
+	}
+	for id := uint16(1); id <= 8; id++ {
+		if seen[id] != 3 {
+			t.Fatalf("ID %d forged %d times, want once per wave", id, seen[id])
+		}
+	}
+	if sp.Sent() != 24 {
+		t.Fatalf("Sent = %d", sp.Sent())
+	}
+
+	// Port randomization defense: a 1/4 port-guess rate drops ~3/4 of
+	// the packets before the socket, deterministically per seed.
+	arrived = nil
+	sp2 := NewSpoofer(clk, net, SpoofConfig{
+		Target: "10.0.0.53", Source: "192.0.2.1",
+		IDWindow: 64, Waves: 4, PortGuess: 0.25, Seed: 7,
+	})
+	sp2.Spray("9.cachetest.nl.", dnswire.TypeAAAA, payload, time.Millisecond)
+	clk.Run()
+	total := int64(64 * 4)
+	if sp2.Sent()+int64(len(arrived)) == 0 || sp2.Sent() >= total/2 {
+		t.Fatalf("PortGuess=0.25 injected %d of %d packets", sp2.Sent(), total)
+	}
+}
+
+func TestReflectorAmplification(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+
+	z := zone.New("amp.nl.")
+	z.MustAdd(dnswire.RR{Name: "amp.nl.", TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.amp.nl.", RName: "h.amp.nl.",
+		Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 60,
+	}})
+	z.MustAdd(dnswire.RR{Name: "amp.nl.", TTL: 3600, Data: dnswire.NS{Host: "ns1.amp.nl."}})
+	z.MustAdd(dnswire.RR{Name: "ns1.amp.nl.", TTL: 3600,
+		Data: dnswire.A{Addr: dnswire.MustAddr("192.0.2.9")}})
+	big := make([]string, 4)
+	for i := range big {
+		b := make([]byte, 200)
+		for j := range b {
+			b[j] = 'x'
+		}
+		big[i] = string(b)
+	}
+	z.MustAdd(dnswire.RR{Name: "txt.amp.nl.", TTL: 3600, Data: dnswire.TXT{Strings: big}})
+	srv := authoritative.New(z)
+	srv.Attach(net, "192.0.2.9")
+
+	sink := NewVictimSink(net, "198.51.100.9")
+	refl := NewReflector(clk, net, ReflectConfig{
+		Victim:   "198.51.100.9",
+		Servers:  []netsim.Addr{"192.0.2.9"},
+		EDNSSize: 4096,
+	})
+	for i := 0; i < 10; i++ {
+		refl.Send("txt.amp.nl.", dnswire.TypeTXT)
+	}
+	clk.Run()
+
+	if sink.Packets() != 10 {
+		t.Fatalf("victim received %d packets, want 10", sink.Packets())
+	}
+	amp := float64(sink.Bytes()) / float64(refl.RequestBytes())
+	if amp < 5 {
+		t.Fatalf("amplification factor = %.1f (req %d B, resp %d B), want > 5",
+			amp, refl.RequestBytes(), sink.Bytes())
+	}
+
+	// Without EDNS the 512-byte truncation floor caps the factor.
+	sink2 := NewVictimSink(net, "198.51.100.10")
+	refl2 := NewReflector(clk, net, ReflectConfig{
+		Victim:  "198.51.100.10",
+		Servers: []netsim.Addr{"192.0.2.9"},
+	})
+	for i := 0; i < 10; i++ {
+		refl2.Send("txt.amp.nl.", dnswire.TypeTXT)
+	}
+	clk.Run()
+	if sink2.Bytes() >= sink.Bytes() {
+		t.Fatalf("truncated responses (%d B) not smaller than EDNS responses (%d B)",
+			sink2.Bytes(), sink.Bytes())
+	}
+}

@@ -386,6 +386,13 @@ func (c *Cache) Peek(key Key, shardHint int) View {
 // GetStale is Get but, when the cache is configured for serve-stale, it
 // may also return expired data (with TTL 0) within the stale window. Call
 // it only after an upstream resolution attempt has failed.
+//
+// Boundary semantics (pinned by TestStaleWindowBoundary): an entry is
+// stale the instant it expires — at now == expires, Get already misses —
+// and the stale window is inclusive at its far edge: an entry exactly
+// StaleWindow past expiry is still served (the cutoff test is
+// `now - expires > window`, strictly greater). One instant later it is
+// a miss.
 func (c *Cache) GetStale(key Key, shardHint int) View {
 	return c.get(key, shardHint, c.cfg.ServeStale)
 }

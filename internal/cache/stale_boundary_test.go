@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+)
+
+// TestStaleWindowBoundary pins the serve-stale boundary semantics
+// documented on GetStale: expiry itself is exclusive (an entry is stale
+// the instant its TTL runs out), while the stale window's far edge is
+// inclusive (an entry exactly StaleWindow past expiry is still served,
+// one nanosecond later it is not).
+func TestStaleWindowBoundary(t *testing.T) {
+	const ttl = 60 // seconds
+	window := 30 * time.Minute
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{ServeStale: true, StaleWindow: window})
+	k := keyA("edge.example.nl.")
+	c.Put(k, Entry{
+		Records: []dnswire.RR{rrA("edge.example.nl.", ttl, "10.0.0.1")},
+		Rank:    RankAnswer,
+	}, 0)
+
+	// One instant before expiry: a fresh hit for both paths.
+	clk.RunFor(ttl*time.Second - time.Nanosecond)
+	if v := c.Get(k, 0); !v.Hit || v.Stale {
+		t.Fatalf("just before expiry: Get = %+v, want fresh hit", v)
+	}
+
+	// Exactly at expiry: already stale. Get misses, GetStale serves with
+	// TTL 0.
+	clk.RunFor(time.Nanosecond)
+	if v := c.Get(k, 0); v.Hit {
+		t.Fatalf("exactly at expiry: Get = %+v, want miss", v)
+	}
+	if v := c.GetStale(k, 0); !v.Hit || !v.Stale || v.Records[0].TTL != 0 {
+		t.Fatalf("exactly at expiry: GetStale = %+v, want stale hit with TTL 0", v)
+	}
+
+	// Exactly StaleWindow past expiry: the window edge is inclusive.
+	clk.RunFor(window)
+	if v := c.GetStale(k, 0); !v.Hit || !v.Stale {
+		t.Fatalf("exactly StaleWindow past expiry: GetStale = %+v, want stale hit", v)
+	}
+
+	// One instant beyond the window: a miss.
+	clk.RunFor(time.Nanosecond)
+	if v := c.GetStale(k, 0); v.Hit {
+		t.Fatalf("past StaleWindow: GetStale = %+v, want miss", v)
+	}
+}
+
+// TestStaleWindowDefault pins the same edge for the implicit one-hour
+// default window (StaleWindow zero).
+func TestStaleWindowDefault(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	c := New(clk, Config{ServeStale: true})
+	k := keyA("edge.example.nl.")
+	c.Put(k, Entry{
+		Records: []dnswire.RR{rrA("edge.example.nl.", 60, "10.0.0.1")},
+		Rank:    RankAnswer,
+	}, 0)
+	clk.RunFor(60*time.Second + defaultStaleWindow)
+	if v := c.GetStale(k, 0); !v.Hit || !v.Stale {
+		t.Fatalf("exactly default window past expiry: GetStale = %+v, want stale hit", v)
+	}
+	clk.RunFor(time.Nanosecond)
+	if v := c.GetStale(k, 0); v.Hit {
+		t.Fatalf("past default window: GetStale = %+v, want miss", v)
+	}
+}

@@ -2,6 +2,7 @@ package dnswire
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -46,6 +47,29 @@ func fuzzSeeds(f *testing.F) {
 	e := NewQuery(7, "example.nl.", TypeDNSKEY)
 	e.AddEDNS(1232, true)
 	if wire, err = e.Pack(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+
+	// NXNS-shaped referral: a wide glueless NS set fanning one query out
+	// to many fabricated out-of-zone targets, plus out-of-bailiwick glue.
+	// Name compression works hard here (shared "nx.victim.nl." suffix),
+	// so this seed steers the fuzzer at the pointer-chain decode paths
+	// the adversary scenarios exercise.
+	nx := NewResponse(NewQuery(0x0bad, "1.w20.evil.nl.", TypeAAAA))
+	for j := 0; j < 20; j++ {
+		nx.Authorities = append(nx.Authorities,
+			RR{Name: "1.w20.evil.nl.", Class: ClassIN, TTL: 600,
+				Data: NS{Host: fmt.Sprintf("ns%d.1.nx.victim.nl.", j+1)}})
+	}
+	nx.Additionals = append(nx.Additionals,
+		RR{Name: "ns1.attacker.test.", Class: ClassIN, TTL: 600,
+			Data: A{Addr: MustAddr("203.0.113.99")}})
+	if wire, err = nx.Pack(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	if wire, err = nx.PackUncompressed(); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(wire)

@@ -1,0 +1,1082 @@
+package experiment
+
+// The adversarial scenario family: three attacks from the DDoS
+// literature run against the same simulated ecosystem the defensive
+// experiments use, so the defenses the paper measures (caching,
+// serve-stale, retries) can be weighed against the offense side.
+//
+//   - NXNS (Afek et al. 2020): a malicious authoritative answers every
+//     query with a wide glueless referral into the victim's domain,
+//     turning one client query into `width` NS-address fetches at the
+//     victim's authoritatives. The mitigation axis is
+//     recursive.Config.MaxFetch — max-fetch(k).
+//
+//   - Cache poisoning: an off-path spoofer races the legitimate answer
+//     with forged responses sweeping a query-ID window. The defense
+//     axes are ID entropy (recursive.Config.RandomIDs) and bailiwick
+//     checking (recursive.Config.NoBailiwick disables it).
+//
+//   - Reflection/amplification: spoofed-source queries bounced off the
+//     authoritatives flood a victim with larger responses; the report
+//     is the victim-side amplification factor per query shape.
+//
+// Each scenario flows through the sharded cell engine: cells run
+// independent testbeds, absorb into integer accumulators, and merge in
+// cell-index order — reports are byte-identical at any Shards value.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/cache"
+	"repro/internal/dnswire"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/parallel"
+	"repro/internal/recursive"
+	"repro/internal/stub"
+	"repro/internal/trace"
+	"repro/internal/vantage"
+)
+
+// rootHints is the hint set every dedicated adversary-facing resolver
+// starts from (the same root the population uses).
+func rootHints() []recursive.ServerHint {
+	return []recursive.ServerHint{{Name: "a.root-servers.net.", Addr: RootAddr}}
+}
+
+// advAddr maps a cell-local probe ID onto a unique address in one of
+// the adversary experiments' private /16s (base.pid-high.pid-low).
+func advAddr(base string, pid int) netsim.Addr {
+	return netsim.Addr(base + "." + itoa(pid>>8) + "." + itoa(pid&0xff))
+}
+
+// ---- NXNS ----
+
+// NXNSSpec shapes the NXNS amplification experiment: each probe issues
+// one query into an attacker zone whose referral width cycles through
+// Widths, and MaxFetch is the resolver-side mitigation cap (0 = off).
+type NXNSSpec struct {
+	// Widths is the delegation-width axis; probe i draws
+	// Widths[(i-1) % len(Widths)]. Default {4, 8, 12, 20} — bounded by
+	// the resolver work budget (40), which itself caps the fan-out.
+	Widths []int
+	// MaxFetch is recursive.Config.MaxFetch: at most k NS-address
+	// fetches per glueless delegation. 0 disables the mitigation.
+	MaxFetch int
+}
+
+func (s NXNSSpec) withDefaults() NXNSSpec {
+	if len(s.Widths) == 0 {
+		s.Widths = []int{4, 8, 12, 20}
+	}
+	return s
+}
+
+// NXNSRow is one delegation-width bucket of the NXNS report.
+type NXNSRow struct {
+	Width int
+	// Queries is the number of client queries issued at this width;
+	// Answered and ServFail split their outcomes.
+	Queries  int64
+	Answered int64
+	ServFail int64
+	// VictimQueries counts queries arriving at the victim's
+	// authoritatives for fabricated NXNS targets triggered by this
+	// width's probes.
+	VictimQueries int64
+}
+
+// Amplification is the victim-side query amplification factor: victim
+// queries forced per client query.
+func (r NXNSRow) Amplification() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.VictimQueries) / float64(r.Queries)
+}
+
+// NXNSResult is the NXNS scenario outcome: amplification factor vs.
+// delegation width.
+type NXNSResult struct {
+	MaxFetch int
+	Rows     []NXNSRow
+
+	Report *metrics.Report
+}
+
+// nxnsZone names the attacker zone serving width w.
+func nxnsZone(w int) string { return "w" + itoa(w) + ".evil.nl." }
+
+// nxnsAuthAddr is the malicious authoritative address for widths[i].
+func nxnsAuthAddr(i int) netsim.Addr {
+	return netsim.Addr("203.0.113." + itoa(10+i))
+}
+
+// nxnsExtraNL builds the nl. delegations (with glue) handing each
+// attacker zone to its malicious authoritative.
+func nxnsExtraNL(widths []int) []dnswire.RR {
+	rrs := make([]dnswire.RR, 0, 2*len(widths))
+	for i, w := range widths {
+		z := nxnsZone(w)
+		host := "ns." + z
+		rrs = append(rrs,
+			dnswire.RR{Name: z, TTL: 3600, Data: dnswire.NS{Host: host}},
+			dnswire.RR{Name: host, TTL: 3600,
+				Data: dnswire.A{Addr: dnswire.MustAddr(string(nxnsAuthAddr(i)))}})
+	}
+	return rrs
+}
+
+// runNXNSTestbed runs one cell of the NXNS experiment: a testbed whose
+// nl. zone delegates one attacker zone per width, plus one dedicated
+// iterative resolver per probe (fresh caches keep each probe's
+// amplification measurement clean).
+func runNXNSTestbed(spec NXNSSpec, probes int, seed int64, trCfg *trace.Config, cell int) (*NXNSResult, *Testbed) {
+	tb := NewTestbed(TestbedConfig{
+		Probes: probes, Seed: seed,
+		Trace: trCfg, TraceCell: cell,
+		ExtraNL: nxnsExtraNL(spec.Widths),
+	})
+
+	auths := make([]*adversary.NXNSAuth, len(spec.Widths))
+	for i, w := range spec.Widths {
+		a := adversary.NewNXNSAuth(adversary.NXNSConfig{
+			Zone: nxnsZone(w), Width: w, VictimDomain: Domain,
+		})
+		a.Attach(tb.Net, nxnsAuthAddr(i))
+		a.SetTrace(tb.Trace)
+		auths[i] = a
+	}
+
+	rows := make([]NXNSRow, len(spec.Widths))
+	for i, w := range spec.Widths {
+		rows[i].Width = w
+	}
+
+	// Victim-side tap: count queries for fabricated NXNS targets at the
+	// cachetest.nl authoritatives and attribute them — the triggering
+	// query's first label is the probe ID, and the probe ID fixes the
+	// width bucket.
+	isVictim := make(map[netsim.Addr]bool, len(tb.AuthAddrs))
+	for _, a := range tb.AuthAddrs {
+		isVictim[a] = true
+	}
+	var tapMsg dnswire.Message
+	tb.Net.AddTap(func(ev netsim.Event) {
+		if !isVictim[ev.Dst] {
+			return
+		}
+		if dnswire.UnpackInto(&tapMsg, ev.Payload) != nil || tapMsg.Response || len(tapMsg.Questions) != 1 {
+			return
+		}
+		qlabel, ok := adversary.ParseNXNSHost(dnswire.CanonicalName(tapMsg.Questions[0].Name))
+		if !ok {
+			return
+		}
+		pid, err := strconv.Atoi(qlabel)
+		if err != nil || pid < 1 || pid > probes {
+			return
+		}
+		rows[(pid-1)%len(spec.Widths)].VictimQueries++
+	})
+
+	resolvers := make([]*recursive.Resolver, 0, probes)
+	for pid := 1; pid <= probes; pid++ {
+		wi := (pid - 1) % len(spec.Widths)
+		r := recursive.NewResolver(tb.Clk, recursive.Config{
+			RootHints: rootHints(),
+			MaxFetch:  spec.MaxFetch,
+			Seed:      mixSeed(seed, pid),
+		})
+		rAddr := advAddr("10.7", pid)
+		r.Attach(tb.Net, rAddr)
+		r.SetTrace(tb.Trace)
+		resolvers = append(resolvers, r)
+
+		c := stub.New(tb.Clk, stub.Config{Timeout: 15 * time.Second})
+		c.Attach(tb.Net, advAddr("10.6", pid))
+		c.SetTrace(tb.Trace)
+
+		qname := itoa(pid) + "." + nxnsZone(spec.Widths[wi])
+		row := &rows[wi]
+		at := time.Duration(pid-1) * 5 * time.Millisecond
+		tb.Clk.AfterFunc(at, func() {
+			row.Queries++
+			c.Query(rAddr, qname, dnswire.TypeAAAA, func(res stub.Result) {
+				switch {
+				case res.Err != nil:
+				case res.Msg.RCode == dnswire.RCodeServFail:
+					row.ServFail++
+				default:
+					row.Answered++
+				}
+			})
+		})
+	}
+	tb.Clk.Run()
+
+	return &NXNSResult{MaxFetch: spec.MaxFetch, Rows: rows},
+		advCollect(tb, resolvers, func(s *metrics.Scope) {
+			for _, a := range auths {
+				a.CollectMetrics(s)
+			}
+		})
+}
+
+// advCollect is a shared post-run step: it leaves tb with its metrics
+// untouched but folds the dedicated resolvers and adversary actors into
+// the registry the caller will snapshot. It returns tb for convenience.
+func advCollect(tb *Testbed, resolvers []*recursive.Resolver, adversaries func(*metrics.Scope)) *Testbed {
+	tb.advResolvers = resolvers
+	tb.advCollect = adversaries
+	return tb
+}
+
+// nxnsAccum exactly merges per-cell NXNS rows (integer sums, aligned by
+// width index).
+type nxnsAccum struct {
+	spec NXNSSpec
+	rows []NXNSRow
+}
+
+func newNXNSAccum(spec NXNSSpec) *nxnsAccum {
+	rows := make([]NXNSRow, len(spec.Widths))
+	for i, w := range spec.Widths {
+		rows[i].Width = w
+	}
+	return &nxnsAccum{spec: spec, rows: rows}
+}
+
+func (ac *nxnsAccum) absorb(res *NXNSResult) {
+	for i := range res.Rows {
+		ac.rows[i].Queries += res.Rows[i].Queries
+		ac.rows[i].Answered += res.Rows[i].Answered
+		ac.rows[i].ServFail += res.Rows[i].ServFail
+		ac.rows[i].VictimQueries += res.Rows[i].VictimQueries
+	}
+}
+
+func (ac *nxnsAccum) finalize() *NXNSResult {
+	return &NXNSResult{MaxFetch: ac.spec.MaxFetch, Rows: ac.rows}
+}
+
+// nxnsInvariants checks tap conservation plus the NXNS-specific laws:
+// every client query earns at least one referral and at least one
+// victim query, and the victim load never exceeds the per-query width
+// cap (min(width, k) with max-fetch(k) armed).
+func nxnsInvariants(spec NXNSSpec, res *NXNSResult, snap metrics.Snapshot) []metrics.Invariant {
+	var queries, victim, cap64 int64
+	for _, row := range res.Rows {
+		queries += row.Queries
+		victim += row.VictimQueries
+		w := int64(row.Width)
+		if k := int64(spec.MaxFetch); k > 0 && k < w {
+			w = k
+		}
+		cap64 += w * row.Queries
+	}
+	adv := snap.Scope("adversary")
+	invs := glueInvariants(snap)
+	return append(invs,
+		metrics.AtLeastInt("nxns_referrals_cover_queries",
+			adv.Counter("nxns_referrals"), queries, "referrals", "client queries"),
+		metrics.AtLeastInt("nxns_victim_fanout",
+			victim, queries, "victim queries", "client queries"),
+		metrics.AtLeastInt("nxns_fanout_capped",
+			cap64, victim, "min(width,k) cap", "victim queries"),
+	)
+}
+
+type nxnsScenario struct{ spec NXNSSpec }
+
+// NXNSScenario wraps an NXNS amplification spec as a Scenario.
+func NXNSScenario(spec NXNSSpec) Scenario {
+	return nxnsScenario{spec: spec.withDefaults()}
+}
+
+func (s nxnsScenario) Name() string {
+	if s.spec.MaxFetch > 0 {
+		return "nxns-k" + itoa(s.spec.MaxFetch)
+	}
+	return "nxns"
+}
+
+func (s nxnsScenario) labels(cfg RunConfig) map[string]string {
+	widths := ""
+	for i, w := range s.spec.Widths {
+		if i > 0 {
+			widths += "x"
+		}
+		widths += itoa(w)
+	}
+	return map[string]string{
+		"probes":    strconv.Itoa(cfg.Probes),
+		"seed":      strconv.FormatInt(cfg.Seed, 10),
+		"widths":    widths,
+		"max_fetch": itoa(s.spec.MaxFetch),
+	}
+}
+
+func (s nxnsScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: s.Name(), Config: cfg}
+
+	if !cfg.sharded() {
+		if err := ctx.Err(); err != nil {
+			return out, cancelErr(err)
+		}
+		res, tb := runNXNSTestbed(s.spec, cfg.Probes, cfg.Seed, cfg.Trace, 0)
+		snap := tb.CollectMetrics().Snapshot()
+		res.Report = &metrics.Report{
+			Name:       s.Name(),
+			Labels:     s.labels(cfg),
+			Metrics:    snap,
+			Invariants: nxnsInvariants(s.spec, res, snap),
+		}
+		out.NXNS = res
+		out.Report = res.Report
+		if ct := captureCellTrace(tb, 0); ct != nil {
+			out.Trace = &trace.Data{SampleEvery: cfg.Trace.SampleEvery, Cells: []trace.CellTrace{*ct}}
+		}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			out.Worlds = &ShardedTestbed{ShardProbes: cfg.Probes, Shards: []*Testbed{tb}}
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(0)
+		}
+		return out, nil
+	}
+
+	cells := planCells(cfg.Probes, cfg.ShardProbes)
+	type cellResult struct {
+		res  *NXNSResult
+		snap metrics.Snapshot
+		tb   *Testbed
+		ct   *trace.CellTrace
+	}
+	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
+		res, tb := runNXNSTestbed(s.spec, n, mixSeed(cfg.Seed, i), cfg.Trace, i)
+		cr := &cellResult{res: res, snap: tb.CollectMetrics().Snapshot(),
+			ct: captureCellTrace(tb, i)}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			cr.tb = tb
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(i)
+		}
+		return cr
+	})
+
+	ac := newNXNSAccum(s.spec)
+	var snaps []metrics.Snapshot
+	worlds := &ShardedTestbed{ShardProbes: cfg.ShardProbes, Shards: make([]*Testbed, len(cells))}
+	var traced *trace.Data
+	if cfg.Trace != nil {
+		traced = &trace.Data{SampleEvery: cfg.Trace.SampleEvery}
+	}
+	for i, cr := range results {
+		if cr == nil {
+			continue
+		}
+		ac.absorb(cr.res)
+		snaps = append(snaps, cr.snap)
+		worlds.Shards[i] = cr.tb
+		if traced != nil && cr.ct != nil {
+			traced.Cells = append(traced.Cells, *cr.ct)
+		}
+	}
+	res := ac.finalize()
+	snap := metrics.MergeSnapshots(snaps...)
+	res.Report = &metrics.Report{
+		Name:       s.Name(),
+		Labels:     shardLabels(s.labels(cfg), cfg, len(cells)),
+		Metrics:    snap,
+		Invariants: nxnsInvariants(s.spec, res, snap),
+	}
+	out.NXNS = res
+	out.Report = res.Report
+	out.Trace = traced
+	if runErr != nil {
+		return out, cancelErr(runErr)
+	}
+	if cfg.KeepWorlds {
+		out.Worlds = worlds
+	}
+	return out, nil
+}
+
+// ---- Poisoning ----
+
+// PoisonSpec shapes the off-path poisoning experiment: per probe, one
+// dedicated resolver resolves its own record while a spoofer races the
+// legitimate answer with forged responses.
+type PoisonSpec struct {
+	// RandomIDs arms full 16-bit query-ID entropy on the victim
+	// resolvers (off = sequential IDs, the attacker's dream).
+	RandomIDs bool
+	// NoBailiwick disables the victim resolvers' bailiwick check, so
+	// out-of-zone records smuggled in the forgery get cached.
+	NoBailiwick bool
+	// IDWindow, Waves, WaveEvery, and PortGuess shape the spray (see
+	// adversary.SpoofConfig). Defaults: 16, 24, 2ms, 1.
+	IDWindow  int
+	Waves     int
+	WaveEvery time.Duration
+	// PortGuess is the per-packet source-port guess success rate.
+	PortGuess float64
+}
+
+func (s PoisonSpec) withDefaults() PoisonSpec {
+	if s.IDWindow == 0 {
+		s.IDWindow = 16
+	}
+	if s.Waves == 0 {
+		s.Waves = 24
+	}
+	if s.WaveEvery == 0 {
+		s.WaveEvery = 2 * time.Millisecond
+	}
+	if s.PortGuess == 0 {
+		s.PortGuess = 1
+	}
+	return s
+}
+
+// poisonAttackerAAAA is the address the forged answers point the victim
+// name at — its presence marks a successful hijack.
+var poisonAttackerAAAA = dnswire.MustAddr("2001:db8::bad")
+
+// poisonOOBName is the out-of-bailiwick record smuggled in the
+// forgery's additional section (the Kaminsky-style payload); it caching
+// anywhere means the bailiwick check failed or was disabled.
+const poisonOOBName = "ns.attacker.example."
+
+// PoisonResult is the poisoning scenario outcome for one defense combo.
+type PoisonResult struct {
+	RandomIDs   bool
+	NoBailiwick bool
+
+	// Attempts is one per probe. Hijacked counts stubs that received
+	// the attacker's record; CachePoisoned counts resolver caches left
+	// holding it; OOBWrites counts caches holding the out-of-bailiwick
+	// smuggled record.
+	Attempts      int64
+	Hijacked      int64
+	CachePoisoned int64
+	OOBWrites     int64
+
+	Report *metrics.Report
+}
+
+// SuccessRate is the fraction of attempts that hijacked the answer.
+func (r *PoisonResult) SuccessRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Hijacked) / float64(r.Attempts)
+}
+
+// runPoisonTestbed runs one cell: per probe, a dedicated resolver, a
+// stub triggering the resolution, and a spoofer racing it.
+func runPoisonTestbed(spec PoisonSpec, probes int, seed int64, trCfg *trace.Config, cell int) (*PoisonResult, *Testbed) {
+	tb := NewTestbed(TestbedConfig{Probes: probes, Seed: seed, Trace: trCfg, TraceCell: cell})
+
+	res := &PoisonResult{RandomIDs: spec.RandomIDs, NoBailiwick: spec.NoBailiwick}
+	resolvers := make([]*recursive.Resolver, 0, probes)
+	spoofers := make([]*adversary.Spoofer, 0, probes)
+	qnames := make([]string, 0, probes)
+
+	for pid := 1; pid <= probes; pid++ {
+		r := recursive.NewResolver(tb.Clk, recursive.Config{
+			RootHints:   rootHints(),
+			RandomIDs:   spec.RandomIDs,
+			NoBailiwick: spec.NoBailiwick,
+			Seed:        mixSeed(seed, pid),
+		})
+		rAddr := advAddr("10.7", pid)
+		r.Attach(tb.Net, rAddr)
+		r.SetTrace(tb.Trace)
+		resolvers = append(resolvers, r)
+
+		c := stub.New(tb.Clk, stub.Config{Timeout: 15 * time.Second})
+		c.Attach(tb.Net, advAddr("10.6", pid))
+		c.SetTrace(tb.Trace)
+
+		sp := adversary.NewSpoofer(tb.Clk, tb.Net, adversary.SpoofConfig{
+			Target: rAddr, Source: tb.AuthAddrs[0],
+			IDFirst: 1, IDWindow: spec.IDWindow,
+			Waves: spec.Waves, WaveEvery: spec.WaveEvery,
+			PortGuess: spec.PortGuess,
+			Seed:      mixSeed(seed, pid) + 1,
+		})
+		sp.SetTrace(tb.Trace)
+		spoofers = append(spoofers, sp)
+
+		qname := vantage.QName(uint16(pid), Domain)
+		qnames = append(qnames, qname)
+		payload := adversary.ForgedPayload{
+			AA: true,
+			Answers: []dnswire.RR{{Name: qname, Class: dnswire.ClassIN, TTL: 3600,
+				Data: dnswire.AAAA{Addr: poisonAttackerAAAA}}},
+			Authorities: []dnswire.RR{{Name: Domain, Class: dnswire.ClassIN, TTL: 3600,
+				Data: dnswire.NS{Host: poisonOOBName}}},
+			Additionals: []dnswire.RR{{Name: poisonOOBName, Class: dnswire.ClassIN, TTL: 3600,
+				Data: dnswire.A{Addr: dnswire.MustAddr("203.0.113.99")}}},
+		}
+
+		pid := pid
+		at := time.Duration(pid-1) * 10 * time.Millisecond
+		tb.Clk.AfterFunc(at, func() {
+			res.Attempts++
+			sp.Spray(qname, dnswire.TypeAAAA, payload, 0)
+			c.Query(rAddr, qname, dnswire.TypeAAAA, func(sr stub.Result) {
+				if sr.Err != nil || sr.Msg == nil {
+					return
+				}
+				for _, rr := range sr.Msg.Answers {
+					if a, ok := rr.Data.(dnswire.AAAA); ok && a.Addr == poisonAttackerAAAA {
+						res.Hijacked++
+						if tb.Trace != nil {
+							tb.Trace.Force(trace.Event{Type: trace.EvSpoofHit,
+								Probe: uint16(pid), Name: qname,
+								Src: string(tb.AuthAddrs[0]), Dst: string(rAddr)})
+						}
+						break
+					}
+				}
+			})
+		})
+	}
+	// Cache sweep: what did the race leave behind? The sweep runs inside
+	// the simulation, shortly after the last attempt's spray settles —
+	// the population models resolver restarts up to 12 virtual hours
+	// out, so sweeping after Run() drains would find the forged TTLs
+	// (3600 s) long expired.
+	sweepAt := time.Duration(probes)*10*time.Millisecond + 10*time.Second
+	tb.Clk.AfterFunc(sweepAt, func() {
+		for i, r := range resolvers {
+			if v := r.Cache().Peek(cache.Key{Name: qnames[i], Type: dnswire.TypeAAAA}, 0); v.Hit {
+				for _, rr := range v.Records {
+					if a, ok := rr.Data.(dnswire.AAAA); ok && a.Addr == poisonAttackerAAAA {
+						res.CachePoisoned++
+						break
+					}
+				}
+			}
+			if v := r.Cache().Peek(cache.Key{Name: poisonOOBName, Type: dnswire.TypeA}, 0); v.Hit {
+				res.OOBWrites++
+			}
+		}
+	})
+	tb.Clk.Run()
+
+	return res, advCollect(tb, resolvers, func(s *metrics.Scope) {
+		for _, sp := range spoofers {
+			sp.CollectMetrics(s)
+		}
+	})
+}
+
+// poisonInvariants checks the spray's packet conservation and, with the
+// full defense stack on, that poisoning stayed (near) impossible.
+func poisonInvariants(spec PoisonSpec, res *PoisonResult, snap metrics.Snapshot) []metrics.Invariant {
+	adv := snap.Scope("adversary")
+	draws := res.Attempts * int64(spec.Waves) * int64(spec.IDWindow)
+	invs := []metrics.Invariant{
+		metrics.EqualInt("spoof_draws_conserved",
+			adv.Counter("spoof_sent")+adv.Counter("spoof_wrong_port"), draws,
+			"sent+wrong-port", "attempts*waves*window"),
+	}
+	if !spec.NoBailiwick {
+		invs = append(invs, metrics.EqualInt("no_oob_cache_writes",
+			res.OOBWrites, 0, "out-of-bailiwick writes", "zero"))
+	}
+	if spec.RandomIDs {
+		// Full ID entropy: a 16-ID window guesses one inflight ID with
+		// p ≈ 3*window/65536 per wave — allow at most 5% before calling
+		// the defense broken.
+		invs = append(invs, metrics.AtLeastInt("poison_blocked_by_entropy",
+			res.Attempts/20, res.Hijacked, "5% of attempts", "hijacks"))
+	}
+	return invs
+}
+
+type poisonScenario struct{ spec PoisonSpec }
+
+// PoisonScenario wraps one poisoning defense combo as a Scenario.
+func PoisonScenario(spec PoisonSpec) Scenario {
+	return poisonScenario{spec: spec.withDefaults()}
+}
+
+func (s poisonScenario) Name() string {
+	ids, bw := "seqid", "bw"
+	if s.spec.RandomIDs {
+		ids = "randid"
+	}
+	if s.spec.NoBailiwick {
+		bw = "nobw"
+	}
+	return "poison-" + ids + "-" + bw
+}
+
+func (s poisonScenario) labels(cfg RunConfig) map[string]string {
+	return map[string]string{
+		"probes":       strconv.Itoa(cfg.Probes),
+		"seed":         strconv.FormatInt(cfg.Seed, 10),
+		"random_ids":   strconv.FormatBool(s.spec.RandomIDs),
+		"no_bailiwick": strconv.FormatBool(s.spec.NoBailiwick),
+		"id_window":    itoa(s.spec.IDWindow),
+		"waves":        itoa(s.spec.Waves),
+	}
+}
+
+func (s poisonScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: s.Name(), Config: cfg}
+
+	if !cfg.sharded() {
+		if err := ctx.Err(); err != nil {
+			return out, cancelErr(err)
+		}
+		res, tb := runPoisonTestbed(s.spec, cfg.Probes, cfg.Seed, cfg.Trace, 0)
+		snap := tb.CollectMetrics().Snapshot()
+		res.Report = &metrics.Report{
+			Name:       s.Name(),
+			Labels:     s.labels(cfg),
+			Metrics:    snap,
+			Invariants: poisonInvariants(s.spec, res, snap),
+		}
+		out.Poison = res
+		out.Report = res.Report
+		if ct := captureCellTrace(tb, 0); ct != nil {
+			out.Trace = &trace.Data{SampleEvery: cfg.Trace.SampleEvery, Cells: []trace.CellTrace{*ct}}
+		}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			out.Worlds = &ShardedTestbed{ShardProbes: cfg.Probes, Shards: []*Testbed{tb}}
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(0)
+		}
+		return out, nil
+	}
+
+	cells := planCells(cfg.Probes, cfg.ShardProbes)
+	type cellResult struct {
+		res  *PoisonResult
+		snap metrics.Snapshot
+		tb   *Testbed
+		ct   *trace.CellTrace
+	}
+	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
+		res, tb := runPoisonTestbed(s.spec, n, mixSeed(cfg.Seed, i), cfg.Trace, i)
+		cr := &cellResult{res: res, snap: tb.CollectMetrics().Snapshot(),
+			ct: captureCellTrace(tb, i)}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			cr.tb = tb
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(i)
+		}
+		return cr
+	})
+
+	total := &PoisonResult{RandomIDs: s.spec.RandomIDs, NoBailiwick: s.spec.NoBailiwick}
+	var snaps []metrics.Snapshot
+	worlds := &ShardedTestbed{ShardProbes: cfg.ShardProbes, Shards: make([]*Testbed, len(cells))}
+	var traced *trace.Data
+	if cfg.Trace != nil {
+		traced = &trace.Data{SampleEvery: cfg.Trace.SampleEvery}
+	}
+	for i, cr := range results {
+		if cr == nil {
+			continue
+		}
+		total.Attempts += cr.res.Attempts
+		total.Hijacked += cr.res.Hijacked
+		total.CachePoisoned += cr.res.CachePoisoned
+		total.OOBWrites += cr.res.OOBWrites
+		snaps = append(snaps, cr.snap)
+		worlds.Shards[i] = cr.tb
+		if traced != nil && cr.ct != nil {
+			traced.Cells = append(traced.Cells, *cr.ct)
+		}
+	}
+	snap := metrics.MergeSnapshots(snaps...)
+	total.Report = &metrics.Report{
+		Name:       s.Name(),
+		Labels:     shardLabels(s.labels(cfg), cfg, len(cells)),
+		Metrics:    snap,
+		Invariants: poisonInvariants(s.spec, total, snap),
+	}
+	out.Poison = total
+	out.Report = total.Report
+	out.Trace = traced
+	if runErr != nil {
+		return out, cancelErr(runErr)
+	}
+	if cfg.KeepWorlds {
+		out.Worlds = worlds
+	}
+	return out, nil
+}
+
+// ---- Reflection ----
+
+// ReflectSpec shapes the reflection/amplification experiment: per
+// probe, one spoofed-source query per shape, paced Every apart.
+type ReflectSpec struct {
+	// Every is the per-probe pacing (default 2ms); the victim-side qps
+	// figure divides by it.
+	Every time.Duration
+	// EDNSSize is the advertised buffer size of the EDNS shapes
+	// (default 4096).
+	EDNSSize uint16
+}
+
+func (s ReflectSpec) withDefaults() ReflectSpec {
+	if s.Every == 0 {
+		s.Every = 2 * time.Millisecond
+	}
+	if s.EDNSSize == 0 {
+		s.EDNSSize = 4096
+	}
+	return s
+}
+
+// ReflectRow is one query shape of the reflection report.
+type ReflectRow struct {
+	// Shape names the query shape ("AAAA", "NS+EDNS", "TXT+EDNS").
+	Shape string
+	// Queries and RequestBytes are the attacker's spend; Packets and
+	// ResponseBytes are what landed on the victim.
+	Queries       int64
+	RequestBytes  int64
+	Packets       int64
+	ResponseBytes int64
+}
+
+// Amplification is the byte amplification factor of this shape.
+func (r ReflectRow) Amplification() float64 {
+	if r.RequestBytes == 0 {
+		return 0
+	}
+	return float64(r.ResponseBytes) / float64(r.RequestBytes)
+}
+
+// ReflectResult is the reflection scenario outcome.
+type ReflectResult struct {
+	Rows []ReflectRow
+	// VictimPackets/VictimBytes total the flood across shapes;
+	// VictimQPS is the victim-side packet rate over the attack window.
+	VictimPackets int64
+	VictimBytes   int64
+	VictimQPS     float64
+
+	Report *metrics.Report
+}
+
+// reflectTXTName is the fat TXT record the TXT shape queries; the
+// record is added to each testbed's (per-testbed, mutable) zone.
+const reflectTXTName = "txt." + Domain
+
+// reflectVictimAddr is the flood target for shape i (one address per
+// shape keeps the byte attribution exact).
+func reflectVictimAddr(i int) netsim.Addr {
+	return netsim.Addr("198.51.100." + itoa(10+i))
+}
+
+// runReflectTestbed runs one cell of the reflection experiment.
+func runReflectTestbed(spec ReflectSpec, probes int, seed int64, trCfg *trace.Config, cell int) (*ReflectResult, *Testbed) {
+	tb := NewTestbed(TestbedConfig{Probes: probes, Seed: seed, Trace: trCfg, TraceCell: cell})
+
+	// A fat TXT record makes the worst shape worth amplifying, as open
+	// resolvers' ANY/TXT responses do in the wild.
+	big := make([]string, 4)
+	for i := range big {
+		b := make([]byte, 200)
+		for j := range b {
+			b[j] = 'x'
+		}
+		big[i] = string(b)
+	}
+	tb.AuthZone.MustAdd(dnswire.RR{Name: reflectTXTName, TTL: 3600,
+		Data: dnswire.TXT{Strings: big}})
+
+	shapes := []struct {
+		label string
+		qtype dnswire.Type
+		edns  uint16
+		qname func(pid int) string
+	}{
+		{"AAAA", dnswire.TypeAAAA, 0,
+			func(pid int) string { return vantage.QName(uint16(pid), Domain) }},
+		{"NS+EDNS", dnswire.TypeNS, spec.EDNSSize,
+			func(int) string { return Domain }},
+		{"TXT+EDNS", dnswire.TypeTXT, spec.EDNSSize,
+			func(int) string { return reflectTXTName }},
+	}
+
+	sinks := make([]*adversary.VictimSink, len(shapes))
+	refls := make([]*adversary.Reflector, len(shapes))
+	for i, sh := range shapes {
+		sinks[i] = adversary.NewVictimSink(tb.Net, reflectVictimAddr(i))
+		refls[i] = adversary.NewReflector(tb.Clk, tb.Net, adversary.ReflectConfig{
+			Victim:   reflectVictimAddr(i),
+			Servers:  tb.AuthAddrs,
+			EDNSSize: sh.edns,
+		})
+		refls[i].SetTrace(tb.Trace)
+	}
+
+	for pid := 1; pid <= probes; pid++ {
+		at := time.Duration(pid-1) * spec.Every
+		for i, sh := range shapes {
+			i, qname, qtype := i, sh.qname(pid), sh.qtype
+			tb.Clk.AfterFunc(at, func() { refls[i].Send(qname, qtype) })
+		}
+	}
+	tb.Clk.Run()
+
+	res := &ReflectResult{Rows: make([]ReflectRow, len(shapes))}
+	for i, sh := range shapes {
+		res.Rows[i] = ReflectRow{
+			Shape:         sh.label,
+			Queries:       refls[i].Sent(),
+			RequestBytes:  refls[i].RequestBytes(),
+			Packets:       sinks[i].Packets(),
+			ResponseBytes: sinks[i].Bytes(),
+		}
+		res.VictimPackets += sinks[i].Packets()
+		res.VictimBytes += sinks[i].Bytes()
+	}
+
+	return res, advCollect(tb, nil, func(s *metrics.Scope) {
+		for i := range shapes {
+			refls[i].CollectMetrics(s)
+			sinks[i].CollectMetrics(s)
+		}
+	})
+}
+
+// reflectFinalize computes the rate figure from the exact-merged
+// integers: the attack window is Probes*Every per definition of the
+// spray schedule, so the value is a pure function of config and totals.
+func reflectFinalize(spec ReflectSpec, res *ReflectResult, probes int) *ReflectResult {
+	window := time.Duration(probes) * spec.Every
+	if s := window.Seconds(); s > 0 {
+		res.VictimQPS = float64(res.VictimPackets) / s
+	}
+	return res
+}
+
+// reflectInvariants checks the flood's conservation laws: every bounced
+// query lands exactly one response on the victim (no loss window is
+// armed), and responses at least repay the request bytes.
+func reflectInvariants(res *ReflectResult, snap metrics.Snapshot) []metrics.Invariant {
+	adv := snap.Scope("adversary")
+	var reqBytes int64
+	for _, row := range res.Rows {
+		reqBytes += row.RequestBytes
+	}
+	invs := glueInvariants(snap)
+	return append(invs,
+		metrics.EqualInt("reflect_one_response_per_query",
+			res.VictimPackets, adv.Counter("reflect_sent"),
+			"victim packets", "reflected queries"),
+		metrics.AtLeastInt("reflect_amplifies",
+			res.VictimBytes, reqBytes, "victim bytes", "request bytes"),
+	)
+}
+
+type reflectScenario struct{ spec ReflectSpec }
+
+// ReflectScenario wraps the reflection/amplification spec as a Scenario.
+func ReflectScenario(spec ReflectSpec) Scenario {
+	return reflectScenario{spec: spec.withDefaults()}
+}
+
+func (reflectScenario) Name() string { return "reflect" }
+
+func (s reflectScenario) labels(cfg RunConfig) map[string]string {
+	return map[string]string{
+		"probes":    strconv.Itoa(cfg.Probes),
+		"seed":      strconv.FormatInt(cfg.Seed, 10),
+		"edns_size": strconv.FormatUint(uint64(s.spec.EDNSSize), 10),
+	}
+}
+
+func (s reflectScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: "reflect", Config: cfg}
+
+	if !cfg.sharded() {
+		if err := ctx.Err(); err != nil {
+			return out, cancelErr(err)
+		}
+		res, tb := runReflectTestbed(s.spec, cfg.Probes, cfg.Seed, cfg.Trace, 0)
+		res = reflectFinalize(s.spec, res, cfg.Probes)
+		snap := tb.CollectMetrics().Snapshot()
+		res.Report = &metrics.Report{
+			Name:       "reflect",
+			Labels:     s.labels(cfg),
+			Metrics:    snap,
+			Invariants: reflectInvariants(res, snap),
+		}
+		out.Reflect = res
+		out.Report = res.Report
+		if ct := captureCellTrace(tb, 0); ct != nil {
+			out.Trace = &trace.Data{SampleEvery: cfg.Trace.SampleEvery, Cells: []trace.CellTrace{*ct}}
+		}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			out.Worlds = &ShardedTestbed{ShardProbes: cfg.Probes, Shards: []*Testbed{tb}}
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(0)
+		}
+		return out, nil
+	}
+
+	cells := planCells(cfg.Probes, cfg.ShardProbes)
+	type cellResult struct {
+		res  *ReflectResult
+		snap metrics.Snapshot
+		tb   *Testbed
+		ct   *trace.CellTrace
+	}
+	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
+		res, tb := runReflectTestbed(s.spec, n, mixSeed(cfg.Seed, i), cfg.Trace, i)
+		cr := &cellResult{res: res, snap: tb.CollectMetrics().Snapshot(),
+			ct: captureCellTrace(tb, i)}
+		cellDone(cfg, tb)
+		if cfg.KeepWorlds {
+			cr.tb = tb
+		}
+		if cfg.afterShard != nil {
+			cfg.afterShard(i)
+		}
+		return cr
+	})
+
+	total := &ReflectResult{}
+	var snaps []metrics.Snapshot
+	worlds := &ShardedTestbed{ShardProbes: cfg.ShardProbes, Shards: make([]*Testbed, len(cells))}
+	var traced *trace.Data
+	if cfg.Trace != nil {
+		traced = &trace.Data{SampleEvery: cfg.Trace.SampleEvery}
+	}
+	for i, cr := range results {
+		if cr == nil {
+			continue
+		}
+		if total.Rows == nil {
+			total.Rows = make([]ReflectRow, len(cr.res.Rows))
+			for j := range cr.res.Rows {
+				total.Rows[j].Shape = cr.res.Rows[j].Shape
+			}
+		}
+		for j := range cr.res.Rows {
+			total.Rows[j].Queries += cr.res.Rows[j].Queries
+			total.Rows[j].RequestBytes += cr.res.Rows[j].RequestBytes
+			total.Rows[j].Packets += cr.res.Rows[j].Packets
+			total.Rows[j].ResponseBytes += cr.res.Rows[j].ResponseBytes
+		}
+		total.VictimPackets += cr.res.VictimPackets
+		total.VictimBytes += cr.res.VictimBytes
+		snaps = append(snaps, cr.snap)
+		worlds.Shards[i] = cr.tb
+		if traced != nil && cr.ct != nil {
+			traced.Cells = append(traced.Cells, *cr.ct)
+		}
+	}
+	total = reflectFinalize(s.spec, total, cfg.Probes)
+	snap := metrics.MergeSnapshots(snaps...)
+	total.Report = &metrics.Report{
+		Name:       "reflect",
+		Labels:     shardLabels(s.labels(cfg), cfg, len(cells)),
+		Metrics:    snap,
+		Invariants: reflectInvariants(total, snap),
+	}
+	out.Reflect = total
+	out.Report = total.Report
+	out.Trace = traced
+	if runErr != nil {
+		return out, cancelErr(runErr)
+	}
+	if cfg.KeepWorlds {
+		out.Worlds = worlds
+	}
+	return out, nil
+}
+
+// ---- Rendering ----
+
+// RenderNXNS prints the amplification-vs-width table of one NXNS run.
+func RenderNXNS(r *NXNSResult) string {
+	var sb strings.Builder
+	k := "off"
+	if r.MaxFetch > 0 {
+		k = itoa(r.MaxFetch)
+	}
+	fmt.Fprintf(&sb, "%-18s %10s %10s %10s %10s\n",
+		"max-fetch(k)="+k, "queries", "servfail", "victim q", "amp")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-18s %10d %10d %10d %10.2f\n",
+			"width "+itoa(row.Width), row.Queries, row.ServFail,
+			row.VictimQueries, row.Amplification())
+	}
+	return sb.String()
+}
+
+// RenderPoison prints the poison-success matrix, one column per combo.
+func RenderPoison(results []*PoisonResult) string {
+	var sb strings.Builder
+	row := func(label string, get func(*PoisonResult) any) {
+		fmt.Fprintf(&sb, "%-18s", label)
+		for _, r := range results {
+			fmt.Fprintf(&sb, " %10v", get(r))
+		}
+		sb.WriteByte('\n')
+	}
+	row("ID entropy", func(r *PoisonResult) any {
+		if r.RandomIDs {
+			return "16-bit"
+		}
+		return "seq"
+	})
+	row("bailiwick check", func(r *PoisonResult) any {
+		if r.NoBailiwick {
+			return "off"
+		}
+		return "on"
+	})
+	row("attempts", func(r *PoisonResult) any { return r.Attempts })
+	row("hijacked", func(r *PoisonResult) any { return r.Hijacked })
+	row("cache poisoned", func(r *PoisonResult) any { return r.CachePoisoned })
+	row("oob writes", func(r *PoisonResult) any { return r.OOBWrites })
+	row("success %", func(r *PoisonResult) any {
+		return fmt.Sprintf("%.1f", 100*r.SuccessRate())
+	})
+	return sb.String()
+}
+
+// RenderReflect prints the per-shape amplification table.
+func RenderReflect(r *ReflectResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %10s %10s %10s %10s\n",
+		"shape", "queries", "req B", "victim B", "amp")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-18s %10d %10d %10d %10.2f\n",
+			row.Shape, row.Queries, row.RequestBytes,
+			row.ResponseBytes, row.Amplification())
+	}
+	fmt.Fprintf(&sb, "%-18s %10d packets, %.0f qps at the victim\n",
+		"flood", r.VictimPackets, r.VictimQPS)
+	return sb.String()
+}

@@ -121,6 +121,9 @@ type Outcome struct {
 	Caching *CachingResult
 	Glue    *GlueResult
 	Check   []CheckResult
+	NXNS    *NXNSResult
+	Poison  *PoisonResult
+	Reflect *ReflectResult
 
 	// Worlds holds the per-cell testbeds when Config.KeepWorlds was set
 	// and the run completed (nil on cancelled runs).

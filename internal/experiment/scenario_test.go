@@ -44,6 +44,12 @@ func renderOutcome(t *testing.T, out *Outcome) []byte {
 		buf.WriteString(r.Fig13.Table(nil))
 	case out.Glue != nil:
 		buf.WriteString(RenderTable5(out.Glue))
+	case out.NXNS != nil:
+		buf.WriteString(RenderNXNS(out.NXNS))
+	case out.Poison != nil:
+		buf.WriteString(RenderPoison([]*PoisonResult{out.Poison}))
+	case out.Reflect != nil:
+		buf.WriteString(RenderReflect(out.Reflect))
 	}
 	if out.Report != nil {
 		if err := out.Report.WriteJSON(&buf); err != nil {

@@ -73,6 +73,11 @@ type TestbedConfig struct {
 	// cell index of a sharded run.
 	Trace     *trace.Config
 	TraceCell int
+	// ExtraNL appends records to this testbed's copy of the nl. TLD zone
+	// — delegations (plus glue) for adversary-controlled zones. The
+	// shared, memoized nl zone is immutable, so setting this clones it
+	// for the testbed instead.
+	ExtraNL []dnswire.RR
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -115,6 +120,12 @@ type Testbed struct {
 	tapArrivals  metrics.Counter
 	tapDropped   metrics.Counter
 	tapDelivered metrics.Counter
+
+	// The adversary experiments attach actors outside the population:
+	// dedicated per-probe resolvers and the attack-side machinery.
+	// CollectMetrics folds them in so their counters reach run reports.
+	advResolvers []*recursive.Resolver
+	advCollect   func(*metrics.Scope)
 }
 
 // testbedStart is the fixed virtual start time of every testbed (the
@@ -311,6 +322,12 @@ func authZoneTemplate(k authZoneKey, addrs []netsim.Addr) *zone.Zone {
 // root/nl zones, and attaches the servers.
 func (tb *Testbed) buildZones() {
 	rootZone, nlZone := hierarchyZones(tb.AuthAddrs)
+	if len(tb.Cfg.ExtraNL) > 0 {
+		nlZone = nlZone.Clone()
+		for _, rr := range tb.Cfg.ExtraNL {
+			nlZone.MustAdd(rr)
+		}
+	}
 
 	tb.AuthZone = authZoneTemplate(authZoneKey{
 		ttl: tb.Cfg.TTL, negTTL: tb.Cfg.NegTTL,
@@ -390,6 +407,13 @@ func (tb *Testbed) CollectMetrics() *metrics.Registry {
 		}
 		r.CollectMetrics(rs)
 		r.Cache().CollectMetrics(cs)
+	}
+	for _, r := range tb.advResolvers {
+		r.CollectMetrics(rs)
+		r.Cache().CollectMetrics(cs)
+	}
+	if tb.advCollect != nil {
+		tb.advCollect(reg.Scope("adversary"))
 	}
 	as := reg.Scope("authoritative")
 	for _, a := range tb.Auths {

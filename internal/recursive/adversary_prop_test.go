@@ -1,0 +1,202 @@
+package recursive
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/authoritative"
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// attackerApex is the marker domain every adversarial record in the
+// property trials points into. Nothing legitimate lives under it, so a
+// single cache scan at the end of a trial decides the bailiwick
+// property: any cached (non-negative) record owned under this apex is an
+// out-of-bailiwick write.
+const attackerApex = "attacker.test."
+
+// rogueAuth replaces the cachetest.nl. authoritatives with a generator
+// of adversarially-shaped responses: NXNS-style wide glueless NS sets,
+// poisoned glue additionals owned under attackerApex, lame upward and
+// sideways referrals, duplicate and wrong-ID replies, silence, and raw
+// garbage. All draws come from the trial's seeded rng, so every trial
+// replays exactly.
+type rogueAuth struct {
+	rng  *rand.Rand
+	port *netsim.Port
+	msg  dnswire.Message
+}
+
+func (a *rogueAuth) attach(net *netsim.Network, addr netsim.Addr) {
+	a.port = net.Bind(addr, a.handle)
+}
+
+func (a *rogueAuth) handle(src netsim.Addr, payload []byte) {
+	m := &a.msg
+	if dnswire.UnpackInto(m, payload) != nil || m.Response || len(m.Questions) == 0 {
+		return
+	}
+	switch a.rng.Intn(10) {
+	case 0: // silence: force the timeout/retry path
+		return
+	case 1: // raw garbage of random length
+		junk := make([]byte, a.rng.Intn(600))
+		a.rng.Read(junk)
+		a.port.Send(src, junk)
+		return
+	}
+
+	resp := dnswire.Message{}
+	resp.ResetResponse(m)
+	if a.rng.Intn(8) == 0 {
+		resp.ID = uint16(a.rng.Intn(1 << 16)) // mismatched ID: must be ignored
+	}
+	qname := dnswire.CanonicalName(m.Question1().Name)
+
+	// Referral owner: mostly valid downward progress (the query name
+	// itself), sometimes sideways, upward, or entirely off-tree — the
+	// resolver must treat those as lame, never descend, never cache
+	// their glue.
+	owner := qname
+	switch a.rng.Intn(6) {
+	case 0:
+		owner = "cachetest.nl."
+	case 1:
+		owner = "nl."
+	case 2:
+		owner = "evil." + attackerApex
+	}
+
+	width := 1 + a.rng.Intn(64) // oversized NXNS-shaped NS sets
+	for j := 0; j < width; j++ {
+		resp.Authorities = append(resp.Authorities, dnswire.RR{
+			Name: owner, Class: dnswire.ClassIN, TTL: 600,
+			Data: dnswire.NS{Host: fmt.Sprintf("ns%d.g%d.%s", j, a.rng.Intn(1e6), attackerApex)},
+		})
+	}
+	// Poisoned additionals: address records owned under attackerApex,
+	// sometimes matching an NS target exactly (credible-looking glue),
+	// sometimes random. With the bailiwick check on, none may be cached.
+	for g, n := 0, a.rng.Intn(10); g < n; g++ {
+		name := fmt.Sprintf("h%d.%s", a.rng.Intn(1e6), attackerApex)
+		if a.rng.Intn(2) == 0 && len(resp.Authorities) > 0 {
+			pick := resp.Authorities[a.rng.Intn(len(resp.Authorities))]
+			name = pick.Data.(dnswire.NS).Host
+		}
+		var data dnswire.RData = dnswire.A{Addr: dnswire.MustAddr("203.0.113.66")}
+		if a.rng.Intn(3) == 0 {
+			data = dnswire.AAAA{Addr: dnswire.MustAddr("2001:db8::66")}
+		}
+		resp.Additionals = append(resp.Additionals, dnswire.RR{
+			Name: name, Class: dnswire.ClassIN, TTL: 600, Data: data,
+		})
+	}
+
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	a.port.Send(src, wire)
+	if a.rng.Intn(8) == 0 {
+		a.port.Send(src, wire) // duplicate delivery
+	}
+}
+
+// sprayForged injects off-path forged referrals at the resolver: spoofed
+// source, guessed query IDs, in-hierarchy NS owner (so the referral
+// itself is plausible) but attacker-owned glue. Whatever the ID race
+// outcome, the bailiwick check must keep the glue out of the cache.
+func sprayForged(clk clock.Clock, net *netsim.Network, rng *rand.Rand, qname string, at time.Duration) {
+	id := uint16(1 + rng.Intn(32))
+	m := dnswire.NewQuery(id, qname, dnswire.TypeAAAA)
+	m.Response = true
+	width := 1 + rng.Intn(40)
+	for j := 0; j < width; j++ {
+		m.Authorities = append(m.Authorities, dnswire.RR{
+			Name: "cachetest.nl.", Class: dnswire.ClassIN, TTL: 600,
+			Data: dnswire.NS{Host: fmt.Sprintf("ns%d.f%d.%s", j, rng.Intn(1e6), attackerApex)},
+		})
+	}
+	m.Additionals = append(m.Additionals, dnswire.RR{
+		Name:  fmt.Sprintf("f%d.%s", rng.Intn(1e6), attackerApex),
+		Class: dnswire.ClassIN, TTL: 600,
+		Data: dnswire.A{Addr: dnswire.MustAddr("203.0.113.99")},
+	})
+	wire, err := m.Pack()
+	if err != nil {
+		return
+	}
+	clk.AfterFunc(at, func() { net.Send(ns1Addr, resAddr, wire) })
+}
+
+// TestAdversarialReferralProperty is the adversarial property axis: for
+// every seeded trial of randomized spoofed/oversized referral traffic,
+// the resolver (a) never panics, (b) completes every client resolution,
+// and (c) never caches a positive record owned under the attacker's
+// domain — the bailiwick property cacheAuthorityAndGlue documents.
+func TestAdversarialReferralProperty(t *testing.T) {
+	t.Parallel()
+	const queries = 6
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			clk := clock.NewVirtual(epoch)
+			net := netsim.New(clk, int64(trial))
+
+			root := authoritative.New(mustZone(t, rootZoneText))
+			nl := authoritative.New(mustZone(t, nlZoneText), mustZone(t, otherZoneText))
+			root.Attach(net, rootAddr)
+			nl.Attach(net, nlAddr)
+			rogue := &rogueAuth{rng: rng}
+			rogue.attach(net, ns1Addr)
+			rogue.attach(net, ns2Addr)
+
+			cfg := Config{
+				RootHints: []ServerHint{{Name: "a.root-servers.net.", Addr: rootAddr}},
+				MaxFetch:  []int{0, 4}[trial%2], // mitigation off / armed
+				Seed:      int64(trial),
+			}
+			res := NewResolver(clk, cfg)
+			res.Attach(net, resAddr)
+
+			done := 0
+			for i := 0; i < queries; i++ {
+				qname := fmt.Sprintf("%d.cachetest.nl.", i+1)
+				start := time.Duration(i) * 50 * time.Millisecond
+				clk.AfterFunc(start, func() {
+					res.Resolve(qname, dnswire.TypeAAAA, 0, func(Result) { done++ })
+				})
+				for s := 0; s < 3; s++ {
+					sprayForged(clk, net, rng, qname,
+						start+time.Duration(rng.Intn(100))*time.Millisecond)
+				}
+			}
+			clk.Run()
+
+			if done != queries {
+				t.Fatalf("only %d/%d resolutions completed", done, queries)
+			}
+			for shard := 0; shard < res.Cache().Shards(); shard++ {
+				for _, rr := range res.Cache().Dump(shard) {
+					owner := dnswire.CanonicalName(rr.Name)
+					if dnswire.IsSubdomain(owner, attackerApex) {
+						t.Errorf("out-of-bailiwick cache write: %v", rr)
+					}
+				}
+			}
+			// The cache keys scanned above come from Dump; make the scan
+			// itself falsifiable by checking one poisoned glue name the
+			// forged sprays always carry is absent even via direct Peek.
+			if v := res.Cache().Peek(cache.Key{Name: "h0." + attackerApex, Type: dnswire.TypeA}, 0); v.Hit && !v.Negative {
+				t.Error("attacker glue reachable via Peek")
+			}
+		})
+	}
+}

@@ -530,7 +530,7 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 				continue
 			}
 			gh := dnswire.CanonicalName(g.Name)
-			if gh == host && dnswire.IsSubdomain(gh, newZone) {
+			if gh == host && (t.r.cfg.NoBailiwick || dnswire.IsSubdomain(gh, newZone)) {
 				n++
 			}
 		}
@@ -546,7 +546,7 @@ func (t *task) handleReferral(m *dnswire.Message, ns []dnswire.RR) {
 					continue
 				}
 				gh := dnswire.CanonicalName(g.Name)
-				if gh == host && dnswire.IsSubdomain(gh, newZone) {
+				if gh == host && (t.r.cfg.NoBailiwick || dnswire.IsSubdomain(gh, newZone)) {
 					addrs = append(addrs, internAddr(a.Addr))
 				}
 			}
@@ -613,6 +613,12 @@ func (t *task) resolveNSAddrs(hosts []string, newZone string) {
 	if t.depth >= t.r.cfg.MaxDepth || len(hosts) == 0 {
 		t.fail()
 		return
+	}
+	if k := t.r.cfg.MaxFetch; k > 0 && len(hosts) > k {
+		// NXNSAttack max-fetch(k): a glueless delegation only gets k
+		// NS-address resolutions, capping the fan-out a malicious
+		// referral can force (Afek et al. §6).
+		hosts = hosts[:k]
 	}
 	// Try hosts in order until one yields addresses.
 	var tryHost func(i int)
@@ -863,7 +869,7 @@ func (t *task) cacheAuthorityAndGlue(m *dnswire.Message) {
 		if typ := rr.Type(); typ != dnswire.TypeA && typ != dnswire.TypeAAAA {
 			continue
 		}
-		if !dnswire.IsSubdomain(dnswire.CanonicalName(rr.Name), bailiwick) {
+		if !t.r.cfg.NoBailiwick && !dnswire.IsSubdomain(dnswire.CanonicalName(rr.Name), bailiwick) {
 			continue
 		}
 		glue = append(glue, rr)

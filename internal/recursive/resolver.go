@@ -123,6 +123,21 @@ type Config struct {
 	// minority of deployed resolvers that answer with the parent's TTL,
 	// which this flag models.
 	AnswerFromReferral bool
+	// MaxFetch caps how many of a glueless referral's NS hosts the
+	// resolver will try to resolve addresses for — the NXNSAttack
+	// "Max Fetch(k)" mitigation (Afek et al.; see internal/adversary).
+	// 0 leaves the fan-out bounded only by WorkBudget and MaxDepth.
+	MaxFetch int
+	// RandomIDs draws upstream query IDs uniformly from the full 16-bit
+	// space (seeded by Seed) instead of the sequential counter.
+	// Sequential IDs are trivially predictable by an off-path spoofer;
+	// this knob is the ID-entropy axis of the poisoning experiments.
+	RandomIDs bool
+	// NoBailiwick disables the bailiwick credibility check on
+	// authority/additional-section records, modeling a pre-hardening
+	// resolver for the adversary experiments. Never enable it outside
+	// experiments: it admits Kaminsky-style poisoning by design.
+	NoBailiwick bool
 	// Seed makes the resolver's random choices reproducible.
 	Seed int64
 }
@@ -375,6 +390,17 @@ func (r *Resolver) Receive(src netsim.Addr, payload []byte) {
 
 // allocID returns a message ID not currently in flight.
 func (r *Resolver) allocID() uint16 {
+	if r.cfg.RandomIDs {
+		// Full 16-bit entropy: the defense the poisoning experiments
+		// measure. Re-draw on the rare collision with an in-flight ID.
+		rng := r.random()
+		for {
+			id := uint16(rng.Intn(1 << 16))
+			if _, busy := r.inflight[id]; !busy && id != 0 {
+				return id
+			}
+		}
+	}
 	for {
 		r.nextID++
 		if _, busy := r.inflight[r.nextID]; !busy && r.nextID != 0 {

@@ -215,6 +215,43 @@ func (d *Data) FirstFailure() (Span, bool) {
 	return best, found
 }
 
+// FirstHijack finds the earliest stub span whose window contains a
+// spoof_hit event — an answer delivered by an off-path spoofer instead
+// of the legitimate authoritative. A poisoned span completes with
+// outcome "ok" (the stub cannot tell), so FirstFailure never surfaces
+// it; this is the adversary-family entry point behind `trace -fail`.
+func (d *Data) FirstHijack() (Span, bool) {
+	var best Span
+	found := false
+	for _, sp := range d.Spans() {
+		if !sp.Complete || !d.spanContains(sp, EvSpoofHit) {
+			continue
+		}
+		if !found || sp.End < best.End {
+			best = sp
+			found = true
+		}
+	}
+	return best, found
+}
+
+// spanContains reports whether the span's probe saw an event of the
+// given type inside the span window.
+func (d *Data) spanContains(sp Span, typ Type) bool {
+	for _, c := range d.Cells {
+		if c.Cell != sp.Cell {
+			continue
+		}
+		for _, ev := range c.Events {
+			if ev.Type == typ && ev.Probe == sp.Probe &&
+				ev.At >= sp.Start && ev.At <= sp.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Explain reconstructs the full event chain behind one stub span — the
 // probe's own events inside the span window plus the global attack
 // windows in force — answering "why did probe P fail at time T".

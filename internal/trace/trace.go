@@ -62,6 +62,13 @@ const (
 	// Terminal classification.
 	EvServFail // resolver returned SERVFAIL to the client; always recorded
 	EvClassify // post-run AA/CC/AC/CA verdict; A=round, B=class code
+	// Adversary instrumentation (internal/adversary). Appended after
+	// EvClassify: the numeric values of older events are part of the
+	// on-disk trace format and never move.
+	EvSpoofSend   // off-path spoofer emitted a forged response; A=guessed ID, B=wave index
+	EvSpoofHit    // a forged answer was accepted by the victim resolver; A=guessed ID
+	EvAdvReferral // malicious authoritative served an NXNS referral; A=delegation width
+	EvReflect     // reflector bounced a spoofed-source query; A=request bytes
 )
 
 var typeNames = [...]string{
@@ -88,6 +95,10 @@ var typeNames = [...]string{
 	EvAuthAnswer:      "auth_answer",
 	EvServFail:        "servfail",
 	EvClassify:        "classify",
+	EvSpoofSend:       "spoof_send",
+	EvSpoofHit:        "spoof_hit",
+	EvAdvReferral:     "adv_referral",
+	EvReflect:         "reflect",
 }
 
 // String returns the event type's stable wire name.

@@ -1,0 +1,25 @@
+#!/bin/sh
+# size_guard.sh — fail if any tracked (or staged) file exceeds the size
+# budget. Guards against committing build artifacts and run logs (a
+# repro.test binary and a rec2.log once slipped in); report tables,
+# snapshots, and fuzz corpora are all far below the limit.
+set -eu
+
+LIMIT_BYTES="${SIZE_GUARD_LIMIT:-1048576}" # 1 MB
+
+fail=0
+# Tracked files plus anything staged but not yet committed.
+for f in $(git ls-files; git diff --cached --name-only --diff-filter=A); do
+    [ -f "$f" ] || continue
+    size=$(wc -c <"$f")
+    if [ "$size" -gt "$LIMIT_BYTES" ]; then
+        echo "size_guard: $f is $size bytes (limit $LIMIT_BYTES)" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "size_guard: FAILED — files above the size budget" >&2
+    exit 1
+fi
+echo "size_guard: OK (limit $LIMIT_BYTES bytes)"
