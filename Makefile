@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke size-guard
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke transport-smoke size-guard
 
 all: check
 
@@ -92,6 +92,13 @@ trace-smoke:
 adversary-smoke:
 	$(GO) test -race -run '^TestAdversarySmoke$$' -v ./internal/experiment
 	$(GO) test -race -run '^TestAdversarialReferralProperty$$' ./internal/recursive
+
+# Transport-family gate: the DoTCP-fallback scenario (EDNS0 buffer sweep
+# crossed with TCP-fallback coverage) sharded under the race detector,
+# plus the truncation regression tests on both legs of the wire path.
+transport-smoke:
+	$(GO) test -race -run '^TestTransport(Smoke|ShardDeterminism)$$' -v ./internal/experiment
+	$(GO) test -race -run 'Truncat|TCPFallback|UpstreamTC|EDNSSize' ./internal/recursive ./internal/stub
 
 # Fails if any tracked or staged file exceeds the 1 MB budget (build
 # artifacts and run logs do not belong in the tree).

@@ -6,6 +6,8 @@
 //	dikes glue      — Appendix A: Table 5
 //	dikes adversary — adversarial extensions: NXNS amplification,
 //	                  off-path poisoning, reflection
+//	dikes transport — DoTCP fallback: answer rate vs EDNS0 buffer size,
+//	                  TCP fallback coverage, and flood intensity
 //	dikes passive   — §4: Figures 4-5
 //	dikes retries   — §6.2 / Appendix E: Figure 16
 //	dikes all       — everything above
@@ -44,7 +46,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	progress := flag.Bool("progress", false, "print live run telemetry (cells done, events/s, peak rss, eta) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|passive|retries|implications|check|trace|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|transport|passive|retries|implications|check|trace|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -120,6 +122,8 @@ func main() {
 		runGlue(ctx, *probes, *seed, *shards)
 	case "adversary":
 		runAdversary(ctx, *probes, *seed, *shards)
+	case "transport":
+		runTransport(ctx, *probes, *seed, *shards)
 	case "passive":
 		runPassive(*seed)
 	case "retries":
@@ -133,6 +137,7 @@ func main() {
 		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
 		runGlue(ctx, *probes, *seed, *shards)
 		runAdversary(ctx, *probes, *seed, *shards)
+		runTransport(ctx, *probes, *seed, *shards)
 		runPassive(*seed)
 		runRetries(*seed)
 		runImplications(*seed)
@@ -489,6 +494,36 @@ func runAdversary(ctx context.Context, probes int, seed int64, shards int) {
 	fmt.Printf("\nreflection: victim-side amplification by query shape\n")
 	out := run(dikes.ReflectScenario(dikes.ReflectSpec{}))
 	fmt.Print(dikes.RenderReflect(out.Reflect))
+}
+
+func runTransport(ctx context.Context, probes int, seed int64, shards int) {
+	header("transport family: EDNS0 buffers, truncation, and DoTCP fallback")
+
+	run := func(sc dikes.Scenario) *dikes.Outcome {
+		cfg := dikes.RunConfig{Probes: probes, Seed: seed, Shards: shards}
+		if traceOut != "" {
+			cfg.Trace = &dikes.TraceConfig{SampleEvery: traceSampleN}
+		}
+		prog := newProgress(sc.Name(), probes)
+		cfg.Progress = prog
+		out, err := dikes.Run(ctx, sc, cfg)
+		prog.Finish()
+		if err != nil {
+			exitCancelled(err)
+		}
+		if traceOut != "" {
+			writeTrace(out.Trace, sc.Name(), true)
+		}
+		collectReport(out.Report)
+		return out
+	}
+
+	fmt.Printf("\nanswer rate per (EDNS0 buffer, fallback coverage) population\n")
+	for _, flood := range []float64{0, 0.5, 0.9} {
+		out := run(dikes.TransportScenario(dikes.TransportSpec{Flood: flood}))
+		fmt.Print(dikes.RenderTransport(out.Transport))
+		fmt.Println()
+	}
 }
 
 func runPassive(seed int64) {

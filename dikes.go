@@ -274,6 +274,9 @@ var (
 	NXNSScenario    = experiment.NXNSScenario
 	PoisonScenario  = experiment.PoisonScenario
 	ReflectScenario = experiment.ReflectScenario
+	// TransportScenario is the DoTCP-fallback resiliency study (buffer
+	// size × TCP fallback × flood).
+	TransportScenario = experiment.TransportScenario
 	// RunDDoSMatrixCtx is the cancellable Table 4 matrix runner.
 	RunDDoSMatrixCtx = experiment.RunDDoSMatrixCtx
 	// RunCachingSweepCtx is the cancellable §3 sweep runner.
@@ -336,6 +339,14 @@ type (
 	ReflectSpec = experiment.ReflectSpec
 	// ReflectResult is its per-shape amplification outcome.
 	ReflectResult = experiment.ReflectResult
+	// TransportSpec shapes the DoTCP-fallback transport experiment.
+	TransportSpec = experiment.TransportSpec
+	// TransportResult is its answer-rate-per-population outcome.
+	TransportResult = experiment.TransportResult
+	// TransportRow is one (buffer, fallback) population of the result.
+	TransportRow = experiment.TransportRow
+	// FallbackMode says which legs of the path may retry over TCP.
+	FallbackMode = experiment.FallbackMode
 	// NlConfig and RootConfig parameterize the §4 passive analyses.
 	NlConfig = passive.NlConfig
 	// NlResult is the Figure 4 outcome.
@@ -443,6 +454,14 @@ var (
 	RenderNXNS          = experiment.RenderNXNS
 	RenderPoison        = experiment.RenderPoison
 	RenderReflect       = experiment.RenderReflect
+	RenderTransport     = experiment.RenderTransport
+)
+
+// Fallback modes of the transport scenario.
+const (
+	FallbackNone     = experiment.FallbackNone
+	FallbackResolver = experiment.FallbackResolver
+	FallbackFull     = experiment.FallbackFull
 )
 
 // Tracing and telemetry (DESIGN.md §12). Set RunConfig.Trace to record a

@@ -47,10 +47,11 @@ type Server struct {
 	zones []*zone.Zone // sorted by descending origin label count
 	// zone0 backs zones for the ubiquitous single-zone server, so adding
 	// the first zone allocates nothing.
-	zone0 [1]*zone.Zone
-	m     counters
-	trace *trace.Buffer
-	port  netsim.Port
+	zone0   [1]*zone.Zone
+	m       counters
+	trace   *trace.Buffer
+	port    netsim.Port
+	tcpPort *netsim.TCPPort
 	// byRCode and byType tally responses and queries. Fixed arrays keep
 	// the per-query paths allocation-free; the rare query type outside
 	// the array range falls back to a lazily built map.
@@ -167,9 +168,6 @@ func (s *Server) CollectMetrics(sc *metrics.Scope) {
 	}
 }
 
-// maxUDPPayload is the classic DNS-over-UDP limit without EDNS0.
-const maxUDPPayload = 512
-
 // HandleWire unpacks a query, answers it, and packs the response. A nil
 // return means the input should be dropped silently (malformed, or a
 // response packet). Responses exceeding the client's UDP payload size
@@ -213,31 +211,30 @@ func (s *Server) handleWireAppend(payload []byte, tcp bool, dst []byte) []byte {
 	if err != nil {
 		return nil
 	}
-	if limit := udpLimit(q); !tcp && len(wire) > limit {
+	if limit := q.UDPPayloadLimit(); !tcp && len(wire) > limit {
 		s.m.truncated.Inc()
+		if tr := s.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvTruncate,
+				Probe: trace.ProbeFromWire(payload),
+				A:     uint32(len(wire)), B: uint32(limit)})
+		}
 		trunc := *resp
 		trunc.Truncated = true
+		// RFC 6891/2181: strip the data sections but keep the OPT record,
+		// so the client still sees the server's EDNS parameters and can
+		// renegotiate (or fall back to TCP).
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+		for i := range resp.Additionals {
+			if resp.Additionals[i].Type() == dnswire.TypeOPT {
+				trunc.Additionals = resp.Additionals[i : i+1]
+				break
+			}
+		}
 		if wire, err = trunc.AppendPack(wire[:0]); err != nil {
 			return nil
 		}
 	}
 	return wire
-}
-
-// udpLimit returns the response-size budget the client advertised: 512
-// unless an EDNS0 OPT record raises it (RFC 6891 carries the size in the
-// OPT record's class field).
-func udpLimit(q *dnswire.Message) int {
-	for _, rr := range q.Additionals {
-		if rr.Type() == dnswire.TypeOPT {
-			if size := int(rr.Class); size > maxUDPPayload {
-				return size
-			}
-			return maxUDPPayload
-		}
-	}
-	return maxUDPPayload
 }
 
 // Handle answers a parsed query. It returns nil for messages that must be
@@ -422,6 +419,23 @@ func (s *Server) finish(resp *dnswire.Message) {
 func (s *Server) Attach(net *netsim.Network, addr netsim.Addr) *netsim.Port {
 	s.port = net.BindPort(addr, s.receive)
 	return &s.port
+}
+
+// AttachTCP additionally binds the server on the network's TCP plane at
+// addr, serving the same zones without the UDP size limit.
+func (s *Server) AttachTCP(net *netsim.Network, addr netsim.Addr) *netsim.TCPPort {
+	s.tcpPort = net.BindTCP(addr, s.receiveTCP)
+	return s.tcpPort
+}
+
+// receiveTCP is the wire entry point for the TCP plane.
+func (s *Server) receiveTCP(src netsim.Addr, payload []byte) {
+	bp := wireBufPool.Get().(*[]byte)
+	if out := s.handleWireAppend(payload, true, (*bp)[:0]); out != nil {
+		s.tcpPort.Send(src, out)
+		*bp = out[:0]
+	}
+	wireBufPool.Put(bp)
 }
 
 // receive is the wire entry point for the attached port.

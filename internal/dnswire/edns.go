@@ -7,6 +7,10 @@ package dnswire
 // ednsDOBit is the DO flag in the OPT TTL field.
 const ednsDOBit = 1 << 15
 
+// ClassicUDPPayload is the DNS-over-UDP response-size limit without
+// EDNS0 (RFC 1035 §4.2.1).
+const ClassicUDPPayload = 512
+
 // AddEDNS appends an OPT record advertising udpSize, with the DO bit set
 // when do is true. Any existing OPT is replaced.
 func (m *Message) AddEDNS(udpSize uint16, do bool) {
@@ -33,4 +37,14 @@ func (m *Message) EDNS() (udpSize uint16, do bool, ok bool) {
 		}
 	}
 	return 0, false, false
+}
+
+// UDPPayloadLimit returns the UDP response-size budget this message's
+// sender advertised: ClassicUDPPayload octets unless an OPT record
+// raises it (RFC 6891 §6.2.3: values below 512 are treated as 512).
+func (m *Message) UDPPayloadLimit() int {
+	if size, _, ok := m.EDNS(); ok && int(size) > ClassicUDPPayload {
+		return int(size)
+	}
+	return ClassicUDPPayload
 }

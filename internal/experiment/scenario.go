@@ -117,13 +117,14 @@ type Outcome struct {
 	Scenario string
 	Config   RunConfig
 
-	DDoS    *DDoSResult
-	Caching *CachingResult
-	Glue    *GlueResult
-	Check   []CheckResult
-	NXNS    *NXNSResult
-	Poison  *PoisonResult
-	Reflect *ReflectResult
+	DDoS      *DDoSResult
+	Caching   *CachingResult
+	Glue      *GlueResult
+	Check     []CheckResult
+	NXNS      *NXNSResult
+	Poison    *PoisonResult
+	Reflect   *ReflectResult
+	Transport *TransportResult
 
 	// Worlds holds the per-cell testbeds when Config.KeepWorlds was set
 	// and the run completed (nil on cancelled runs).

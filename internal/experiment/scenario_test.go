@@ -50,6 +50,8 @@ func renderOutcome(t *testing.T, out *Outcome) []byte {
 		buf.WriteString(RenderPoison([]*PoisonResult{out.Poison}))
 	case out.Reflect != nil:
 		buf.WriteString(RenderReflect(out.Reflect))
+	case out.Transport != nil:
+		buf.WriteString(RenderTransport(out.Transport))
 	}
 	if out.Report != nil {
 		if err := out.Report.WriteJSON(&buf); err != nil {

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestTransportShardDeterminism extends the byte-identical contract to
+// the transport family, with and without a flood (the flood path draws
+// loss from per-cell RNG streams, the riskiest spot for shard skew).
+func TestTransportShardDeterminism(t *testing.T) {
+	scenarios := []Scenario{
+		TransportScenario(TransportSpec{}),
+		TransportScenario(TransportSpec{Flood: 0.5}),
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			var base []byte
+			for _, shards := range []int{1, 4} {
+				out, err := Run(context.Background(), sc, RunConfig{
+					Probes: 40, Seed: 11, Shards: shards, ShardProbes: 12,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !out.Report.OK() {
+					t.Fatalf("shards=%d: failed invariants: %v",
+						shards, out.Report.FailedInvariants())
+				}
+				got := renderOutcome(t, out)
+				if base == nil {
+					base = got
+					continue
+				}
+				if !bytes.Equal(base, got) {
+					t.Fatalf("shards=%d output differs from shards=1:\n%s\n----\n%s",
+						shards, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTransportSmoke pins the DoTCP story on a calm (flood-free) run:
+// without EDNS or fallback the fat answer dead-ends in SERVFAIL,
+// resolver-only fallback moves the truncation to the client leg, full
+// fallback absorbs it over TCP, and a 4096-octet buffer needs no TCP at
+// all.
+func TestTransportSmoke(t *testing.T) {
+	t.Parallel()
+	out, err := Run(context.Background(),
+		TransportScenario(TransportSpec{}),
+		RunConfig{Probes: 36, Seed: 7, Shards: 2, ShardProbes: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Report.OK() {
+		t.Fatalf("failed invariants: %v", out.Report.FailedInvariants())
+	}
+
+	for _, row := range out.Transport.Rows {
+		if row.Queries == 0 {
+			t.Fatalf("row %s/%s got no probes", row.BufLabel(), row.Fallback)
+		}
+		small := row.Buf < 2048 // the fat TXT outgrows 0 and 1232
+		switch {
+		case small && row.Fallback == FallbackNone:
+			if row.ServFail != row.Queries {
+				t.Errorf("%s/none: servfail = %d of %d queries, want all",
+					row.BufLabel(), row.ServFail, row.Queries)
+			}
+		case small && row.Fallback == FallbackResolver:
+			if row.Truncated != row.Queries {
+				t.Errorf("%s/rec: truncated = %d of %d queries, want all",
+					row.BufLabel(), row.Truncated, row.Queries)
+			}
+			if row.UpstreamTC == 0 {
+				t.Errorf("%s/rec: no upstream TC counted", row.BufLabel())
+			}
+		case small && row.Fallback == FallbackFull:
+			if row.Answered != row.Queries || row.AnsweredTCP != row.Queries {
+				t.Errorf("%s/full: answered = %d via-tcp = %d of %d queries, want all over TCP",
+					row.BufLabel(), row.Answered, row.AnsweredTCP, row.Queries)
+			}
+		default: // 4096: UDP suffices for every mode
+			if row.Answered != row.Queries || row.AnsweredTCP != 0 {
+				t.Errorf("%s/%s: answered = %d via-tcp = %d of %d queries, want all over UDP",
+					row.BufLabel(), row.Fallback, row.Answered, row.AnsweredTCP, row.Queries)
+			}
+		}
+	}
+}

@@ -40,8 +40,15 @@ type LatencyFunc func(src, dst Addr, rng *rand.Rand) time.Duration
 type Stats struct {
 	Sent      int64
 	Delivered int64
-	Dropped   int64 // lost to inbound loss
+	Dropped   int64 // lost to inbound loss (including MTU drops)
 	Dead      int64 // destination not attached
+	// UDP size semantics and the TCP plane (tcp.go).
+	MTUDropped   int64 // datagrams over the path MTU toward dst
+	TCPSent      int64
+	TCPDelivered int64
+	TCPDropped   int64 // lost to the TCP-plane inbound loss dial
+	TCPDead      int64 // destination has no TCP receiver
+	TCPConnects  int64 // simulated connection handshakes paid
 }
 
 // Network simulates a lossy packet network on top of a Clock.
@@ -68,6 +75,11 @@ type Network struct {
 	anycast map[Addr]*anycastGroup
 	trace   *trace.Buffer
 	stats   Stats
+	// UDP size semantics and the TCP plane (tcp.go).
+	mtu      map[Addr]int // per-destination UDP payload limit
+	tcpHosts map[Addr]func(src Addr, payload []byte)
+	tcpLoss  map[Addr]float64
+	tcpConns map[[2]Addr]time.Time // established pair -> idle expiry
 }
 
 // SetTrace enables delivery/drop tracing (nil disables). Events are
@@ -227,6 +239,12 @@ func (n *Network) CollectMetrics(s *metrics.Scope) {
 	s.Counter("delivered").Add(st.Delivered)
 	s.Counter("dropped").Add(st.Dropped)
 	s.Counter("dead").Add(st.Dead)
+	s.Counter("mtu_dropped").Add(st.MTUDropped)
+	s.Counter("tcp_sent").Add(st.TCPSent)
+	s.Counter("tcp_delivered").Add(st.TCPDelivered)
+	s.Counter("tcp_dropped").Add(st.TCPDropped)
+	s.Counter("tcp_dead").Add(st.TCPDead)
+	s.Counter("tcp_connects").Add(st.TCPConnects)
 }
 
 // packet is an in-flight delivery, pooled so the simulation's hottest
@@ -237,6 +255,7 @@ type packet struct {
 	src, dst Addr
 	payload  []byte // aliases buf; valid until the packet is pooled
 	buf      []byte // owned storage, recycled across packets
+	tcp      bool   // deliver on the TCP plane (arriveTCP)
 }
 
 var packetPool = sync.Pool{New: func() any { return new(packet) }}
@@ -247,8 +266,12 @@ var packetPool = sync.Pool{New: func() any { return new(packet) }}
 // the duration of the call but must not retain it.
 func deliverPacket(arg any) {
 	p := arg.(*packet)
-	p.net.arrive(p.src, p.dst, p.payload)
-	p.net, p.src, p.dst, p.payload = nil, "", "", nil
+	if p.tcp {
+		p.net.arriveTCP(p.src, p.dst, p.payload)
+	} else {
+		p.net.arrive(p.src, p.dst, p.payload)
+	}
+	p.net, p.src, p.dst, p.payload, p.tcp = nil, "", "", nil, false
 	packetPool.Put(p)
 }
 
@@ -291,6 +314,13 @@ func (n *Network) arrive(src, dst Addr, payload []byte) {
 	n.mu.Lock()
 	loss := n.inLoss[dst]
 	dropped := loss > 0 && n.rng.Float64() < loss
+	// Datagrams over the path MTU never arrive: the collapsed model of
+	// fragmentation loss (SetPathMTU). Checked after the loss draw so
+	// enabling an MTU does not shift the RNG stream of lossy paths.
+	if m := n.mtu[dst]; !dropped && m > 0 && len(payload) > m {
+		dropped = true
+		n.stats.MTUDropped++
+	}
 	recv := n.hosts[dst]
 	if recv == nil && !dropped && n.lazy != nil {
 		if h := n.lazy[dst]; h != nil {

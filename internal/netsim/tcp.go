@@ -1,0 +1,222 @@
+// TCP plane of the simulated network (DESIGN.md §15). DNS-over-TCP in
+// this simulator is message-level like the UDP plane — framing is the
+// transport daemons' concern (internal/udprun) — but it models the three
+// properties that matter for DoTCP-fallback experiments:
+//
+//   - connection-setup cost: the first message between a host pair pays
+//     one extra round trip (SYN / SYN-ACK) before the data segment, and
+//     an idle connection expires so later exchanges pay it again;
+//   - higher per-query latency: even warm connections ride the same
+//     one-way delay model as UDP, so a TC→TCP retry always costs at
+//     least one additional RTT on top of the truncated UDP exchange;
+//   - separate capacity under flood: inbound loss for the TCP plane is
+//     its own dial (SetInboundLossTCP), so a volumetric UDP flood at an
+//     authoritative can leave TCP usable (or a state-exhaustion attack
+//     can do the opposite). A lost TCP exchange is not retransmitted by
+//     the simulator — the loss probability models the whole exchange
+//     failing under flood, and the application-level timeout recovers.
+//
+// TCP arrivals are not shown to taps: taps exist to count queries
+// arriving at the authoritatives "before the simulated DDoS drop", and
+// the conservation invariants built on them are defined over the UDP
+// plane. TCP traffic is accounted by its own Stats counters instead.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// tcpIdleTimeout is how long an established simulated connection stays
+// warm after its last message; afterwards the next exchange pays the
+// handshake again. RFC 7766 recommends resolvers keep idle connections
+// open for a few seconds to tens of seconds.
+const tcpIdleTimeout = 30 * time.Second
+
+// connKey normalizes a host pair so both directions of an exchange share
+// one simulated connection (the responder answers on the connection the
+// initiator opened, it does not dial back).
+func connKey(a, b Addr) [2]Addr {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
+}
+
+// BindTCP attaches recv as addr's TCP-plane receiver and returns a
+// TCPPort for sending from it. The UDP and TCP planes are separate
+// namespaces: binding one does not bind the other.
+func (n *Network) BindTCP(addr Addr, recv func(src Addr, payload []byte)) *TCPPort {
+	if addr == "" {
+		panic("netsim: empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tcpHosts == nil {
+		n.tcpHosts = make(map[Addr]func(src Addr, payload []byte), 16)
+	}
+	n.tcpHosts[addr] = recv
+	return &TCPPort{net: n, addr: addr}
+}
+
+// DetachTCP removes the TCP-plane host at addr.
+func (n *Network) DetachTCP(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.tcpHosts, addr)
+}
+
+// SetInboundLossTCP sets the probability in [0,1] that a TCP exchange
+// arriving at dst fails. It is independent of the UDP-plane loss: a
+// query flood saturating an authoritative's UDP receive path does not
+// necessarily exhaust its TCP listener, and vice versa.
+func (n *Network) SetInboundLossTCP(dst Addr, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: tcp loss probability %v out of range", p))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == 0 {
+		delete(n.tcpLoss, dst)
+	} else {
+		if n.tcpLoss == nil {
+			n.tcpLoss = make(map[Addr]float64)
+		}
+		n.tcpLoss[dst] = p
+	}
+}
+
+// InboundLossTCP returns the current TCP-plane loss probability for dst.
+func (n *Network) InboundLossTCP(dst Addr) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tcpLoss[dst]
+}
+
+// SetPathMTU limits the UDP payload size deliverable to dst: larger
+// datagrams are dropped at arrival (the collapsed model of
+// fragmentation loss — fragments filtered or never reassembled), counted
+// in Stats.MTUDropped as well as Dropped. Zero removes the limit. The
+// TCP plane ignores path MTU: a byte stream segments below it.
+func (n *Network) SetPathMTU(dst Addr, bytes int) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: path mtu %d out of range", bytes))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if bytes == 0 {
+		delete(n.mtu, dst)
+	} else {
+		if n.mtu == nil {
+			n.mtu = make(map[Addr]int)
+		}
+		n.mtu[dst] = bytes
+	}
+}
+
+// PathMTU returns the UDP payload limit toward dst (0 = unlimited).
+func (n *Network) PathMTU(dst Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mtu[dst]
+}
+
+// SendTCP schedules delivery of payload from src to dst over the TCP
+// plane. A cold host pair pays one extra round trip for the handshake
+// before the data segment; the connection then stays warm for
+// tcpIdleTimeout after its last message. Like Send, the payload is
+// copied before returning and the loss decision is made at arrival.
+func (n *Network) SendTCP(src, dst Addr, payload []byte) {
+	n.mu.Lock()
+	oneWay := n.pairDelayLocked(src, dst)
+	delay := oneWay
+	key := connKey(src, dst)
+	now := n.clk.Now()
+	connected := false
+	if exp, ok := n.tcpConns[key]; !ok || now.After(exp) {
+		delay += 2 * oneWay // SYN + SYN-ACK before the data segment
+		connected = true
+		n.stats.TCPConnects++
+	}
+	if n.tcpConns == nil {
+		n.tcpConns = make(map[[2]Addr]time.Time, 16)
+	}
+	n.tcpConns[key] = now.Add(delay + tcpIdleTimeout)
+	n.stats.TCPSent++
+	n.mu.Unlock()
+
+	if connected {
+		if tr := n.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvTCPConnect,
+				Probe: trace.ProbeFromWire(payload),
+				Src:   string(src), Dst: string(dst)})
+		}
+	}
+	if n.argClk != nil {
+		p := packetPool.Get().(*packet)
+		p.buf = append(p.buf[:0], payload...)
+		p.net, p.src, p.dst, p.payload, p.tcp = n, src, dst, p.buf, true
+		n.argClk.AfterFuncArg(delay, deliverPacket, p)
+		return
+	}
+	buf := append([]byte(nil), payload...)
+	n.clk.AfterFunc(delay, func() { n.arriveTCP(src, dst, buf) })
+}
+
+// arriveTCP applies the TCP-plane loss dial and hands the message to the
+// bound receiver. Lazy hosts materialize exactly as on the UDP plane, so
+// population builders need no TCP-specific wiring.
+func (n *Network) arriveTCP(src, dst Addr, payload []byte) {
+	n.mu.Lock()
+	loss := n.tcpLoss[dst]
+	dropped := loss > 0 && n.rng.Float64() < loss
+	recv := n.tcpHosts[dst]
+	if recv == nil && !dropped && n.lazy != nil {
+		if h := n.lazy[dst]; h != nil {
+			delete(n.lazy, dst)
+			n.mu.Unlock()
+			h.Materialize()
+			n.mu.Lock()
+			recv = n.tcpHosts[dst]
+		}
+	}
+	switch {
+	case dropped:
+		n.stats.TCPDropped++
+	case recv == nil:
+		n.stats.TCPDead++
+	default:
+		n.stats.TCPDelivered++
+	}
+	n.mu.Unlock()
+
+	if tr := n.trace; tr != nil {
+		t := trace.EvNetDeliver
+		if dropped {
+			t = trace.EvNetDrop
+		}
+		tr.Emit(trace.Event{Type: t, Probe: trace.ProbeFromWire(payload),
+			Src: string(src), Dst: string(dst)})
+	}
+	if !dropped && recv != nil {
+		recv(src, payload)
+	}
+}
+
+// TCPPort is a bound TCP-plane address on the network.
+type TCPPort struct {
+	net  *Network
+	addr Addr
+}
+
+// Addr returns the bound address.
+func (p *TCPPort) Addr() Addr { return p.addr }
+
+// Send transmits payload from this port's address to dst over TCP.
+func (p *TCPPort) Send(dst Addr, payload []byte) {
+	p.net.SendTCP(p.addr, dst, payload)
+}
+
+var _ Conn = (*TCPPort)(nil)

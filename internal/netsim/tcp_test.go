@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPHandshakeLatency checks the connection-setup model: a cold pair
+// pays one extra round trip (SYN + SYN-ACK) before the data segment, a
+// warm connection rides the plain one-way delay, and an idle connection
+// expires back to cold.
+func TestTCPHandshakeLatency(t *testing.T) {
+	clk, net := newNet()
+	const oneWay = 10 * time.Millisecond
+	net.SetPairDelay("a", "b", oneWay)
+
+	var arrivals []time.Time
+	net.BindTCP("b", func(Addr, []byte) { arrivals = append(arrivals, clk.Now()) })
+
+	send := func() {
+		net.SendTCP("a", "b", []byte("q"))
+		clk.Run()
+	}
+
+	send() // cold: handshake + data = 3x one-way
+	if got, want := arrivals[0].Sub(epoch), 3*oneWay; got != want {
+		t.Errorf("cold delivery after %v, want %v", got, want)
+	}
+
+	mark := clk.Now()
+	send() // warm: data segment only
+	if got, want := arrivals[1].Sub(mark), oneWay; got != want {
+		t.Errorf("warm delivery after %v, want %v", got, want)
+	}
+
+	// The reply direction shares the initiator's connection.
+	net.BindTCP("a", func(Addr, []byte) { arrivals = append(arrivals, clk.Now()) })
+	mark = clk.Now()
+	net.SendTCP("b", "a", []byte("r"))
+	clk.Run()
+	if got, want := arrivals[2].Sub(mark), oneWay; got != want {
+		t.Errorf("reply delivery after %v, want %v", got, want)
+	}
+
+	// Past the idle timeout the pair is cold again.
+	clk.RunFor(tcpIdleTimeout + time.Second)
+	mark = clk.Now()
+	send()
+	if got, want := arrivals[3].Sub(mark), 3*oneWay; got != want {
+		t.Errorf("post-idle delivery after %v, want %v", got, want)
+	}
+
+	if s := net.Stats(); s.TCPConnects != 2 || s.TCPSent != 4 || s.TCPDelivered != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestTCPSeparateLoss checks that the TCP plane has its own loss dial: a
+// UDP flood drop rate leaves TCP untouched, and vice versa.
+func TestTCPSeparateLoss(t *testing.T) {
+	clk, net := newNet()
+	var udp, tcp int
+	net.Bind("b", func(Addr, []byte) { udp++ })
+	net.BindTCP("b", func(Addr, []byte) { tcp++ })
+
+	net.SetInboundLoss("b", 1) // UDP dead, TCP alive
+	for i := 0; i < 10; i++ {
+		net.Send("a", "b", []byte("u"))
+		net.SendTCP("a", "b", []byte("t"))
+	}
+	clk.Run()
+	if udp != 0 || tcp != 10 {
+		t.Fatalf("udp=%d tcp=%d with UDP loss armed, want 0/10", udp, tcp)
+	}
+
+	net.SetInboundLoss("b", 0)
+	net.SetInboundLossTCP("b", 1) // TCP dead, UDP alive
+	for i := 0; i < 10; i++ {
+		net.Send("a", "b", []byte("u"))
+		net.SendTCP("a", "b", []byte("t"))
+	}
+	clk.Run()
+	if udp != 10 || tcp != 10 {
+		t.Fatalf("udp=%d tcp=%d with TCP loss armed, want 10/10", udp, tcp)
+	}
+	s := net.Stats()
+	if s.TCPDropped != 10 || s.TCPDelivered != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Dropped != 10 || s.Delivered != 10 {
+		t.Errorf("udp stats = %+v", s)
+	}
+}
+
+// TestPathMTUDropsOversizedUDP checks the collapsed fragmentation model:
+// UDP datagrams over the path MTU are dropped at arrival, TCP ignores
+// the limit, and clearing the limit restores delivery.
+func TestPathMTUDropsOversizedUDP(t *testing.T) {
+	clk, net := newNet()
+	var udp, tcp int
+	net.Bind("b", func(Addr, []byte) { udp++ })
+	net.BindTCP("b", func(Addr, []byte) { tcp++ })
+
+	net.SetPathMTU("b", 100)
+	if got := net.PathMTU("b"); got != 100 {
+		t.Fatalf("PathMTU = %d", got)
+	}
+	net.Send("a", "b", make([]byte, 101)) // over: dropped
+	net.Send("a", "b", make([]byte, 100)) // exactly at: delivered
+	net.SendTCP("a", "b", make([]byte, 4096))
+	clk.Run()
+	if udp != 1 || tcp != 1 {
+		t.Fatalf("udp=%d tcp=%d, want 1/1", udp, tcp)
+	}
+	s := net.Stats()
+	if s.MTUDropped != 1 || s.Dropped != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+
+	net.SetPathMTU("b", 0)
+	net.Send("a", "b", make([]byte, 4096))
+	clk.Run()
+	if udp != 2 {
+		t.Errorf("delivery after clearing MTU: udp=%d, want 2", udp)
+	}
+}
+
+// TestTCPDeadHost checks accounting for messages to an unbound TCP
+// address.
+func TestTCPDeadHost(t *testing.T) {
+	clk, net := newNet()
+	net.SendTCP("a", "nowhere", []byte("q"))
+	clk.Run()
+	if s := net.Stats(); s.TCPDead != 1 || s.TCPDelivered != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

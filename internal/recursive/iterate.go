@@ -368,6 +368,47 @@ func (t *task) tryNextServer() {
 	t.r.send(t, t.servers[idx], false)
 }
 
+// handleTruncated reacts to a TC=1 upstream response (routed here by
+// handleUpstream before the per-mode handlers, so neither mode can
+// mistake an answer-stripped response for data): retry the same server
+// over TCP when fallback is enabled and this attempt was UDP, otherwise
+// rotate to the next candidate.
+func (t *task) handleTruncated(server netsim.Addr, fwd, tcp bool) {
+	r := t.r
+	r.m.truncated.Inc()
+	if tr := r.trace; tr != nil {
+		tr.Emit(trace.Event{Type: trace.EvTruncate,
+			Probe: trace.ProbeFromName(t.name), Name: t.name,
+			Src: string(r.Addr()), Dst: string(server)})
+	}
+	if t.done {
+		return // late TC response: nothing cacheable to absorb
+	}
+	if !tcp && r.cfg.TCPFallback && r.tcpConn != nil {
+		if t.attempt >= r.cfg.MaxAttempts || *t.budget <= 0 {
+			t.fail()
+			return
+		}
+		t.attempt++
+		*t.budget--
+		r.m.upstreamRetries.Inc()
+		if tr := r.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvTCPFallback,
+				Probe: trace.ProbeFromName(t.name), Name: t.name,
+				Src: string(r.Addr()), Dst: string(server)})
+		}
+		r.sendVia(t, server, fwd, true)
+		return
+	}
+	// Fallback disabled (or TCP itself claimed truncation): the stripped
+	// response is unusable, treat the server like a lame one.
+	if fwd {
+		t.forwardNext()
+	} else {
+		t.tryNextServer()
+	}
+}
+
 // handleResponse processes an upstream reply for the current fetch.
 func (t *task) handleResponse(server netsim.Addr, m *dnswire.Message) {
 	if t.done {

@@ -138,6 +138,17 @@ type Config struct {
 	// resolver for the adversary experiments. Never enable it outside
 	// experiments: it admits Kaminsky-style poisoning by design.
 	NoBailiwick bool
+	// EDNSSize, when non-zero, advertises this EDNS0 UDP payload size on
+	// upstream queries (RFC 6891), raising the truncation threshold at
+	// the authoritatives above the classic 512 octets. Zero sends no OPT
+	// record unless DNSSEC validation needs one (TrustAnchors, which
+	// advertises 4096).
+	EDNSSize uint16
+	// TCPFallback retries a TC=1 upstream response over the simulated
+	// TCP plane against the same server (RFC 7766) instead of rotating
+	// to the next candidate. Requires a TCP transport (Attach binds one;
+	// SetTCPConn for custom transports).
+	TCPFallback bool
 	// Seed makes the resolver's random choices reproducible.
 	Seed int64
 }
@@ -192,6 +203,12 @@ type Stats struct {
 	ServFails       int64
 	Lame            int64
 	Bogus           int64
+	// Truncated counts TC=1 responses received from upstreams (each one
+	// either retried over TCP or rotated past, never consumed as data).
+	Truncated int64
+	// ClientTruncated counts responses this resolver truncated to fit a
+	// client's advertised UDP size when serving.
+	ClientTruncated int64
 }
 
 // counters is the live metric set behind Stats: embedded by value so the
@@ -210,6 +227,8 @@ type counters struct {
 	servFails       metrics.Counter
 	lame            metrics.Counter
 	bogus           metrics.Counter
+	truncated       metrics.Counter
+	clientTruncated metrics.Counter
 	// upstreamRTTms observes every upstream round-trip sample, in
 	// milliseconds (the same samples that feed SRTT selection).
 	upstreamRTTms metrics.Histogram
@@ -235,6 +254,10 @@ type Resolver struct {
 	cache cache.Cache
 	rng   *rand.Rand // lazy; use random()
 	conn  netsim.Conn
+	// tcpConn is the TCP-plane transport (nil when unbound): TC=1
+	// fallback retries go out on it, and clients reached over it are
+	// answered without the UDP size limit.
+	tcpConn netsim.Conn
 
 	nextID   uint16
 	inflight map[uint16]*outquery
@@ -321,6 +344,8 @@ func (r *Resolver) Stats() Stats {
 		ServFails:       r.m.servFails.Value(),
 		Lame:            r.m.lame.Value(),
 		Bogus:           r.m.bogus.Value(),
+		Truncated:       r.m.truncated.Value(),
+		ClientTruncated: r.m.clientTruncated.Value(),
 	}
 }
 
@@ -341,6 +366,8 @@ func (r *Resolver) CollectMetrics(s *metrics.Scope) {
 	s.Counter("servfails").Add(r.m.servFails.Value())
 	s.Counter("lame").Add(r.m.lame.Value())
 	s.Counter("bogus").Add(r.m.bogus.Value())
+	s.Counter("truncated").Add(r.m.truncated.Value())
+	s.Counter("client_truncated").Add(r.m.clientTruncated.Value())
 	s.Histogram("upstream_rtt_ms", metrics.DefaultLatencyBucketsMs).Merge(&r.m.upstreamRTTms)
 }
 
@@ -355,11 +382,22 @@ func (r *Resolver) Addr() netsim.Addr {
 // SetConn binds the resolver to an existing transport.
 func (r *Resolver) SetConn(conn netsim.Conn) { r.conn = conn }
 
-// Attach binds the resolver at addr on the simulated network. Inbound
-// packets are dispatched to the client-serving or upstream-response paths
-// by the QR bit.
+// SetTCPConn binds the resolver's TCP-plane transport (nil disables
+// TC-bit fallback and TCP client serving).
+func (r *Resolver) SetTCPConn(conn netsim.Conn) { r.tcpConn = conn }
+
+// Attach binds the resolver at addr on the simulated network; with
+// Config.TCPFallback armed it binds the TCP plane too, so TC=1 fallback
+// and TCP clients work out of the box (SetTCPConn binds the TCP plane
+// independently). The UDP-only default keeps Attach allocation-parity
+// with the pre-TCP engine on benchmark hot paths. Inbound packets are
+// dispatched to the client-serving or upstream-response paths by the QR
+// bit.
 func (r *Resolver) Attach(net *netsim.Network, addr netsim.Addr) {
 	r.conn = net.Bind(addr, r.Receive)
+	if r.cfg.TCPFallback {
+		r.tcpConn = net.BindTCP(addr, r.ReceiveTCP)
+	}
 }
 
 // headerLen is the fixed DNS header size; anything shorter cannot carry
@@ -385,7 +423,28 @@ func (r *Resolver) Receive(src netsim.Addr, payload []byte) {
 	if err != nil {
 		return
 	}
-	r.serveClient(src, m)
+	r.serveClient(src, m, false)
+}
+
+// ReceiveTCP is Receive for the TCP plane. Responses route to the same
+// in-flight table (query IDs are transport-agnostic); client queries are
+// answered over TCP without the UDP size limit.
+func (r *Resolver) ReceiveTCP(src netsim.Addr, payload []byte) {
+	if len(payload) < headerLen {
+		return
+	}
+	if payload[2]&0x80 != 0 {
+		if err := dnswire.UnpackInto(&r.upMsg, payload); err != nil {
+			return
+		}
+		r.handleUpstream(&r.upMsg)
+		return
+	}
+	m, err := dnswire.Unpack(payload)
+	if err != nil {
+		return
+	}
+	r.serveClient(src, m, true)
 }
 
 // allocID returns a message ID not currently in flight.
@@ -416,6 +475,7 @@ func (r *Resolver) allocID() uint16 {
 type outquery struct {
 	id     uint16
 	fwd    bool // forward-mode continuation (forwardNext vs tryNextServer)
+	tcp    bool // sent over the TCP plane (a TC=1 fallback retry)
 	server netsim.Addr
 	sentAt time.Time
 	timer  clock.TimerRef
@@ -442,9 +502,15 @@ func (r *Resolver) putOQ(oq *outquery) {
 // upstream is itself a recursive) and failures continue the forwarder
 // rotation instead of the iterative one.
 func (r *Resolver) send(t *task, server netsim.Addr, fwd bool) {
+	r.sendVia(t, server, fwd, false)
+}
+
+// sendVia is send with an explicit transport: tcp routes the query over
+// the TCP plane (the TC=1 fallback retry path).
+func (r *Resolver) sendVia(t *task, server netsim.Addr, fwd, tcp bool) {
 	id := r.allocID()
 	oq := r.getOQ()
-	oq.id, oq.fwd, oq.server, oq.sentAt, oq.t = id, fwd, server, r.clk.Now(), t
+	oq.id, oq.fwd, oq.tcp, oq.server, oq.sentAt, oq.t = id, fwd, tcp, server, r.clk.Now(), t
 	if r.inflight == nil {
 		r.inflight = make(map[uint16]*outquery)
 	}
@@ -459,7 +525,10 @@ func (r *Resolver) send(t *task, server netsim.Addr, fwd bool) {
 	q := &r.qMsg
 	q.ResetQuery(id, t.name, t.qtype)
 	q.RecursionDesired = fwd
-	if len(r.cfg.TrustAnchors) > 0 {
+	do := len(r.cfg.TrustAnchors) > 0
+	if size := r.cfg.EDNSSize; size > 0 {
+		q.AddEDNS(size, do)
+	} else if do {
 		q.AddEDNS(4096, true)
 	}
 	wire, err := q.AppendPack(r.packBuf[:0])
@@ -475,6 +544,10 @@ func (r *Resolver) send(t *task, server netsim.Addr, fwd bool) {
 		return
 	}
 	oq.timer = clock.AfterFuncRef(r.clk, t.timeout, outqueryTimeout, oq)
+	if tcp {
+		r.tcpConn.Send(server, wire)
+		return
+	}
 	r.conn.Send(server, wire)
 }
 
@@ -513,8 +586,15 @@ func (r *Resolver) handleUpstream(m *dnswire.Message) {
 	sample := r.clk.Now().Sub(oq.sentAt)
 	r.m.upstreamRTTms.Observe(float64(sample) / float64(time.Millisecond))
 	r.srttUpdate(oq.server, sample)
-	t, server, fwd := oq.t, oq.server, oq.fwd
+	t, server, fwd, tcp := oq.t, oq.server, oq.fwd, oq.tcp
 	r.putOQ(oq)
+	if m.Truncated {
+		// TC=1 never carries a usable answer: the data sections were
+		// stripped to fit the UDP limit. Retry over TCP (or rotate) —
+		// consuming it as data is the bug the transport family measures.
+		t.handleTruncated(server, fwd, tcp)
+		return
+	}
 	if fwd {
 		t.handleForwardResponse(m)
 	} else {

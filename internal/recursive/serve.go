@@ -3,6 +3,7 @@ package recursive
 import (
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // clientJob tracks identical in-flight client queries that share one
@@ -14,15 +15,17 @@ type clientJob struct {
 type waiter struct {
 	src netsim.Addr
 	q   *dnswire.Message
+	tcp bool // arrived over the TCP plane; answer there, untruncated
 }
 
 // serveClient answers a query received from a stub (or a downstream R1).
-func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
+// tcp marks queries that arrived over the TCP plane.
+func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message, tcp bool) {
 	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
 		resp := dnswire.NewResponse(q)
 		resp.RecursionAvailable = true
 		resp.RCode = dnswire.RCodeNotImp
-		r.respond(src, resp)
+		r.respond(src, resp, q, tcp)
 		return
 	}
 	question := q.Questions[0]
@@ -30,7 +33,7 @@ func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
 		resp := dnswire.NewResponse(q)
 		resp.RecursionAvailable = true
 		resp.RCode = dnswire.RCodeRefused
-		r.respond(src, resp)
+		r.respond(src, resp, q, tcp)
 		return
 	}
 	name := dnswire.CanonicalName(question.Name)
@@ -47,17 +50,17 @@ func (r *Resolver) serveClient(src netsim.Addr, q *dnswire.Message) {
 		r.coalesce = make(map[coalesceKey]*clientJob)
 	}
 	if job, ok := r.coalesce[key]; ok {
-		job.waiters = append(job.waiters, waiter{src: src, q: q})
+		job.waiters = append(job.waiters, waiter{src: src, q: q, tcp: tcp})
 		return
 	}
-	job := &clientJob{waiters: []waiter{{src: src, q: q}}}
+	job := &clientJob{waiters: []waiter{{src: src, q: q, tcp: tcp}}}
 	r.coalesce[key] = job
 
 	r.Resolve(name, question.Type, shard, func(res Result) {
 		delete(r.coalesce, key)
 		for _, w := range job.waiters {
 			// respMsg is packed and sent before the next waiter reuses it.
-			r.respond(w.src, r.buildResponseInto(&r.respMsg, w.q, res))
+			r.respond(w.src, r.buildResponseInto(&r.respMsg, w.q, res), w.q, w.tcp)
 		}
 	})
 }
@@ -107,26 +110,52 @@ func (r *Resolver) buildResponseInto(resp, q *dnswire.Message, res Result) *dnsw
 	if res.SOA.Data != nil {
 		resp.Authorities = append(resp.Authorities, res.SOA)
 	}
+	if _, do, ok := q.EDNS(); ok {
+		// The client speaks EDNS0: echo an OPT advertising our own
+		// receive budget (RFC 6891 §6.2.1).
+		resp.AddEDNS(4096, do)
+	}
 	return resp
 }
 
-// maxUDPPayload mirrors the classic DNS-over-UDP limit; oversized
-// responses are truncated with the TC bit so clients retry over TCP.
-const maxUDPPayload = 512
-
-func (r *Resolver) respond(dst netsim.Addr, resp *dnswire.Message) {
+// respond packs and transmits resp to dst. UDP responses larger than the
+// size the client's query advertised (512 octets without an OPT record)
+// are truncated: data sections stripped, TC set, and the OPT record kept
+// so the client can renegotiate or fall back to TCP. TCP responses are
+// never truncated.
+func (r *Resolver) respond(dst netsim.Addr, resp, q *dnswire.Message, tcp bool) {
 	wire, err := resp.AppendPack(r.packBuf[:0])
 	r.packBuf = wire[:0]
 	if err != nil {
 		return
 	}
-	if len(wire) > maxUDPPayload {
+	if limit := q.UDPPayloadLimit(); !tcp && len(wire) > limit {
+		r.m.clientTruncated.Inc()
+		if tr := r.trace; tr != nil {
+			probe := uint16(0)
+			if len(q.Questions) == 1 {
+				probe = trace.ProbeFromName(q.Questions[0].Name)
+			}
+			tr.Emit(trace.Event{Type: trace.EvTruncate, Probe: probe,
+				A: uint32(len(wire)), B: uint32(limit),
+				Src: string(r.Addr()), Dst: string(dst)})
+		}
 		trunc := *resp
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+		for i := range resp.Additionals {
+			if resp.Additionals[i].Type() == dnswire.TypeOPT {
+				trunc.Additionals = resp.Additionals[i : i+1]
+				break
+			}
+		}
 		if wire, err = trunc.AppendPack(wire[:0]); err != nil {
 			return
 		}
+	}
+	if tcp && r.tcpConn != nil {
+		r.tcpConn.Send(dst, wire)
+		return
 	}
 	r.conn.Send(dst, wire)
 }

@@ -17,6 +17,11 @@ import (
 // ErrTimeout is reported when no response arrives within the deadline.
 var ErrTimeout = errors.New("stub: query timed out")
 
+// ErrTruncated is reported when the response came back TC=1 and TCP
+// fallback was disabled (or unavailable): the data sections were
+// stripped to fit the UDP limit, so there is no usable answer.
+var ErrTruncated = errors.New("stub: response truncated, no TCP fallback")
+
 // DefaultTimeout matches the Atlas probe DNS timeout.
 const DefaultTimeout = 5 * time.Second
 
@@ -24,12 +29,18 @@ const DefaultTimeout = 5 * time.Second
 type Result struct {
 	// Msg is the response, nil on timeout.
 	Msg *dnswire.Message
-	// Err is non-nil on timeout.
+	// Err is non-nil on timeout or an unusable truncated response.
 	Err error
 	// RTT is the time from send to response (or to the timeout).
 	RTT time.Duration
 	// Server is the recursive that was queried.
 	Server netsim.Addr
+	// Truncated marks a TC=1 response that could not be retried over
+	// TCP. Msg still carries the stripped response for inspection, but
+	// it must never be classified as an answer.
+	Truncated bool
+	// TCP marks an answer obtained over the TCP plane (a TC fallback).
+	TCP bool
 }
 
 // Config tunes a Client.
@@ -39,15 +50,24 @@ type Config struct {
 	// Retries re-sends the query on timeout this many extra times.
 	// Atlas probes use 0.
 	Retries int
+	// EDNSSize, when non-zero, advertises this EDNS0 UDP payload size on
+	// queries (RFC 6891), raising the server's truncation threshold
+	// above the classic 512 octets.
+	EDNSSize uint16
+	// TCPFallback retries a TC=1 response over the simulated TCP plane
+	// (RFC 7766) instead of reporting it as truncated. Requires a TCP
+	// transport (Attach binds one; SetTCPConn for custom transports).
+	TCPFallback bool
 }
 
 // Client is a stub resolver bound to one address.
 type Client struct {
-	clk    clock.Clock
-	cfg    Config
-	conn   netsim.Conn
-	nextID uint16
-	trace  *trace.Buffer
+	clk     clock.Clock
+	cfg     Config
+	conn    netsim.Conn
+	tcpConn netsim.Conn
+	nextID  uint16
+	trace   *trace.Buffer
 	// inflight maps message IDs to pending queries.
 	inflight map[uint16]*pending
 }
@@ -60,6 +80,7 @@ type pending struct {
 	timer   clock.Timer
 	retries int
 	attempt int
+	tcp     bool // current attempt rides the TCP plane (TC fallback)
 	name    string
 	qtype   dnswire.Type
 	started time.Time
@@ -74,18 +95,28 @@ func New(clk clock.Clock, cfg Config) *Client {
 	return &Client{clk: clk, cfg: cfg, inflight: make(map[uint16]*pending)}
 }
 
-// Attach binds the client at addr on the simulated network.
+// Attach binds the client at addr on the simulated network; with
+// Config.TCPFallback armed it binds the TCP plane too, so TC=1 fallback
+// works out of the box (SetTCPConn binds the TCP plane independently).
 func (c *Client) Attach(net *netsim.Network, addr netsim.Addr) {
 	c.conn = net.Bind(addr, c.Receive)
+	if c.cfg.TCPFallback {
+		c.tcpConn = net.BindTCP(addr, c.Receive)
+	}
 }
 
 // SetConn binds the client to an existing transport.
 func (c *Client) SetConn(conn netsim.Conn) { c.conn = conn }
 
+// SetTCPConn binds the client's TCP-plane transport (nil disables TC
+// fallback).
+func (c *Client) SetTCPConn(conn netsim.Conn) { c.tcpConn = conn }
+
 // SetTrace enables query-lifecycle tracing (nil disables).
 func (c *Client) SetTrace(tr *trace.Buffer) { c.trace = tr }
 
-// Receive is the raw packet entry point.
+// Receive is the raw packet entry point (both planes: responses are
+// matched by ID, which is transport-agnostic).
 func (c *Client) Receive(src netsim.Addr, payload []byte) {
 	m, err := dnswire.Unpack(payload)
 	if err != nil || !m.Response {
@@ -97,6 +128,29 @@ func (c *Client) Receive(src netsim.Addr, payload []byte) {
 	}
 	delete(c.inflight, m.ID)
 	p.timer.Stop()
+	if m.Truncated && !p.tcp {
+		// TC=1 is not an answer: the server stripped the data sections to
+		// fit the UDP limit. Retry over TCP, or report it as truncated —
+		// never hand it to the callback as a final response.
+		if c.cfg.TCPFallback && c.tcpConn != nil {
+			if tr := c.trace; tr != nil {
+				tr.Emit(trace.Event{Type: trace.EvTCPFallback,
+					Probe: trace.ProbeFromName(p.name), B: uint32(p.span),
+					Name: p.name, Dst: string(p.server)})
+			}
+			p.tcp = true
+			c.sendAttempt(p)
+			return
+		}
+		if tr := c.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvTruncate,
+				Probe: trace.ProbeFromName(p.name), B: uint32(p.span),
+				Name: p.name, Src: string(src)})
+		}
+		p.cb(Result{Msg: m, Err: ErrTruncated, Truncated: true,
+			RTT: c.clk.Now().Sub(p.started), Server: src})
+		return
+	}
 	if tr := c.trace; tr != nil {
 		probe := trace.ProbeFromName(p.name)
 		ev := trace.Event{Type: trace.EvStubAnswer, Probe: probe,
@@ -107,7 +161,7 @@ func (c *Client) Receive(src netsim.Addr, payload []byte) {
 			tr.Emit(ev)
 		}
 	}
-	p.cb(Result{Msg: m, RTT: c.clk.Now().Sub(p.started), Server: src})
+	p.cb(Result{Msg: m, RTT: c.clk.Now().Sub(p.started), Server: src, TCP: p.tcp})
 }
 
 // Query sends a recursive query for (name, qtype) to server. cb runs
@@ -152,6 +206,9 @@ func (c *Client) sendAttempt(p *pending) {
 	}
 
 	q := dnswire.NewQuery(p.id, p.name, p.qtype)
+	if c.cfg.EDNSSize > 0 {
+		q.AddEDNS(c.cfg.EDNSSize, false)
+	}
 	wire, err := q.Pack()
 	if err != nil {
 		delete(c.inflight, p.id)
@@ -177,5 +234,9 @@ func (c *Client) sendAttempt(p *pending) {
 		}
 		p.cb(Result{Err: ErrTimeout, RTT: c.clk.Now().Sub(p.started), Server: p.server})
 	})
+	if p.tcp {
+		c.tcpConn.Send(p.server, wire)
+		return
+	}
 	c.conn.Send(p.server, wire)
 }

@@ -69,6 +69,11 @@ const (
 	EvSpoofHit    // a forged answer was accepted by the victim resolver; A=guessed ID
 	EvAdvReferral // malicious authoritative served an NXNS referral; A=delegation width
 	EvReflect     // reflector bounced a spoofed-source query; A=request bytes
+	// Transport realism (PR 8). Appended after EvReflect, same rule:
+	// older numeric values never move.
+	EvTruncate    // a response was truncated to the advertised UDP size; A=wire bytes, B=limit
+	EvTCPConnect  // simulated TCP connection established; Src/Dst
+	EvTCPFallback // a TC=1 response triggered a retry over TCP; Dst=server, B=id
 )
 
 var typeNames = [...]string{
@@ -99,6 +104,9 @@ var typeNames = [...]string{
 	EvSpoofHit:        "spoof_hit",
 	EvAdvReferral:     "adv_referral",
 	EvReflect:         "reflect",
+	EvTruncate:        "truncate",
+	EvTCPConnect:      "tcp_connect",
+	EvTCPFallback:     "tcp_fallback",
 }
 
 // String returns the event type's stable wire name.

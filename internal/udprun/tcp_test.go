@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"time"
 
 	"repro/internal/authoritative"
@@ -35,6 +36,43 @@ func TestTCPMessageFraming(t *testing.T) {
 	}
 	if _, err := ReadTCPMessage(strings.NewReader("\x00\x05abc")); err == nil {
 		t.Error("short message accepted")
+	}
+}
+
+// TestTCPFramingEdgeCases pins the boundaries of the RFC 7766 framing:
+// the largest legal message (65535 octets) round-trips, short reads mid
+// prefix and mid payload never yield a partial message, and a reader
+// that dribbles one byte at a time still reassembles cleanly.
+func TestTCPFramingEdgeCases(t *testing.T) {
+	// Largest message the 2-octet prefix can carry.
+	max := bytes.Repeat([]byte{0xcd}, maxTCPMessage-1)
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, max); err != nil {
+		t.Fatalf("max-size write: %v", err)
+	}
+	if buf.Len() != 2+len(max) {
+		t.Fatalf("framed length = %d, want %d", buf.Len(), 2+len(max))
+	}
+	got, err := ReadTCPMessage(iotest.OneByteReader(&buf))
+	if err != nil {
+		t.Fatalf("max-size read: %v", err)
+	}
+	if !bytes.Equal(got, max) {
+		t.Fatalf("max-size message corrupted: %d bytes back", len(got))
+	}
+
+	// A length prefix cut short must error, not return an empty message.
+	if _, err := ReadTCPMessage(strings.NewReader("\x00")); err == nil {
+		t.Error("truncated length prefix accepted")
+	}
+	if _, err := ReadTCPMessage(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+
+	// A payload cut short behind an honest prefix must error too, even
+	// when the bytes dribble in.
+	if _, err := ReadTCPMessage(iotest.OneByteReader(strings.NewReader("\x01\x00" + strings.Repeat("x", 100)))); err == nil {
+		t.Error("truncated payload accepted")
 	}
 }
 
