@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke transport-smoke size-guard
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke transport-smoke campaign-smoke regen-tables size-guard
 
 all: check
 
@@ -99,6 +99,23 @@ adversary-smoke:
 transport-smoke:
 	$(GO) test -race -run '^TestTransport(Smoke|ShardDeterminism)$$' -v ./internal/experiment
 	$(GO) test -race -run 'Truncat|TCPFallback|UpstreamTC|EDNSSize' ./internal/recursive ./internal/stub
+
+# Campaign/spec-DSL gate: spec validation + expansion + compile goldens
+# for every examples/specs/*.json (fails when the schema drifts without
+# regenerating the goldens), plus the small sharded campaign-runner
+# suite (shard invariance, staged phases, error surfacing, cancellation)
+# under the race detector, and one tiny end-to-end `dikes campaign` run
+# of the staged multi-phase spec.
+campaign-smoke:
+	$(GO) test -race -v ./internal/spec
+	$(GO) test -race -run '^TestCampaign|^TestMatrixCtx' -v ./internal/experiment
+	$(GO) run ./cmd/dikes -probes 60 campaign examples/specs/staged.json >/dev/null
+
+# Regenerates the committed report tables (paper_run*.txt) from
+# examples/specs/ via the campaign runner, verifying -shards 1 and
+# -shards 4 agree byte-for-byte first. See scripts/regen_tables.sh.
+regen-tables:
+	./scripts/regen_tables.sh
 
 # Fails if any tracked or staged file exceeds the 1 MB budget (build
 # artifacts and run logs do not belong in the tree).

@@ -10,6 +10,7 @@
 //	                  TCP fallback coverage, and flood intensity
 //	dikes passive   — §4: Figures 4-5
 //	dikes retries   — §6.2 / Appendix E: Figure 16
+//	dikes campaign  — run declarative scenario-spec files (examples/specs/)
 //	dikes all       — everything above
 //
 // Scale with -probes (the paper used ~9200; the default keeps runs quick).
@@ -46,7 +47,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	progress := flag.Bool("progress", false, "print live run telemetry (cells done, events/s, peak rss, eta) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|transport|passive|retries|implications|check|trace|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|transport|passive|retries|implications|check|campaign|trace|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -132,6 +133,14 @@ func main() {
 		runImplications(*seed)
 	case "check":
 		runCheck(ctx, *probes, *seed, *shards, *workers)
+	case "campaign":
+		shardsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		runCampaignCmd(ctx, flag.Args()[1:], *shards, shardsSet, *workers)
 	case "all":
 		runCaching(ctx, *probes, *seed, *workers, *shards)
 		runDDoS(ctx, *probes, *seed, *exps, pop, *workers, *shards)
@@ -159,6 +168,10 @@ func main() {
 		for _, line := range failed {
 			fmt.Fprintf(os.Stderr, "  %s\n", line)
 		}
+		os.Exit(1)
+	}
+	if campaignErrs > 0 {
+		fmt.Fprintf(os.Stderr, "dikes: %d campaign run(s) FAILED\n", campaignErrs)
 		os.Exit(1)
 	}
 }
@@ -336,7 +349,7 @@ func runCaching(ctx context.Context, probes int, seed int64, workers, shards int
 			})
 		}
 		var err error
-		results, err = dikes.RunCachingSweepCtx(ctx, cfgs, workers)
+		results, err = dikes.RunCachingSweepCtx(ctx, cfgs, dikes.RunConfig{Workers: workers})
 		if err != nil {
 			exitCancelled(err)
 		}

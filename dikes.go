@@ -47,6 +47,7 @@ import (
 	"repro/internal/passive"
 	"repro/internal/recursive"
 	"repro/internal/retrymodel"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/stub"
 	"repro/internal/telemetry"
@@ -297,6 +298,72 @@ const (
 	// MaxShardProbes is the largest allowed cell (probe IDs are
 	// cell-local uint16s).
 	MaxShardProbes = experiment.MaxShardProbes
+)
+
+// Declarative spec + campaign layer: JSON scenario specs (internal/spec)
+// compile onto the Scenario API and run as one campaign with a
+// consolidated cross-scenario report. `dikes campaign` is the CLI front
+// door; examples/specs/ holds the committed paper campaigns.
+type (
+	// ScenarioSpec is one declarative scenario-spec document.
+	ScenarioSpec = spec.Spec
+	// CampaignItem is one compiled run of a campaign.
+	CampaignItem = experiment.CampaignItem
+	// CampaignResult pairs a campaign item with its outcome or error.
+	CampaignResult = experiment.CampaignResult
+	// PassiveResult bundles the §4 production-zone models.
+	PassiveResult = experiment.PassiveResult
+	// RetriesResult is the §6.2/Appendix E software-retry matrix.
+	RetriesResult = experiment.RetriesResult
+	// RetryRow is one profile/state line of the retry study.
+	RetryRow = experiment.RetryRow
+	// AttackPhase is one time-windowed disruption phase (staged attacks).
+	AttackPhase = ddos.Phase
+	// AttackPlan schedules a phase list against a testbed's targets.
+	AttackPlan = ddos.Plan
+	// FailureMode selects a phase's failure mode.
+	FailureMode = ddos.FailureMode
+)
+
+// Failure modes for staged attack phases.
+const (
+	// ModeDrop silently drops queries (packet loss).
+	ModeDrop = ddos.ModeDrop
+	// ModeNXDomain forces NXDOMAIN answers (hijack/poisoning-style).
+	ModeNXDomain = ddos.ModeNXDomain
+	// ModeServFail forces SERVFAIL answers (broken-resolution-style).
+	ModeServFail = ddos.ModeServFail
+)
+
+var (
+	// LoadSpec reads and strict-parses one spec file.
+	LoadSpec = spec.Load
+	// ParseSpec strict-parses one spec document.
+	ParseSpec = spec.Parse
+	// ValidateSpec checks a spec against the schema rules.
+	ValidateSpec = spec.Validate
+	// ExpandSpec matrix-expands sweep axes into one spec per point.
+	ExpandSpec = spec.Expand
+	// CompileSpec lowers one expanded spec onto (Scenario, RunConfig).
+	CompileSpec = spec.Compile
+	// CompileSpecAll expands and compiles a spec into campaign items.
+	CompileSpecAll = spec.CompileAll
+	// RunCampaign executes campaign items with fan-out + cancellation.
+	RunCampaign = experiment.RunCampaign
+	// RenderCampaign formats the consolidated cross-scenario report.
+	RenderCampaign = experiment.RenderCampaign
+	// CampaignCSV renders the campaign summary as CSV.
+	CampaignCSV = experiment.CampaignCSV
+	// PassiveScenario, RetriesScenario, and ImplicationsScenario wrap
+	// the remaining paper families as Scenarios.
+	PassiveScenario      = experiment.PassiveScenario
+	RetriesScenario      = experiment.RetriesScenario
+	ImplicationsScenario = experiment.ImplicationsScenario
+	// RenderPassive and RenderRetries format those families' figures.
+	RenderPassive = experiment.RenderPassive
+	RenderRetries = experiment.RenderRetries
+	// SchedulePhases arms a staged multi-phase disruption on a network.
+	SchedulePhases = ddos.SchedulePhases
 )
 
 // Experiment runners — one per paper table/figure family.

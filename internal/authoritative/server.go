@@ -29,6 +29,9 @@ type Stats struct {
 	Referrals int64
 	Malformed int64
 	Truncated int64
+	// Forced counts answers whose rcode was overridden by the
+	// SetForcedRCode failure dial (disruption-phase emulation).
+	Forced int64
 }
 
 // counters holds the server's scalar metrics as embedded atomics so the
@@ -58,6 +61,60 @@ type Server struct {
 	byRCode     [16]int64
 	byType      [64]int64
 	byTypeOther map[dnswire.Type]int64
+	// Forced-rcode failure dial (SetForcedRCode), all under mu. The
+	// accumulator implements deterministic error diffusion: no RNG, so a
+	// run's forced-answer pattern is a pure function of arrival order.
+	forcedRC    dnswire.RCode
+	forcedFrac  float64
+	forcedAcc   float64
+	forcedNames map[string]bool
+	forcedHits  int64
+}
+
+// SetForcedRCode makes the server answer frac of subsequent in-zone
+// queries with rc instead of zone data, emulating an authoritative that
+// stays reachable but fails (the NXDOMAIN/SERVFAIL disruption modes of
+// internal/ddos.Phase). The selection is deterministic error diffusion —
+// an accumulator gains frac per eligible query and a forced answer fires
+// each time it crosses 1 — so the same query sequence always corrupts
+// the same answers. Optional names limit the dial to those query names
+// (per-record disruption). frac <= 0 clears the dial.
+func (s *Server) SetForcedRCode(rc dnswire.RCode, frac float64, names ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if frac <= 0 {
+		s.forcedFrac, s.forcedAcc, s.forcedNames = 0, 0, nil
+		return
+	}
+	s.forcedRC, s.forcedFrac, s.forcedAcc = rc, frac, 0
+	s.forcedNames = nil
+	if len(names) > 0 {
+		s.forcedNames = make(map[string]bool, len(names))
+		for _, n := range names {
+			s.forcedNames[dnswire.CanonicalName(n)] = true
+		}
+	}
+}
+
+// forceRCode advances the error-diffusion accumulator for one eligible
+// query and reports whether this answer's rcode is overridden.
+func (s *Server) forceRCode(resp *dnswire.Message) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.forcedFrac <= 0 {
+		return false
+	}
+	s.forcedAcc += s.forcedFrac
+	if s.forcedAcc < 1 {
+		return false
+	}
+	s.forcedAcc--
+	s.forcedHits++
+	resp.RCode = s.forcedRC
+	// The server is authoritative for the zone, so the forced negative
+	// carries the AA bit — caches treat it like a genuine denial.
+	resp.Authoritative = true
+	return true
 }
 
 // SetTrace enables answer tracing (nil disables). The buffer carries its
@@ -125,6 +182,7 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	out.Forced = s.forcedHits
 	out.ByRCode = make(map[dnswire.RCode]int64)
 	for k, v := range s.byRCode {
 		if v != 0 {
@@ -153,6 +211,9 @@ func (s *Server) CollectMetrics(sc *metrics.Scope) {
 	sc.Counter("truncated").Add(s.m.truncated.Value())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.forcedHits != 0 {
+		sc.Counter("forced_rcode").Add(s.forcedHits)
+	}
 	for k, v := range s.byRCode {
 		if v != 0 {
 			sc.Counter("rcode_" + dnswire.RCode(k).String()).Add(v)
@@ -279,6 +340,10 @@ func (s *Server) handle(q, resp *dnswire.Message) bool {
 		}
 		s.byTypeOther[question.Type]++
 	}
+	// Sampled inside the critical section the tally already pays for, so
+	// the disabled dial costs the fast path nothing extra.
+	forcedArmed := s.forcedFrac > 0 &&
+		(s.forcedNames == nil || s.forcedNames[question.Name])
 	s.mu.Unlock()
 
 	z := s.findZone(question.Name)
@@ -288,6 +353,18 @@ func (s *Server) handle(q, resp *dnswire.Message) bool {
 		return true
 	}
 	_, do, hasEDNS := q.EDNS()
+	if forcedArmed && s.forceRCode(resp) {
+		if hasEDNS {
+			resp.AddEDNS(4096, do)
+		}
+		s.finish(resp)
+		if tr := s.trace; tr != nil {
+			tr.Emit(trace.Event{Type: trace.EvAuthAnswer,
+				Probe: trace.ProbeFromName(question.Name),
+				A:     uint32(resp.RCode), B: uint32(question.Type), Name: question.Name})
+		}
+		return true
+	}
 	s.answerFromZone(resp, z, question.Name, question.Type, 0)
 	if do {
 		s.addDenialProof(resp, z, question)

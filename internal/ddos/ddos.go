@@ -29,30 +29,18 @@ type Attack struct {
 }
 
 // Schedule arms the attack on net using clk. It returns immediately; the
-// loss changes fire at the configured offsets.
+// loss changes fire at the configured offsets. An Attack is the
+// one-phase packet-drop special case of a Plan (see SchedulePhases);
+// callers and RNG streams of the single-window form are untouched.
 func Schedule(clk clock.Clock, net *netsim.Network, a Attack) {
-	targets := append([]netsim.Addr(nil), a.Targets...)
-	loss := a.Loss
-	tr := a.Trace
-	clk.AfterFunc(a.Start, func() {
-		for _, t := range targets {
-			net.SetInboundLoss(t, loss)
-			if tr != nil {
-				tr.Force(trace.Event{Type: trace.EvAttackStart,
-					A: uint32(loss * 1e6), Dst: string(t)})
-			}
-		}
+	SchedulePhases(clk, net, Plan{
+		Targets: a.Targets,
+		Trace:   a.Trace,
+		Phases: []Phase{{
+			Start: a.Start, Duration: a.Duration,
+			Intensity: a.Loss, Mode: ModeDrop,
+		}},
 	})
-	if a.Duration > 0 {
-		clk.AfterFunc(a.Start+a.Duration, func() {
-			for _, t := range targets {
-				net.SetInboundLoss(t, 0)
-				if tr != nil {
-					tr.Force(trace.Event{Type: trace.EvAttackEnd, Dst: string(t)})
-				}
-			}
-		})
-	}
 }
 
 // Flood describes a volumetric attack by offered load instead of a loss

@@ -1,0 +1,120 @@
+package ddos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+func TestSchedulePhasesStagedDrops(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	SchedulePhases(clk, net, Plan{
+		Targets: []netsim.Addr{"a", "b"},
+		Phases: []Phase{
+			{Start: 10 * time.Minute, Duration: 20 * time.Minute, Intensity: 0.5, Mode: ModeDrop},
+			{Start: 30 * time.Minute, Duration: 20 * time.Minute, Intensity: 1, Mode: ModeDrop},
+		},
+	})
+	check := func(at time.Duration, want float64) {
+		t.Helper()
+		clk.RunUntil(epoch.Add(at))
+		for _, target := range []netsim.Addr{"a", "b"} {
+			if got := net.InboundLoss(target); got != want {
+				t.Errorf("loss(%s) at %v = %v, want %v", target, at, got, want)
+			}
+		}
+	}
+	check(5*time.Minute, 0)    // before the first phase
+	check(15*time.Minute, 0.5) // partial outage
+	check(35*time.Minute, 1)   // total outage
+	check(55*time.Minute, 0)   // recovery
+}
+
+func TestSchedulePhasesTargetCount(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	SchedulePhases(clk, net, Plan{
+		Targets: []netsim.Addr{"a", "b"},
+		Phases: []Phase{
+			{Start: time.Minute, Intensity: 0.9, Mode: ModeDrop, TargetCount: 1},
+		},
+	})
+	clk.RunFor(2 * time.Minute)
+	if got := net.InboundLoss("a"); got != 0.9 {
+		t.Errorf("loss(a) = %v, want 0.9", got)
+	}
+	if got := net.InboundLoss("b"); got != 0 {
+		t.Errorf("loss(b) = %v, want 0 (TargetCount 1)", got)
+	}
+}
+
+// rcodeRecorder records SetForcedRCode calls in order.
+type rcodeRecorder struct {
+	calls []rcodeCall
+}
+
+type rcodeCall struct {
+	rc    dnswire.RCode
+	frac  float64
+	names []string
+}
+
+func (r *rcodeRecorder) SetForcedRCode(rc dnswire.RCode, frac float64, names ...string) {
+	r.calls = append(r.calls, rcodeCall{rc: rc, frac: frac, names: names})
+}
+
+func TestSchedulePhasesRCodeModes(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1)
+	srv := &rcodeRecorder{}
+	SchedulePhases(clk, net, Plan{
+		Targets: []netsim.Addr{"a"},
+		Servers: []RCodeServer{srv},
+		Phases: []Phase{
+			{Start: time.Minute, Duration: time.Minute, Intensity: 0.75,
+				Mode: ModeServFail, Records: []string{"1414.cachetest.nl."}},
+			{Start: 3 * time.Minute, Duration: time.Minute, Intensity: 1, Mode: ModeNXDomain},
+		},
+	})
+	clk.RunFor(10 * time.Minute)
+	want := []rcodeCall{
+		{rc: dnswire.RCodeServFail, frac: 0.75, names: []string{"1414.cachetest.nl."}},
+		{rc: dnswire.RCodeServFail, frac: 0},
+		{rc: dnswire.RCodeNXDomain, frac: 1},
+		{rc: dnswire.RCodeNXDomain, frac: 0},
+	}
+	if len(srv.calls) != len(want) {
+		t.Fatalf("calls = %+v, want %+v", srv.calls, want)
+	}
+	for i := range want {
+		got := srv.calls[i]
+		if got.rc != want[i].rc || got.frac != want[i].frac ||
+			!reflect.DeepEqual(got.names, want[i].names) &&
+				!(len(got.names) == 0 && len(want[i].names) == 0) {
+			t.Errorf("call %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	// An rcode phase must not touch the packet-loss dial.
+	if got := net.InboundLoss("a"); got != 0 {
+		t.Errorf("rcode phase changed inbound loss: %v", got)
+	}
+}
+
+// TestFailureModeRCode pins the mode-to-rcode mapping the spec compiler
+// and trace analysis rely on.
+func TestFailureModeRCode(t *testing.T) {
+	if ModeDrop.RCode() != dnswire.RCodeNoError ||
+		ModeNXDomain.RCode() != dnswire.RCodeNXDomain ||
+		ModeServFail.RCode() != dnswire.RCodeServFail {
+		t.Error("FailureMode.RCode mapping changed")
+	}
+	if ModeDrop.String() != "drop" || ModeNXDomain.String() != "nxdomain" ||
+		ModeServFail.String() != "servfail" {
+		t.Error("FailureMode.String mapping changed")
+	}
+}

@@ -299,6 +299,9 @@ func NXNSScenario(spec NXNSSpec) Scenario {
 	return nxnsScenario{spec: spec.withDefaults()}
 }
 
+// Spec exposes the wrapped (defaulted) spec for golden tests.
+func (s nxnsScenario) Spec() NXNSSpec { return s.spec }
+
 func (s nxnsScenario) Name() string {
 	if s.spec.MaxFetch > 0 {
 		return "nxns-k" + itoa(s.spec.MaxFetch)
@@ -614,6 +617,9 @@ func PoisonScenario(spec PoisonSpec) Scenario {
 	return poisonScenario{spec: spec.withDefaults()}
 }
 
+// Spec exposes the wrapped (defaulted) spec for golden tests.
+func (s poisonScenario) Spec() PoisonSpec { return s.spec }
+
 func (s poisonScenario) Name() string {
 	ids, bw := "seqid", "bw"
 	if s.spec.RandomIDs {
@@ -901,6 +907,9 @@ type reflectScenario struct{ spec ReflectSpec }
 func ReflectScenario(spec ReflectSpec) Scenario {
 	return reflectScenario{spec: spec.withDefaults()}
 }
+
+// Spec exposes the wrapped (defaulted) spec for golden tests.
+func (s reflectScenario) Spec() ReflectSpec { return s.spec }
 
 func (reflectScenario) Name() string { return "reflect" }
 

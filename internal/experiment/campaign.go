@@ -1,0 +1,287 @@
+package experiment
+
+// The campaign runner: execute a list of compiled scenario runs (usually
+// produced by internal/spec from declarative JSON files) across
+// internal/parallel with context cancellation, and render one
+// consolidated cross-scenario report. Per-run failures are captured in
+// the results and surfaced in the report — a campaign never silently
+// drops a run (the fix for the old RunDDoSMatrixCtx nil-slot behavior).
+//
+// Determinism contract: RenderCampaign and CampaignCSV iterate results
+// in item order and every per-family renderer is deterministic, so the
+// campaign output is byte-identical for any Workers/Shards value.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/parallel"
+)
+
+// CampaignItem is one compiled run of a campaign.
+type CampaignItem struct {
+	// Name labels the run in the report (unique within the campaign;
+	// spec expansion derives it from the spec name plus axis suffixes).
+	Name string
+	// Source is the spec file the item came from ("" when assembled in
+	// code).
+	Source   string
+	Scenario Scenario
+	Config   RunConfig
+}
+
+// CampaignResult pairs one item with what running it produced. Err is
+// non-nil when the run failed or was cancelled; Outcome may still carry
+// partial results in that case.
+type CampaignResult struct {
+	Item    CampaignItem
+	Outcome *Outcome
+	Err     error
+}
+
+// RunCampaign executes every item, at most workers runs in flight at
+// once (<= 0 means one per core). Per-run errors land in the matching
+// CampaignResult; the returned error is non-nil only when ctx was
+// cancelled (wrapped ErrCancelled), with the results of the finished
+// runs still filled in.
+func RunCampaign(ctx context.Context, items []CampaignItem, workers int) ([]CampaignResult, error) {
+	results := make([]CampaignResult, len(items))
+	for i := range items {
+		results[i].Item = items[i]
+	}
+	runErr := parallel.ForEachCtx(ctx, workers, len(items), func(i int) {
+		out, err := Run(ctx, items[i].Scenario, items[i].Config)
+		results[i].Outcome, results[i].Err = out, err
+	})
+	if runErr != nil {
+		return results, cancelErr(runErr)
+	}
+	return results, nil
+}
+
+// status is the summary-table verdict of one run.
+func (r CampaignResult) status() string {
+	switch {
+	case r.Err != nil:
+		return "ERROR: " + r.Err.Error()
+	case r.Outcome == nil:
+		return "skipped"
+	default:
+		return "ok"
+	}
+}
+
+// headline is the one-line takeaway of one run.
+func (r CampaignResult) headline() string {
+	o := r.Outcome
+	if o == nil {
+		return "-"
+	}
+	switch {
+	case o.DDoS != nil:
+		t := o.DDoS.Table4
+		return fmt.Sprintf("valid answers %d/%d", t.ValidAnswers, t.TotalAnswers)
+	case o.Caching != nil:
+		return fmt.Sprintf("miss rate %.1f%%", 100*o.Caching.MissRate)
+	case o.Glue != nil:
+		return fmt.Sprintf("child-TTL share %.1f%%", 100*o.Glue.NS.AuthoritativeShare())
+	case o.Check != nil:
+		pass := 0
+		for _, c := range o.Check {
+			if c.Pass {
+				pass++
+			}
+		}
+		return fmt.Sprintf("%d/%d claims pass", pass, len(o.Check))
+	case o.NXNS != nil:
+		amp, width := 0.0, 0
+		for _, row := range o.NXNS.Rows {
+			if a := row.Amplification(); a > amp {
+				amp, width = a, row.Width
+			}
+		}
+		return fmt.Sprintf("max amplification %.1fx at width %d", amp, width)
+	case o.Poison != nil:
+		return fmt.Sprintf("hijacked %.1f%%", 100*o.Poison.SuccessRate())
+	case o.Reflect != nil:
+		amp := 0.0
+		for _, row := range o.Reflect.Rows {
+			if a := row.Amplification(); a > amp {
+				amp = a
+			}
+		}
+		return fmt.Sprintf("max amplification %.1fx", amp)
+	case o.Transport != nil:
+		var q, a int64
+		for _, row := range o.Transport.Rows {
+			q += row.Queries
+			a += row.Answered
+		}
+		rate := 0.0
+		if q > 0 {
+			rate = float64(a) / float64(q)
+		}
+		return fmt.Sprintf("answered %.1f%%", 100*rate)
+	case o.Passive != nil:
+		return fmt.Sprintf("at-TTL re-queries %.1f%%", 100*o.Passive.Nl.FracAtTTL)
+	case o.Retries != nil:
+		up, down := 0.0, 0.0
+		for _, row := range o.Retries.Rows {
+			if row.Down {
+				down += row.Result.Mean.Total()
+			} else {
+				up += row.Result.Mean.Total()
+			}
+		}
+		mult := 0.0
+		if up > 0 {
+			mult = down / up
+		}
+		return fmt.Sprintf("retry amplification %.1fx", mult)
+	case o.Implications != nil:
+		return fmt.Sprintf("fail under attack: root %.1f%% vs cdn %.1f%%",
+			100*o.Implications.RootFailDuringAttack, 100*o.Implications.CDNFailDuringAttack)
+	}
+	return "-"
+}
+
+// RenderCampaign formats the consolidated cross-scenario report: one
+// block per run (the family's paper figures), the cross-run tables the
+// paper prints over several runs at once (Tables 1-3 over the caching
+// runs, Table 4 over the attack matrix, the poisoning matrix), and a
+// summary table with per-run status — including errors.
+func RenderCampaign(results []CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d run(s)\n", len(results))
+
+	for i, r := range results {
+		fmt.Fprintf(&b, "\n---- run %d/%d: %s (%s) ----\n",
+			i+1, len(results), r.Item.Name, r.Item.Scenario.Name())
+		if r.Err != nil {
+			fmt.Fprintf(&b, "ERROR: %v\n", r.Err)
+			continue
+		}
+		if r.Outcome == nil {
+			fmt.Fprintf(&b, "skipped\n")
+			continue
+		}
+		renderRunBlock(&b, r)
+	}
+
+	renderConsolidated(&b, results)
+
+	fmt.Fprintf(&b, "\n---- campaign summary ----\n")
+	fmt.Fprintf(&b, "%-34s %-14s %-34s %s\n", "run", "scenario", "headline", "status")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-34s %-14s %-34s %s\n",
+			r.Item.Name, r.Item.Scenario.Name(), r.headline(), r.status())
+	}
+	return b.String()
+}
+
+// renderRunBlock prints one run's own figures/tables.
+func renderRunBlock(b *strings.Builder, r CampaignResult) {
+	o := r.Outcome
+	switch {
+	case o.DDoS != nil:
+		renderDDoSBlock(b, o.DDoS, o.Worlds)
+	case o.Caching != nil:
+		fmt.Fprintf(b, "miss rate: %.1f%%\n", 100*o.Caching.MissRate)
+		fmt.Fprintf(b, "answer types over time (Figure 13 shape)\n%s",
+			o.Caching.Fig13.Table([]string{"AA", "CC", "AC", "CA", "Warmup"}))
+	case o.Glue != nil:
+		fmt.Fprint(b, RenderTable5(o.Glue))
+	case o.Check != nil:
+		table, ok := RenderCheck(o.Check)
+		fmt.Fprint(b, table)
+		if !ok {
+			fmt.Fprintf(b, "self-test FAILED\n")
+		}
+	case o.NXNS != nil:
+		fmt.Fprint(b, RenderNXNS(o.NXNS))
+	case o.Poison != nil:
+		// Rendered consolidated: the poisoning table is a matrix over the
+		// campaign's poison runs.
+		fmt.Fprintf(b, "hijacked %d/%d attempts (see consolidated poisoning matrix)\n",
+			o.Poison.Hijacked, o.Poison.Attempts)
+	case o.Reflect != nil:
+		fmt.Fprint(b, RenderReflect(o.Reflect))
+	case o.Transport != nil:
+		fmt.Fprint(b, RenderTransport(o.Transport))
+	case o.Passive != nil:
+		fmt.Fprint(b, RenderPassive(o.Passive))
+	case o.Retries != nil:
+		fmt.Fprint(b, RenderRetries(o.Retries))
+	case o.Implications != nil:
+		fmt.Fprint(b, RenderImplications(o.Implications))
+	}
+}
+
+// renderDDoSBlock prints one attack run's full figure set (the cmd/dikes
+// per-experiment block), plus the Table 7 drill-down when the run kept
+// its worlds.
+func renderDDoSBlock(b *strings.Builder, res *DDoSResult, worlds *ShardedTestbed) {
+	name := res.Spec.Name
+	fmt.Fprintf(b, "Figure 6/8/14 (exp %s): answers per round\n%s", name,
+		res.Answers.Table([]string{"OK", "SERVFAIL", "NoAnswer"}))
+	fmt.Fprintf(b, "Figure 9/15 (exp %s): latency quantiles\n%s", name, RenderLatency(res))
+	fmt.Fprintf(b, "Figure 7 (exp %s): answer classes\n%s", name,
+		res.Classes.Table([]string{"AA", "CC", "CA", "AC"}))
+	fmt.Fprintf(b, "Figure 10 (exp %s): queries at the authoritatives\n%s", name,
+		res.AuthQueries.Table([]string{"NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"}))
+	fmt.Fprintf(b, "Figure 11 (exp %s): per-probe amplification\n%s", name,
+		RenderAmplification(res))
+	fmt.Fprintf(b, "Figure 12 (exp %s): unique Rn\n%s", name, RenderUniqueRn(res))
+	if worlds != nil {
+		ref := worlds.BusiestProbe()
+		fmt.Fprintf(b, "Table 7 (exp %s): per-probe drill-down\n%s", name,
+			RenderTable7(worlds.PerProbe(res, ref)))
+	}
+}
+
+// renderConsolidated prints the cross-run tables.
+func renderConsolidated(b *strings.Builder, results []CampaignResult) {
+	var caching []*CachingResult
+	var attacks []*DDoSResult
+	var poisons []*PoisonResult
+	for _, r := range results {
+		if r.Outcome == nil {
+			continue
+		}
+		if r.Outcome.Caching != nil {
+			caching = append(caching, r.Outcome.Caching)
+		}
+		if r.Outcome.DDoS != nil {
+			attacks = append(attacks, r.Outcome.DDoS)
+		}
+		if r.Outcome.Poison != nil {
+			poisons = append(poisons, r.Outcome.Poison)
+		}
+	}
+	if len(caching) > 0 {
+		fmt.Fprintf(b, "\n---- consolidated: caching runs ----\n")
+		fmt.Fprintf(b, "\nTable 1: caching baseline\n%s", RenderTable1(caching))
+		fmt.Fprintf(b, "\nTable 2: answer classification\n%s", RenderTable2(caching))
+		fmt.Fprintf(b, "\nTable 3: AC answers by public resolver\n%s", RenderTable3(caching))
+	}
+	if len(attacks) > 0 {
+		fmt.Fprintf(b, "\n---- consolidated: attack matrix ----\n")
+		fmt.Fprintf(b, "\nTable 4: experiment matrix\n%s", RenderTable4(attacks))
+	}
+	if len(poisons) > 0 {
+		fmt.Fprintf(b, "\n---- consolidated: poisoning matrix ----\n")
+		fmt.Fprint(b, RenderPoison(poisons))
+	}
+}
+
+// CampaignCSV renders the summary table as CSV (one row per run).
+func CampaignCSV(results []CampaignResult) string {
+	var b strings.Builder
+	b.WriteString("run,scenario,headline,status\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%s,%q,%q\n",
+			r.Item.Name, r.Item.Scenario.Name(), r.headline(), r.status())
+	}
+	return b.String()
+}

@@ -25,6 +25,13 @@ type DDoSSpec struct {
 	// TargetsAll attacks every authoritative; otherwise only the first
 	// (Experiment D's "50% one NS").
 	TargetsAll bool
+	// Phases, when non-empty, replaces the single Loss/DDoSStart/DDoSDur
+	// window with a staged multi-phase disruption (partial outage → total
+	// → recovery, NXDOMAIN/SERVFAIL failure modes, per-phase target
+	// counts). The scalar fields above then only describe the envelope
+	// for display (Table 4). Compiled from spec disruption windows; see
+	// internal/spec.
+	Phases []ddos.Phase
 }
 
 // PaperExperiments are the paper's experiments A–I (Table 4). Durations
@@ -142,8 +149,23 @@ func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig,
 	return tb
 }
 
-// scheduleAttack arms the spec's loss window on the targets.
+// scheduleAttack arms the spec's disruption on the targets: the legacy
+// single loss window, or the staged phase list when the spec carries
+// one. Phases address the full authoritative set (Phase.TargetCount
+// selects within it) and get the servers as rcode hooks so the
+// NXDOMAIN/SERVFAIL failure modes can reach past the network layer.
 func scheduleAttack(tb *Testbed, spec DDoSSpec, targets []netsim.Addr) {
+	if len(spec.Phases) > 0 {
+		servers := make([]ddos.RCodeServer, len(tb.Auths))
+		for i, srv := range tb.Auths {
+			servers[i] = srv
+		}
+		ddos.SchedulePhases(tb.Clk, tb.Net, ddos.Plan{
+			Targets: tb.AuthAddrs, Servers: servers,
+			Phases: spec.Phases, Trace: tb.Trace,
+		})
+		return
+	}
 	ddos.Schedule(tb.Clk, tb.Net, ddos.Attack{
 		Targets: targets, Loss: spec.Loss,
 		Start: spec.DDoSStart, Duration: spec.DDoSDur,

@@ -1,0 +1,159 @@
+package experiment
+
+// The light experiment families — the §4 passive-measurement models, the
+// §6.2/Appendix E software-retry model, and the §8 implications study —
+// wrapped as Scenarios so the campaign runner (and the spec compiler)
+// can drive every family through the same front door. These worlds are
+// pure functions of their seed and do not use the cell engine: the
+// Shards knob is accepted and ignored, so campaign output stays
+// byte-identical at any shard count by construction.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/passive"
+	"repro/internal/retrymodel"
+)
+
+// PassiveResult bundles the §4 production-zone models (Figures 4-5).
+type PassiveResult struct {
+	Nl   *passive.NlResult
+	Root *passive.RootResult
+}
+
+// RetryRow is one profile/state line of the retry study (Figure 16).
+type RetryRow struct {
+	Profile string
+	Down    bool
+	Result  retrymodel.Result
+}
+
+// RetriesResult is the §6.2/Appendix E software-retry matrix.
+type RetriesResult struct {
+	Trials int
+	Rows   []RetryRow
+}
+
+// ---- Passive ----
+
+type passiveScenario struct{}
+
+// PassiveScenario wraps the §4 passive measurements (RunNl + RunRoot) as
+// a Scenario. Probes and shards are ignored: the models are driven by
+// their own calibrated populations.
+func PassiveScenario() Scenario { return passiveScenario{} }
+
+func (passiveScenario) Name() string { return "passive" }
+
+func (passiveScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: "passive", Config: cfg}
+	if err := ctx.Err(); err != nil {
+		return out, cancelErr(err)
+	}
+	out.Passive = &PassiveResult{
+		Nl:   passive.RunNl(passive.NlConfig{Seed: cfg.Seed}),
+		Root: passive.RunRoot(passive.RootConfig{Seed: cfg.Seed}),
+	}
+	return out, nil
+}
+
+// ---- Retries ----
+
+type retriesScenario struct{ trials int }
+
+// RetriesScenario wraps the software-retry model as a Scenario: both
+// profiles (BIND-like, Unbound-like) in both server states, trials
+// trials each (default 100, the committed table's size).
+func RetriesScenario(trials int) Scenario { return retriesScenario{trials: trials} }
+
+func (retriesScenario) Name() string { return "retries" }
+
+func (s retriesScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: "retries", Config: cfg}
+	if err := ctx.Err(); err != nil {
+		return out, cancelErr(err)
+	}
+	trials := s.trials
+	if trials <= 0 {
+		trials = 100
+	}
+	res := &RetriesResult{Trials: trials}
+	for _, profile := range []retrymodel.Profile{retrymodel.BINDLike(), retrymodel.UnboundLike()} {
+		for _, down := range []bool{false, true} {
+			res.Rows = append(res.Rows, RetryRow{
+				Profile: profile.Name, Down: down,
+				Result: retrymodel.Run(profile, down, trials, cfg.Seed),
+			})
+		}
+	}
+	out.Retries = res
+	return out, nil
+}
+
+// ---- Implications ----
+
+type implicationsScenario struct{ spec ImplicationsConfig }
+
+// ImplicationsScenario wraps the §8 root-like vs CDN-like study as a
+// Scenario. The spec's zero values use the calibrated defaults; the
+// RunConfig seed always wins so campaign seeding stays uniform.
+func ImplicationsScenario(spec ImplicationsConfig) Scenario {
+	return implicationsScenario{spec: spec}
+}
+
+func (implicationsScenario) Name() string { return "implications" }
+
+func (s implicationsScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	out := &Outcome{Scenario: "implications", Config: cfg}
+	if err := ctx.Err(); err != nil {
+		return out, cancelErr(err)
+	}
+	spec := s.spec
+	spec.Seed = cfg.Seed
+	out.Implications = RunImplications(spec)
+	return out, nil
+}
+
+// ---- Renderers ----
+
+// RenderPassive formats the §4 results (Figures 4-5) the way the
+// committed paper tables print them.
+func RenderPassive(r *PassiveResult) string {
+	var b strings.Builder
+	nl := r.Nl
+	fmt.Fprintf(&b, "Figure 4: ECDF of median inter-arrival at .nl (TTL 3600)\n")
+	for _, p := range nl.ECDF.Points(20) {
+		fmt.Fprintf(&b, "  dt<=%7.0fs  cdf=%.3f\n", p.X, p.Y)
+	}
+	fmt.Fprintf(&b, "closely-timed excluded: %.1f%%  at-TTL: %.1f%%  early re-query: %.1f%%\n",
+		100*nl.Analysis.ExcludedFrac, 100*nl.FracAtTTL, 100*nl.FracBelowTTL)
+
+	root := r.Root
+	fmt.Fprintf(&b, "\nFigure 5: queries per recursive for the nl DS at the roots\n")
+	fmt.Fprintf(&b, "single-query recursives: %.1f%%  heaviest source: %d queries/day\n",
+		100*root.FracSingleObserved, root.MaxObserved)
+	for i, e := range root.PerLetter {
+		fmt.Fprintf(&b, "  letter %2d: P(n<=1)=%.3f P(n<=5)=%.3f P(n<=30)=%.3f\n",
+			i, e.At(1), e.At(5), e.At(30))
+	}
+	return b.String()
+}
+
+// RenderRetries formats the retry matrix (Figure 16) the way the
+// committed paper tables print it.
+func RenderRetries(r *RetriesResult) string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		state := "up  "
+		if row.Down {
+			state = "down"
+		}
+		res := row.Result
+		fmt.Fprintf(&b, "%-8s %s  root=%5.1f  net=%5.1f  cachetest.net=%5.1f  total=%5.1f  answered=%d/%d\n",
+			row.Profile, state, res.Mean.Root, res.Mean.Net, res.Mean.Target,
+			res.Mean.Total(), res.Answered, res.Trials)
+	}
+	return b.String()
+}

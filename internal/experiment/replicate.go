@@ -15,19 +15,22 @@ import (
 // run builds its own world from the seed). Used by the robustness tests
 // and the BenchmarkReplicationVariance target.
 func Replicate(n int, baseSeed int64, metric func(seed int64) float64) stats.Summary {
-	sum, _ := ReplicateCtx(context.Background(), n, baseSeed, metric)
+	sum, _ := ReplicateCtx(context.Background(), n, RunConfig{Seed: baseSeed}, metric)
 	return sum
 }
 
 // ReplicateCtx is Replicate with cooperative cancellation at replicate
-// granularity. On cancellation it summarizes only the replicates that
+// granularity and the sweep runners' (ctx, n, RunConfig) shape:
+// cfg.Seed is the base seed (replicate i runs at cfg.Seed + i*1000, the
+// stride the robustness suite has always used) and cfg.Workers bounds
+// the fan-out. On cancellation it summarizes only the replicates that
 // completed and returns an error satisfying errors.Is(err, ErrCancelled)
 // — a partial summary over fewer seeds, never one padded with zeros.
-func ReplicateCtx(ctx context.Context, n int, baseSeed int64, metric func(seed int64) float64) (stats.Summary, error) {
+func ReplicateCtx(ctx context.Context, n int, cfg RunConfig, metric func(seed int64) float64) (stats.Summary, error) {
 	values := make([]float64, n)
 	done := make([]bool, n)
-	err := parallel.ForEachCtx(ctx, 0, n, func(i int) {
-		values[i] = metric(baseSeed + int64(i)*1000)
+	err := parallel.ForEachCtx(ctx, cfg.Workers, n, func(i int) {
+		values[i] = metric(cfg.Seed + int64(i)*1000)
 		done[i] = true
 	})
 	if err != nil {

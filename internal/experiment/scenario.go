@@ -117,14 +117,17 @@ type Outcome struct {
 	Scenario string
 	Config   RunConfig
 
-	DDoS      *DDoSResult
-	Caching   *CachingResult
-	Glue      *GlueResult
-	Check     []CheckResult
-	NXNS      *NXNSResult
-	Poison    *PoisonResult
-	Reflect   *ReflectResult
-	Transport *TransportResult
+	DDoS         *DDoSResult
+	Caching      *CachingResult
+	Glue         *GlueResult
+	Check        []CheckResult
+	NXNS         *NXNSResult
+	Poison       *PoisonResult
+	Reflect      *ReflectResult
+	Transport    *TransportResult
+	Passive      *PassiveResult
+	Retries      *RetriesResult
+	Implications *ImplicationsResult
 
 	// Worlds holds the per-cell testbeds when Config.KeepWorlds was set
 	// and the run completed (nil on cancelled runs).
@@ -176,9 +179,16 @@ func DDoSScenario(spec DDoSSpec) Scenario { return ddosScenario{spec: spec} }
 
 func (s ddosScenario) Name() string { return "ddos-" + s.spec.Name }
 
+// Spec exposes the wrapped attack spec, so the spec compiler's lowering
+// (phase plans, display envelope) is inspectable in golden tests.
+func (s ddosScenario) Spec() DDoSSpec { return s.spec }
+
 func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	out := &Outcome{Scenario: s.Name(), Config: cfg}
 	spec := s.spec
+	if spec.ProbeInterval <= 0 || spec.TotalDur <= 0 {
+		return out, fmt.Errorf("ddos spec %q: ProbeInterval and TotalDur must be positive", spec.Name)
+	}
 	rounds := int(spec.TotalDur / spec.ProbeInterval)
 
 	if !cfg.sharded() {

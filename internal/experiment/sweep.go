@@ -6,9 +6,14 @@ package experiment
 // mutable state and can fan out across cores. Results come back in input
 // order and each run is bit-for-bit identical to the same run executed
 // sequentially (TestMatrixParallelMatchesSequential pins this down).
+//
+// Every Ctx runner here takes the same (ctx, items, RunConfig) shape:
+// the items carry the per-run experiment axes, the RunConfig carries the
+// engine knobs (probes, seed, shards, workers) shared by the sweep.
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/parallel"
 )
@@ -26,12 +31,16 @@ func RunDDoSMatrix(specs []DDoSSpec, probes int, seed int64, pop PopulationConfi
 // RunDDoSMatrixCtx is the cancellable, RunConfig-routed matrix runner:
 // each spec runs as one DDoSScenario under cfg (so cfg.Shards selects
 // the sharded engine for every run), fanned across cfg.Workers
-// goroutines. On cancellation it returns the completed results (nil for
-// runs that never finished) and an error satisfying
-// errors.Is(err, ErrCancelled).
+// goroutines. Cancellation returns the completed results (nil for runs
+// that never finished) and an error satisfying
+// errors.Is(err, ErrCancelled); a run failing for any other reason keeps
+// its partial result slot and its error is joined into the returned
+// error instead of being dropped.
 func RunDDoSMatrixCtx(ctx context.Context, specs []DDoSSpec, cfg RunConfig) ([]*DDoSResult, error) {
-	results, err := parallel.MapCtx(ctx, cfg.Workers, specs, func(_ int, spec DDoSSpec) *DDoSResult {
+	runErrs := make([]error, len(specs))
+	results, err := parallel.MapCtx(ctx, cfg.Workers, specs, func(i int, spec DDoSSpec) *DDoSResult {
 		out, runErr := Run(ctx, DDoSScenario(spec), cfg)
+		runErrs[i] = runErr
 		if runErr != nil {
 			return nil
 		}
@@ -40,21 +49,30 @@ func RunDDoSMatrixCtx(ctx context.Context, specs []DDoSSpec, cfg RunConfig) ([]*
 	if err != nil {
 		return results, cancelErr(err)
 	}
-	return results, nil
+	return results, errors.Join(runErrs...)
 }
 
 // RunDDoSMatrixWithTestbeds is RunDDoSMatrix but also returns each run's
 // testbed for drill-downs (Table 7, Appendix F). Testbeds retain the full
 // authoritative-side query log, so prefer RunDDoSMatrix when the drill-down
 // is not needed.
+//
+// Deprecated: thin wrapper over the Scenario API (Run with KeepWorlds),
+// kept for compatibility. New code should run DDoSScenario with
+// RunConfig.KeepWorlds — or drive the whole matrix through RunCampaign —
+// and read Outcome.Worlds.
 func RunDDoSMatrixWithTestbeds(specs []DDoSSpec, probes int, seed int64, pop PopulationConfig, workers int) ([]*DDoSResult, []*Testbed) {
 	type pair struct {
 		res *DDoSResult
 		tb  *Testbed
 	}
+	cfg := RunConfig{Probes: probes, Seed: seed, Population: pop, KeepWorlds: true}
 	pairs := parallel.Map(workers, specs, func(_ int, spec DDoSSpec) pair {
-		res, tb := RunDDoSWithTestbed(spec, probes, seed, pop)
-		return pair{res, tb}
+		out, err := Run(context.Background(), DDoSScenario(spec), cfg)
+		if err != nil {
+			return pair{}
+		}
+		return pair{out.DDoS, out.Worlds.Shards[0]}
 	})
 	results := make([]*DDoSResult, len(pairs))
 	testbeds := make([]*Testbed, len(pairs))
@@ -67,18 +85,41 @@ func RunDDoSMatrixWithTestbeds(specs []DDoSSpec, probes int, seed int64, pop Pop
 // RunCachingSweep executes the §3 baseline configurations (the Table 1
 // columns) concurrently on at most workers goroutines. results[i]
 // corresponds to cfgs[i].
+//
+// Deprecated: thin wrapper kept for compatibility; it delegates to
+// RunCachingSweepCtx, which takes the matrix runner's
+// (ctx, items, RunConfig) shape.
 func RunCachingSweep(cfgs []CachingConfig, workers int) []*CachingResult {
-	results, _ := RunCachingSweepCtx(context.Background(), cfgs, workers)
+	results, _ := RunCachingSweepCtx(context.Background(), cfgs, RunConfig{Workers: workers})
 	return results
 }
 
-// RunCachingSweepCtx is RunCachingSweep with cooperative cancellation at
-// run granularity: once ctx fires no new run starts, completed results
-// keep their slots (nil elsewhere), and the error satisfies
-// errors.Is(err, ErrCancelled).
-func RunCachingSweepCtx(ctx context.Context, cfgs []CachingConfig, workers int) ([]*CachingResult, error) {
-	results, err := parallel.MapCtx(ctx, workers, cfgs, func(_ int, cfg CachingConfig) *CachingResult {
-		return RunCaching(cfg)
+// RunCachingSweepCtx runs each caching configuration as one
+// CachingScenario under cfg — the same (ctx, items, RunConfig) shape as
+// RunDDoSMatrixCtx, so cfg.Shards selects the sharded engine for every
+// run and cfg.Workers bounds the fan-out. The items carry the experiment
+// axes (TTL, ProbeInterval, Rounds); an item's Probes/Seed/Population,
+// when set, override cfg's (the legacy sweep passed fully-populated
+// configs). Cancellation keeps completed slots (nil elsewhere) and the
+// error satisfies errors.Is(err, ErrCancelled).
+func RunCachingSweepCtx(ctx context.Context, items []CachingConfig, cfg RunConfig) ([]*CachingResult, error) {
+	results, err := parallel.MapCtx(ctx, cfg.Workers, items, func(_ int, item CachingConfig) *CachingResult {
+		runCfg := cfg
+		if item.Probes != 0 {
+			runCfg.Probes = item.Probes
+		}
+		if item.Seed != 0 {
+			runCfg.Seed = item.Seed
+		}
+		if item.Population != (PopulationConfig{}) {
+			runCfg.Population = item.Population
+		}
+		runCfg.TTL, runCfg.ProbeInterval, runCfg.Rounds = item.TTL, item.ProbeInterval, item.Rounds
+		out, runErr := Run(ctx, CachingScenario(), runCfg)
+		if runErr != nil {
+			return nil
+		}
+		return out.Caching
 	})
 	if err != nil {
 		return results, cancelErr(err)

@@ -335,6 +335,9 @@ func TransportScenario(spec TransportSpec) Scenario {
 	return transportScenario{spec: spec.withDefaults()}
 }
 
+// Spec exposes the wrapped (defaulted) spec for golden tests.
+func (s transportScenario) Spec() TransportSpec { return s.spec }
+
 func (s transportScenario) Name() string {
 	if s.spec.Flood > 0 {
 		return "transport-f" + itoa(int(s.spec.Flood*100+0.5))

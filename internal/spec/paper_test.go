@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestPaperCampaignReproducesCommittedTables replays the committed
+// examples/specs/ campaigns through the library (Load → CompileAll →
+// RunCampaign → RenderCampaign) and pins the output against the committed
+// report tables, at Shards 1 and 4. This is the full-scale determinism
+// gate: ~1500 probes per run, tens of seconds per leg, so it is opt-in.
+//
+//	DIKES_PAPER_CAMPAIGN=1 go test ./internal/spec -run PaperCampaign -v
+func TestPaperCampaignReproducesCommittedTables(t *testing.T) {
+	if os.Getenv("DIKES_PAPER_CAMPAIGN") == "" {
+		t.Skip("set DIKES_PAPER_CAMPAIGN=1 to run the full-scale paper campaign reproduction")
+	}
+	root := filepath.Join("..", "..")
+	cases := []struct {
+		committed string
+		specs     string
+	}{
+		{"paper_run.txt", filepath.Join("examples", "specs", "paper")},
+		{"paper_run_adversary.txt", filepath.Join("examples", "specs", "adversary")},
+		{"paper_run_transport.txt", filepath.Join("examples", "specs", "transport.json")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.committed, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join(root, tc.committed))
+			if err != nil {
+				t.Fatalf("read committed table: %v", err)
+			}
+			want := reportBody(string(raw))
+			if want == "" {
+				t.Fatalf("no 'campaign:' report body in %s", tc.committed)
+			}
+			for _, shards := range []int{1, 4} {
+				items := compileSpecSet(t, filepath.Join(root, tc.specs), shards)
+				results, err := experiment.RunCampaign(context.Background(), items, 0)
+				if err != nil {
+					t.Fatalf("RunCampaign (shards %d): %v", shards, err)
+				}
+				got := reportBody(experiment.RenderCampaign(results))
+				if got != want {
+					t.Errorf("shards=%d: rendered campaign differs from committed %s (regenerate with scripts/regen_tables.sh after inspecting)",
+						shards, tc.committed)
+				}
+			}
+		})
+	}
+}
+
+// compileSpecSet loads every spec under path (file or directory, lexical
+// order) and compiles it, overriding the engine shard count like the
+// dikes -shards flag does.
+func compileSpecSet(t *testing.T, path string, shards int) []experiment.CampaignItem {
+	t.Helper()
+	var paths []string
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir() {
+		err := filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".json") {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		paths = []string{path}
+	}
+	var items []experiment.CampaignItem
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			t.Fatalf("Load %s: %v", p, err)
+		}
+		compiled, err := CompileAll(s, filepath.Base(p))
+		if err != nil {
+			t.Fatalf("CompileAll %s: %v", p, err)
+		}
+		for i := range compiled {
+			compiled[i].Config.Shards = shards
+		}
+		items = append(items, compiled...)
+	}
+	return items
+}
+
+// reportBody strips everything outside the RenderCampaign output: the
+// '#' header comments, the cmd preamble, and the wall-time footer. The
+// body starts at the first line beginning with "campaign: ".
+func reportBody(s string) string {
+	lines := strings.Split(s, "\n")
+	start := -1
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "campaign: ") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+	var out []string
+	for _, ln := range lines[start:] {
+		if strings.HasPrefix(ln, "total wall time:") {
+			continue
+		}
+		out = append(out, ln)
+	}
+	return strings.TrimRight(strings.Join(out, "\n"), "\n")
+}

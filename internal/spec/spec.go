@@ -1,0 +1,343 @@
+// Package spec is the declarative scenario-specification layer: a
+// versioned JSON document that describes one experiment — family,
+// population mix, time-windowed disruption phases, transport and
+// adversary knobs, engine settings — and compiles onto the Scenario API
+// of internal/experiment. The spec is the single authorable surface over
+// every experiment family; the committed examples/specs/ files
+// regenerate every paper table through `dikes campaign`.
+//
+// Pipeline: Load/Parse (strict JSON — unknown fields are errors) →
+// Validate (schema and cross-field rules) → Expand (matrix expansion of
+// sweep axes into one spec per point) → Compile (one expanded spec →
+// experiment.Scenario + experiment.RunConfig). CompileAll chains the
+// last two into campaign items.
+//
+// Compiled configs always select the sharded engine (Shards >= 1), whose
+// results are byte-identical at any shard count, so a spec pins the
+// experiment's output bytes regardless of how much hardware runs it.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Version is the schema version this package reads and writes.
+const Version = 1
+
+// Spec is one scenario-spec document. Optional sections are pointers so
+// "absent" is distinguishable from "present with defaults"; which
+// sections a family accepts is enforced by Validate.
+type Spec struct {
+	// Version must equal 1.
+	Version int `json:"version"`
+	// Name labels the runs this spec produces; sweep expansion appends
+	// one axis suffix per swept value ("-ttl60", "-flood50", ...).
+	Name string `json:"name"`
+	// Family selects the experiment family: caching, ddos, glue, check,
+	// nxns, poison, reflect, transport, passive, retries, implications.
+	Family string `json:"family"`
+	// Paper, on family ddos, names committed Table 4 experiments ("A"
+	// through "I"; a string or a list) instead of spelling out workload
+	// and disruption by hand.
+	Paper PaperList `json:"paper,omitempty"`
+
+	Engine     *EngineSection     `json:"engine,omitempty"`
+	Population *PopulationSection `json:"population,omitempty"`
+	Workload   *WorkloadSection   `json:"workload,omitempty"`
+	Disruption []PhaseSection     `json:"disruption,omitempty"`
+	Transport  *TransportSection  `json:"transport,omitempty"`
+	Adversary  *AdversarySection  `json:"adversary,omitempty"`
+}
+
+// EngineSection carries the simulation-engine knobs shared by every
+// family. Zero values take the engine defaults (1200 probes, seed 42,
+// one shard of the default cell size).
+type EngineSection struct {
+	Probes int `json:"probes,omitempty"`
+	// Seed is a pointer so an explicit 0 survives; nil means the paper
+	// seed (42).
+	Seed        *int64 `json:"seed,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	ShardProbes int    `json:"shard_probes,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	KeepWorlds  bool   `json:"keep_worlds,omitempty"`
+	// Trace arms deterministic query-lifecycle tracing; TraceSample
+	// keeps every Nth probe (<= 1 traces all).
+	Trace       bool `json:"trace,omitempty"`
+	TraceSample int  `json:"trace_sample,omitempty"`
+}
+
+// PopulationSection tunes the resolver population
+// (experiment.PopulationConfig's experiment-relevant subset; the
+// calibration fractions stay code-side).
+type PopulationSection struct {
+	// Harvest is the NS-harvesting mode: "none", "aaaa", or "full".
+	Harvest string `json:"harvest,omitempty"`
+	// ServeStale and Prefetch arm the §7 mitigations on the direct
+	// resolvers (prefetch is the fraction armed).
+	ServeStale bool    `json:"serve_stale,omitempty"`
+	Prefetch   float64 `json:"prefetch,omitempty"`
+	// MaxFetch is the NXNSAttack max-fetch(k) mitigation; 0 disables.
+	MaxFetch int `json:"max_fetch,omitempty"`
+	// RandomIDs and NoBailiwick set the poisoning-resistance posture
+	// population-wide.
+	RandomIDs   bool `json:"random_ids,omitempty"`
+	NoBailiwick bool `json:"no_bailiwick,omitempty"`
+}
+
+// WorkloadSection shapes the probing workload.
+type WorkloadSection struct {
+	// TTL is the zone TTL in seconds; sweepable.
+	TTL *Axis `json:"ttl,omitempty"`
+	// ProbeInterval and Rounds drive the caching families; Total and
+	// QueriesBefore drive the ddos timeline (QueriesBefore 0 derives the
+	// pre-attack round count from the first disruption window).
+	ProbeInterval Duration `json:"probe_interval,omitempty"`
+	Rounds        int      `json:"rounds,omitempty"`
+	Total         Duration `json:"total,omitempty"`
+	QueriesBefore int      `json:"queries_before,omitempty"`
+	// Trials is the retries family's per-profile trial count.
+	Trials int `json:"trials,omitempty"`
+}
+
+// PhaseSection is one time-windowed disruption phase of a ddos spec.
+// Exactly one of Loss or AttackQPS sets the intensity.
+type PhaseSection struct {
+	Start Duration `json:"start,omitempty"`
+	// Duration 0 means "until the end of the run" and is only legal on
+	// the last phase.
+	Duration Duration `json:"duration,omitempty"`
+	// Loss is the direct drop/forcing probability in [0, 1].
+	Loss *float64 `json:"loss,omitempty"`
+	// AttackQPS/CapacityQPS describe the flood as load instead; the
+	// compiler converts overload into the equivalent loss rate.
+	AttackQPS   float64 `json:"attack_qps,omitempty"`
+	CapacityQPS float64 `json:"capacity_qps,omitempty"`
+	// Mode is the failure mode: "drop" (default), "nxdomain", or
+	// "servfail".
+	Mode string `json:"mode,omitempty"`
+	// Targets selects the attacked authoritatives: "all" (default) or
+	// "first" (Experiment D's one-NS attack).
+	Targets string `json:"targets,omitempty"`
+	// Records limits a forged-rcode phase to specific owner names.
+	Records []string `json:"records,omitempty"`
+}
+
+// TransportSection drives the DoTCP-fallback family.
+type TransportSection struct {
+	// Bufs is the advertised EDNS0 buffer axis (0 = no OPT).
+	Bufs []int `json:"bufs,omitempty"`
+	// Flood is the UDP inbound-loss probability at the authoritatives;
+	// sweepable.
+	Flood *Axis `json:"flood,omitempty"`
+	// TCPLoss overrides the TCP-plane loss (default flood/2).
+	TCPLoss float64 `json:"tcp_loss,omitempty"`
+}
+
+// AdversarySection gathers the adversarial families' knobs; only the
+// subsection matching the spec's family may be present.
+type AdversarySection struct {
+	NXNS    *NXNSSection    `json:"nxns,omitempty"`
+	Poison  *PoisonSection  `json:"poison,omitempty"`
+	Reflect *ReflectSection `json:"reflect,omitempty"`
+}
+
+// NXNSSection shapes the referral-amplification attack.
+type NXNSSection struct {
+	Widths []int `json:"widths,omitempty"`
+	// MaxFetch is the max-fetch(k) mitigation; sweepable (the paper's
+	// unmitigated-vs-k=5 comparison).
+	MaxFetch *Axis `json:"max_fetch,omitempty"`
+}
+
+// PoisonSection shapes the off-path poisoning attack.
+type PoisonSection struct {
+	// RandomIDs and NoBailiwick are sweepable — the committed matrix is
+	// their cross product.
+	RandomIDs   *BoolAxis `json:"random_ids,omitempty"`
+	NoBailiwick *BoolAxis `json:"no_bailiwick,omitempty"`
+	IDWindow    int       `json:"id_window,omitempty"`
+	Waves       int       `json:"waves,omitempty"`
+	WaveEvery   Duration  `json:"wave_every,omitempty"`
+	PortGuess   float64   `json:"port_guess,omitempty"`
+}
+
+// ReflectSection shapes the reflection-amplification measurement.
+type ReflectSection struct {
+	Every    Duration `json:"every,omitempty"`
+	EDNSSize int      `json:"edns_size,omitempty"`
+}
+
+// ---- Leaf JSON types ----
+
+// Duration is a time.Duration that reads and writes Go duration strings
+// ("10m", "1h30m") — bare JSON numbers are rejected as ambiguous.
+type Duration time.Duration
+
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"10m\", got %s", b)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Axis is a numeric spec field that is either a scalar or a sweep
+// declaration {"sweep": [v1, v2, ...]}. Expand turns sweeps into
+// scalars; Compile rejects any sweep that survives.
+type Axis struct {
+	value float64
+	sweep []float64 // non-nil marks an unexpanded sweep
+}
+
+// ScalarAxis returns a scalar axis (used by expansion and tests).
+func ScalarAxis(v float64) *Axis { return &Axis{value: v} }
+
+// Value returns the scalar value; only meaningful when !IsSweep.
+func (a *Axis) Value() float64 { return a.value }
+
+// IsSweep reports whether the axis is an unexpanded sweep.
+func (a *Axis) IsSweep() bool { return a.sweep != nil }
+
+// Sweep returns the sweep values (nil for a scalar).
+func (a *Axis) Sweep() []float64 { return a.sweep }
+
+func (a *Axis) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*a = Axis{value: v}
+		return nil
+	}
+	var obj struct {
+		Sweep *[]float64 `json:"sweep"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil || obj.Sweep == nil {
+		return fmt.Errorf("axis must be a number or {\"sweep\": [...]}, got %s", b)
+	}
+	*a = Axis{sweep: *obj.Sweep}
+	return nil
+}
+
+func (a Axis) MarshalJSON() ([]byte, error) {
+	if a.sweep != nil {
+		return json.Marshal(struct {
+			Sweep []float64 `json:"sweep"`
+		}{a.sweep})
+	}
+	return json.Marshal(a.value)
+}
+
+// BoolAxis is Axis for boolean knobs (the poisoning matrix axes).
+type BoolAxis struct {
+	value bool
+	sweep []bool
+}
+
+// ScalarBoolAxis returns a scalar boolean axis.
+func ScalarBoolAxis(v bool) *BoolAxis { return &BoolAxis{value: v} }
+
+func (a *BoolAxis) Value() bool   { return a.value }
+func (a *BoolAxis) IsSweep() bool { return a.sweep != nil }
+func (a *BoolAxis) Sweep() []bool { return a.sweep }
+
+func (a *BoolAxis) UnmarshalJSON(b []byte) error {
+	var v bool
+	if err := json.Unmarshal(b, &v); err == nil {
+		*a = BoolAxis{value: v}
+		return nil
+	}
+	var obj struct {
+		Sweep *[]bool `json:"sweep"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil || obj.Sweep == nil {
+		return fmt.Errorf("axis must be a bool or {\"sweep\": [...]}, got %s", b)
+	}
+	*a = BoolAxis{sweep: *obj.Sweep}
+	return nil
+}
+
+func (a BoolAxis) MarshalJSON() ([]byte, error) {
+	if a.sweep != nil {
+		return json.Marshal(struct {
+			Sweep []bool `json:"sweep"`
+		}{a.sweep})
+	}
+	return json.Marshal(a.value)
+}
+
+// PaperList is the "paper" field: a single experiment name or a list.
+type PaperList []string
+
+func (p *PaperList) UnmarshalJSON(b []byte) error {
+	var one string
+	if err := json.Unmarshal(b, &one); err == nil {
+		*p = PaperList{one}
+		return nil
+	}
+	var many []string
+	if err := json.Unmarshal(b, &many); err != nil {
+		return fmt.Errorf("paper must be a string or a list of strings, got %s", b)
+	}
+	*p = PaperList(many)
+	return nil
+}
+
+func (p PaperList) MarshalJSON() ([]byte, error) {
+	if len(p) == 1 {
+		return json.Marshal(p[0])
+	}
+	return json.Marshal([]string(p))
+}
+
+// ---- Parse ----
+
+// Parse strict-decodes one spec document and validates it. Unknown
+// fields anywhere in the document are errors — a typoed knob must never
+// silently run the default experiment.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after the document")
+	}
+	if err := Validate(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses the spec file at path.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,277 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ddos"
+	"repro/internal/experiment"
+)
+
+// mustParse parses a spec that the test requires to be valid.
+func mustParse(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+// wantErr asserts that parsing fails and the error mentions want.
+func wantErr(t *testing.T, doc, want string) {
+	t.Helper()
+	_, err := Parse([]byte(doc))
+	if err == nil {
+		t.Fatalf("Parse accepted invalid spec (want error containing %q):\n%s", want, doc)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	// Top level.
+	wantErr(t, `{"version": 1, "name": "x", "family": "glue", "bogus": 3}`, "bogus")
+	// Nested section.
+	wantErr(t, `{"version": 1, "name": "x", "family": "caching",
+		"workload": {"ttl": 60, "probe_intervall": "20m"}}`, "probe_intervall")
+	// Inside a disruption phase.
+	wantErr(t, `{"version": 1, "name": "x", "family": "ddos",
+		"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"},
+		"disruption": [{"start": "60m", "duration": "30m", "loss": 1, "intensity": 2}]}`,
+		"intensity")
+}
+
+func TestParseRejectsSchemaViolations(t *testing.T) {
+	t.Parallel()
+	wantErr(t, `{"version": 2, "name": "x", "family": "glue"}`, "version")
+	wantErr(t, `{"version": 1, "family": "glue"}`, "name")
+	wantErr(t, `{"version": 1, "name": "x", "family": "flood"}`, "unknown family")
+	// Section not taken by the family.
+	wantErr(t, `{"version": 1, "name": "x", "family": "glue", "transport": {}}`,
+		"does not take a transport section")
+	// paper conflicts with an explicit workload.
+	wantErr(t, `{"version": 1, "name": "x", "family": "ddos", "paper": "B",
+		"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"}}`,
+		"mutually exclusive")
+	wantErr(t, `{"version": 1, "name": "x", "family": "ddos", "paper": ["B", "Z"]}`,
+		"unknown paper experiment")
+	// Durations must be strings.
+	wantErr(t, `{"version": 1, "name": "x", "family": "caching",
+		"workload": {"probe_interval": 1200}}`, "duration must be a string")
+}
+
+func TestParseRejectsBadPhases(t *testing.T) {
+	t.Parallel()
+	base := func(phases string) string {
+		return `{"version": 1, "name": "x", "family": "ddos",
+			"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"},
+			"disruption": [` + phases + `]}`
+	}
+	// Overlapping windows.
+	wantErr(t, base(`{"start": "60m", "duration": "40m", "loss": 1},
+		{"start": "80m", "duration": "20m", "loss": 0.5}`), "overlaps")
+	// Open-ended phase before the last.
+	wantErr(t, base(`{"start": "60m", "loss": 1},
+		{"start": "90m", "duration": "10m", "loss": 0.5}`), "only legal on the last phase")
+	// Loss out of range.
+	wantErr(t, base(`{"start": "60m", "duration": "30m", "loss": 1.5}`), "[0, 1]")
+	// Both intensity forms at once.
+	wantErr(t, base(`{"start": "60m", "duration": "30m", "loss": 1, "attack_qps": 100}`),
+		"exactly one of loss or attack_qps")
+	// Neither intensity form.
+	wantErr(t, base(`{"start": "60m", "duration": "30m"}`), "exactly one of loss or attack_qps")
+	// Unknown mode / targets.
+	wantErr(t, base(`{"start": "60m", "duration": "30m", "loss": 1, "mode": "slow"}`), "mode")
+	wantErr(t, base(`{"start": "60m", "duration": "30m", "loss": 1, "targets": "second"}`), "targets")
+	// Records need a forced-rcode mode.
+	wantErr(t, base(`{"start": "60m", "duration": "30m", "loss": 1, "records": ["a.nl."]}`),
+		"records require mode nxdomain or servfail")
+}
+
+func TestParseRejectsBadSweeps(t *testing.T) {
+	t.Parallel()
+	// Empty sweep.
+	wantErr(t, `{"version": 1, "name": "x", "family": "caching",
+		"workload": {"ttl": {"sweep": []}}}`, "empty sweep")
+	// Malformed axis value.
+	wantErr(t, `{"version": 1, "name": "x", "family": "caching",
+		"workload": {"ttl": {"sweep": [60], "also": 1}}}`, "axis")
+	wantErr(t, `{"version": 1, "name": "x", "family": "caching",
+		"workload": {"ttl": "sixty"}}`, "axis")
+	// Sweep values still range-checked.
+	wantErr(t, `{"version": 1, "name": "x", "family": "transport",
+		"transport": {"flood": {"sweep": [0, 1.5]}}}`, "[0, 1]")
+}
+
+func TestExpandPaperList(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "paper", "family": "ddos",
+		"paper": ["A", "B", "C"]}`)
+	out, err := Expand(s)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var names []string
+	for _, sp := range out {
+		names = append(names, sp.Name)
+	}
+	if got, want := strings.Join(names, " "), "paper-A paper-B paper-C"; got != want {
+		t.Errorf("expanded names = %q, want %q", got, want)
+	}
+}
+
+func TestExpandPoisonMatrixOrder(t *testing.T) {
+	t.Parallel()
+	// The committed poisoning matrix's column order: the spec declares
+	// random_ids [false, true] (outer) and no_bailiwick [true, false]
+	// (inner); expansion preserves the declared orders.
+	s := mustParse(t, `{"version": 1, "name": "poison", "family": "poison",
+		"adversary": {"poison": {
+			"random_ids": {"sweep": [false, true]},
+			"no_bailiwick": {"sweep": [true, false]}}}}`)
+	out, err := Expand(s)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var names []string
+	for _, sp := range out {
+		names = append(names, sp.Name)
+	}
+	want := "poison-seqid-nobw poison-seqid-bw poison-randid-nobw poison-randid-bw"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("poison matrix order = %q, want %q", got, want)
+	}
+}
+
+func TestExpandTTLSweep(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "caching", "family": "caching",
+		"workload": {"ttl": {"sweep": [60, 1800]}, "probe_interval": "20m"}}`)
+	out, err := Expand(s)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(out) != 2 || out[0].Name != "caching-ttl60" || out[1].Name != "caching-ttl1800" {
+		t.Fatalf("ttl sweep expansion wrong: %+v", out)
+	}
+	if out[0].Workload.TTL.IsSweep() || out[0].Workload.TTL.Value() != 60 {
+		t.Errorf("expanded axis not scalar 60: %+v", out[0].Workload.TTL)
+	}
+	// The shared sections survive the clone.
+	if out[1].Workload.ProbeInterval.D() != 20*time.Minute {
+		t.Errorf("probe_interval lost in expansion: %v", out[1].Workload.ProbeInterval.D())
+	}
+}
+
+func TestCompileRejectsUnexpandedSweep(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "caching", "family": "caching",
+		"workload": {"ttl": {"sweep": [60, 1800]}}}`)
+	if _, _, err := Compile(s); err == nil || !strings.Contains(err.Error(), "unexpanded sweep") {
+		t.Fatalf("Compile accepted an unexpanded sweep: %v", err)
+	}
+}
+
+func TestCompileDefaults(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "g", "family": "glue"}`)
+	sc, cfg, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if sc.Name() != "glue" {
+		t.Errorf("scenario = %q, want glue", sc.Name())
+	}
+	if cfg.Seed != DefaultSeed || cfg.Shards != 1 {
+		t.Errorf("defaults: Seed=%d Shards=%d, want %d/1", cfg.Seed, cfg.Shards, int64(DefaultSeed))
+	}
+}
+
+func TestCompileStagedPhases(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "staged", "family": "ddos",
+		"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"},
+		"disruption": [
+			{"start": "60m", "duration": "30m", "loss": 0.5, "mode": "servfail",
+			 "records": ["1414.cachetest.nl."]},
+			{"start": "90m", "duration": "30m", "loss": 1}
+		]}`)
+	sc, _, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ds := sc.(interface{ Spec() experiment.DDoSSpec }).Spec()
+	if len(ds.Phases) != 2 {
+		t.Fatalf("phases = %+v, want 2", ds.Phases)
+	}
+	p0, p1 := ds.Phases[0], ds.Phases[1]
+	if p0.Mode != ddos.ModeServFail || p0.Intensity != 0.5 || p0.Start != 60*time.Minute ||
+		p0.Duration != 30*time.Minute || len(p0.Records) != 1 {
+		t.Errorf("phase 0 miscompiled: %+v", p0)
+	}
+	if p1.Mode != ddos.ModeDrop || p1.Intensity != 1 || p1.Start != 90*time.Minute {
+		t.Errorf("phase 1 miscompiled: %+v", p1)
+	}
+	// Display envelope spans the staged window; pre-attack rounds derive
+	// from the first phase.
+	if ds.DDoSStart != 60*time.Minute || ds.DDoSDur != 60*time.Minute || ds.Loss != 1 {
+		t.Errorf("envelope: start=%v dur=%v loss=%v", ds.DDoSStart, ds.DDoSDur, ds.Loss)
+	}
+	if ds.QueriesBefore != 6 {
+		t.Errorf("QueriesBefore = %d, want 6", ds.QueriesBefore)
+	}
+}
+
+func TestCompileSingleDropLowersToLegacyWindow(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "simple", "family": "ddos",
+		"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"},
+		"disruption": [{"start": "60m", "duration": "60m", "loss": 0.9, "targets": "first"}]}`)
+	sc, _, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ds := sc.(interface{ Spec() experiment.DDoSSpec }).Spec()
+	if len(ds.Phases) != 0 {
+		t.Errorf("single drop phase should lower onto the legacy scalar window, got phases %+v", ds.Phases)
+	}
+	if ds.Loss != 0.9 || ds.DDoSStart != time.Hour || ds.DDoSDur != time.Hour || ds.TargetsAll {
+		t.Errorf("legacy window miscompiled: %+v", ds)
+	}
+}
+
+func TestCompileFloodIntensity(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "flood", "family": "ddos",
+		"workload": {"ttl": 1800, "probe_interval": "10m", "total": "3h"},
+		"disruption": [{"start": "60m", "duration": "60m",
+			"attack_qps": 300, "capacity_qps": 100}]}`)
+	sc, _, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ds := sc.(interface{ Spec() experiment.DDoSSpec }).Spec()
+	want := ddos.Flood{AttackQPS: 300, CapacityQPS: 100}.LossRate()
+	if ds.Loss != want {
+		t.Errorf("flood-form intensity = %v, want LossRate %v", ds.Loss, want)
+	}
+}
+
+func TestCompilePopulation(t *testing.T) {
+	t.Parallel()
+	s := mustParse(t, `{"version": 1, "name": "p", "family": "nxns",
+		"population": {"harvest": "full", "serve_stale": true, "prefetch": 0.5, "max_fetch": 5},
+		"adversary": {"nxns": {"max_fetch": 5}}}`)
+	_, cfg, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	pop := cfg.Population
+	if !pop.ServeStaleDirect || pop.PrefetchDirect != 0.5 || pop.MaxFetch != 5 {
+		t.Errorf("population miscompiled: %+v", pop)
+	}
+}

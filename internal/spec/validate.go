@@ -1,0 +1,313 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// familyRule says which optional sections a family accepts (engine is
+// always legal).
+type familyRule struct {
+	population, workload, disruption, transport, adversary, paper bool
+}
+
+var families = map[string]familyRule{
+	"caching":      {population: true, workload: true},
+	"ddos":         {population: true, workload: true, disruption: true, paper: true},
+	"glue":         {},
+	"check":        {},
+	"nxns":         {population: true, adversary: true},
+	"poison":       {adversary: true},
+	"reflect":      {adversary: true},
+	"transport":    {transport: true},
+	"passive":      {},
+	"retries":      {workload: true},
+	"implications": {},
+}
+
+var harvestModes = map[string]bool{"": true, "none": true, "aaaa": true, "full": true}
+var phaseModes = map[string]bool{"": true, "drop": true, "nxdomain": true, "servfail": true}
+var phaseTargets = map[string]bool{"": true, "all": true, "first": true}
+
+// Validate checks one spec document against the schema rules: known
+// family, only that family's sections present, well-formed engine and
+// phase values, resolvable paper names, and non-overlapping disruption
+// windows. Parse calls it; Compile calls it again so hand-built specs
+// get the same checks.
+func Validate(s *Spec) error {
+	if s.Version != Version {
+		return fmt.Errorf("spec %q: version must be %d, got %d", s.Name, Version, s.Version)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("spec: name is required")
+	}
+	rule, ok := families[s.Family]
+	if !ok {
+		return fmt.Errorf("spec %q: unknown family %q", s.Name, s.Family)
+	}
+	bad := func(section string) error {
+		return fmt.Errorf("spec %q: family %s does not take a %s section", s.Name, s.Family, section)
+	}
+	switch {
+	case s.Population != nil && !rule.population:
+		return bad("population")
+	case s.Workload != nil && !rule.workload:
+		return bad("workload")
+	case s.Disruption != nil && !rule.disruption:
+		return bad("disruption")
+	case s.Transport != nil && !rule.transport:
+		return bad("transport")
+	case s.Adversary != nil && !rule.adversary:
+		return bad("adversary")
+	case s.Paper != nil && !rule.paper:
+		return bad("paper")
+	}
+	if err := validateEngine(s); err != nil {
+		return err
+	}
+	if err := validatePopulation(s); err != nil {
+		return err
+	}
+	if err := validateWorkload(s); err != nil {
+		return err
+	}
+	if err := validateFamily(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validateEngine(s *Spec) error {
+	e := s.Engine
+	if e == nil {
+		return nil
+	}
+	switch {
+	case e.Probes < 0:
+		return fmt.Errorf("spec %q: engine.probes must be >= 0", s.Name)
+	case e.Shards < 0:
+		return fmt.Errorf("spec %q: engine.shards must be >= 0", s.Name)
+	case e.ShardProbes < 0 || e.ShardProbes > experiment.MaxShardProbes:
+		return fmt.Errorf("spec %q: engine.shard_probes must be in [0, %d]", s.Name, experiment.MaxShardProbes)
+	}
+	return nil
+}
+
+func validatePopulation(s *Spec) error {
+	p := s.Population
+	if p == nil {
+		return nil
+	}
+	if !harvestModes[p.Harvest] {
+		return fmt.Errorf("spec %q: population.harvest must be \"none\", \"aaaa\", or \"full\", got %q", s.Name, p.Harvest)
+	}
+	if p.Prefetch < 0 || p.Prefetch > 1 {
+		return fmt.Errorf("spec %q: population.prefetch must be in [0, 1]", s.Name)
+	}
+	if p.MaxFetch < 0 {
+		return fmt.Errorf("spec %q: population.max_fetch must be >= 0", s.Name)
+	}
+	return nil
+}
+
+func validateWorkload(s *Spec) error {
+	w := s.Workload
+	if w == nil {
+		return nil
+	}
+	if w.TTL != nil {
+		if err := eachAxis(w.TTL, "workload.ttl", s.Name, func(v float64) error {
+			if v <= 0 || v != float64(int64(v)) || v > 1<<31 {
+				return fmt.Errorf("spec %q: workload.ttl values must be positive integer seconds, got %g", s.Name, v)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if w.ProbeInterval < 0 || w.Total < 0 {
+		return fmt.Errorf("spec %q: workload durations must be >= 0", s.Name)
+	}
+	if w.Rounds < 0 || w.QueriesBefore < 0 || w.Trials < 0 {
+		return fmt.Errorf("spec %q: workload counts must be >= 0", s.Name)
+	}
+	return nil
+}
+
+// eachAxis applies check to the axis's scalar or every sweep value and
+// rejects empty sweeps.
+func eachAxis(a *Axis, field, name string, check func(float64) error) error {
+	if a.IsSweep() {
+		if len(a.Sweep()) == 0 {
+			return fmt.Errorf("spec %q: %s: empty sweep", name, field)
+		}
+		for _, v := range a.Sweep() {
+			if err := check(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(a.Value())
+}
+
+func validateFamily(s *Spec) error {
+	switch s.Family {
+	case "ddos":
+		return validateDDoS(s)
+	case "transport":
+		return validateTransport(s)
+	case "nxns", "poison", "reflect":
+		return validateAdversary(s)
+	}
+	return nil
+}
+
+func validateDDoS(s *Spec) error {
+	if len(s.Paper) > 0 {
+		if s.Workload != nil || s.Disruption != nil {
+			return fmt.Errorf("spec %q: paper is mutually exclusive with workload/disruption", s.Name)
+		}
+		for _, name := range s.Paper {
+			if _, ok := experiment.SpecByName(name); !ok {
+				return fmt.Errorf("spec %q: unknown paper experiment %q", s.Name, name)
+			}
+		}
+		return nil
+	}
+	w := s.Workload
+	if w == nil || w.Total <= 0 || w.ProbeInterval <= 0 {
+		return fmt.Errorf("spec %q: family ddos needs workload.total and workload.probe_interval (or a paper list)", s.Name)
+	}
+	if w.TTL == nil {
+		return fmt.Errorf("spec %q: family ddos needs workload.ttl", s.Name)
+	}
+	if len(s.Disruption) == 0 {
+		return fmt.Errorf("spec %q: family ddos needs at least one disruption phase (or a paper list)", s.Name)
+	}
+	prevEnd := Duration(0)
+	for i, ph := range s.Disruption {
+		at := fmt.Sprintf("disruption[%d]", i)
+		if ph.Start < 0 {
+			return fmt.Errorf("spec %q: %s: start must be >= 0", s.Name, at)
+		}
+		if ph.Duration < 0 {
+			return fmt.Errorf("spec %q: %s: duration must be >= 0", s.Name, at)
+		}
+		if ph.Duration == 0 && i != len(s.Disruption)-1 {
+			return fmt.Errorf("spec %q: %s: duration 0 (open-ended) is only legal on the last phase", s.Name, at)
+		}
+		hasLoss, hasFlood := ph.Loss != nil, ph.AttackQPS > 0
+		if hasLoss == hasFlood {
+			return fmt.Errorf("spec %q: %s: exactly one of loss or attack_qps must be set", s.Name, at)
+		}
+		if hasLoss && (*ph.Loss < 0 || *ph.Loss > 1) {
+			return fmt.Errorf("spec %q: %s: loss must be in [0, 1]", s.Name, at)
+		}
+		if hasFlood && ph.CapacityQPS < 0 {
+			return fmt.Errorf("spec %q: %s: capacity_qps must be >= 0", s.Name, at)
+		}
+		if !phaseModes[ph.Mode] {
+			return fmt.Errorf("spec %q: %s: mode must be \"drop\", \"nxdomain\", or \"servfail\", got %q", s.Name, at, ph.Mode)
+		}
+		if !phaseTargets[ph.Targets] {
+			return fmt.Errorf("spec %q: %s: targets must be \"all\" or \"first\", got %q", s.Name, at, ph.Targets)
+		}
+		if len(ph.Records) > 0 && (ph.Mode == "" || ph.Mode == "drop") {
+			return fmt.Errorf("spec %q: %s: records require mode nxdomain or servfail", s.Name, at)
+		}
+		if i > 0 && ph.Start < prevEnd {
+			return fmt.Errorf("spec %q: %s: overlaps the previous phase (starts %v before %v)", s.Name, at, ph.Start.D(), prevEnd.D())
+		}
+		prevEnd = ph.Start + ph.Duration
+	}
+	return nil
+}
+
+func validateTransport(s *Spec) error {
+	t := s.Transport
+	if t == nil {
+		return nil
+	}
+	for _, b := range t.Bufs {
+		if b < 0 || b > 65535 {
+			return fmt.Errorf("spec %q: transport.bufs values must be in [0, 65535]", s.Name)
+		}
+	}
+	if t.Flood != nil {
+		if err := eachAxis(t.Flood, "transport.flood", s.Name, func(v float64) error {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("spec %q: transport.flood values must be in [0, 1], got %g", s.Name, v)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if t.TCPLoss < 0 || t.TCPLoss > 1 {
+		return fmt.Errorf("spec %q: transport.tcp_loss must be in [0, 1]", s.Name)
+	}
+	return nil
+}
+
+func validateAdversary(s *Spec) error {
+	a := s.Adversary
+	if a == nil {
+		return nil
+	}
+	switch s.Family {
+	case "nxns":
+		if a.Poison != nil || a.Reflect != nil {
+			return fmt.Errorf("spec %q: family nxns only takes adversary.nxns", s.Name)
+		}
+		if n := a.NXNS; n != nil {
+			for _, w := range n.Widths {
+				if w <= 0 {
+					return fmt.Errorf("spec %q: adversary.nxns.widths must be positive", s.Name)
+				}
+			}
+			if n.MaxFetch != nil {
+				if err := eachAxis(n.MaxFetch, "adversary.nxns.max_fetch", s.Name, func(v float64) error {
+					if v < 0 || v != float64(int64(v)) {
+						return fmt.Errorf("spec %q: adversary.nxns.max_fetch values must be non-negative integers, got %g", s.Name, v)
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	case "poison":
+		if a.NXNS != nil || a.Reflect != nil {
+			return fmt.Errorf("spec %q: family poison only takes adversary.poison", s.Name)
+		}
+		if p := a.Poison; p != nil {
+			if p.RandomIDs != nil && p.RandomIDs.IsSweep() && len(p.RandomIDs.Sweep()) == 0 {
+				return fmt.Errorf("spec %q: adversary.poison.random_ids: empty sweep", s.Name)
+			}
+			if p.NoBailiwick != nil && p.NoBailiwick.IsSweep() && len(p.NoBailiwick.Sweep()) == 0 {
+				return fmt.Errorf("spec %q: adversary.poison.no_bailiwick: empty sweep", s.Name)
+			}
+			if p.IDWindow < 0 || p.Waves < 0 || p.WaveEvery < 0 {
+				return fmt.Errorf("spec %q: adversary.poison counts must be >= 0", s.Name)
+			}
+			if p.PortGuess < 0 || p.PortGuess > 1 {
+				return fmt.Errorf("spec %q: adversary.poison.port_guess must be in [0, 1]", s.Name)
+			}
+		}
+	case "reflect":
+		if a.NXNS != nil || a.Poison != nil {
+			return fmt.Errorf("spec %q: family reflect only takes adversary.reflect", s.Name)
+		}
+		if r := a.Reflect; r != nil {
+			if r.Every < 0 {
+				return fmt.Errorf("spec %q: adversary.reflect.every must be >= 0", s.Name)
+			}
+			if r.EDNSSize < 0 || r.EDNSSize > 65535 {
+				return fmt.Errorf("spec %q: adversary.reflect.edns_size must be in [0, 65535]", s.Name)
+			}
+		}
+	}
+	return nil
+}

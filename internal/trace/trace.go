@@ -54,9 +54,12 @@ const (
 	// Simulated network.
 	EvNetDeliver // packet delivered; Src/Dst
 	EvNetDrop    // packet dropped by inbound loss (the DDoS dial); Src/Dst
-	// Attack windows (ddos.Schedule); global events, Probe 0.
-	EvAttackStart // inbound loss raised; A=loss in millionths, Dst=target
-	EvAttackEnd   // inbound loss cleared; Dst=target
+	// Attack windows (ddos.Schedule / ddos.SchedulePhases); global
+	// events, Probe 0. B carries the phase's forced rcode for the
+	// NXDOMAIN/SERVFAIL failure modes and stays 0 for packet drops, so
+	// pre-phase traces are unchanged.
+	EvAttackStart // failure dial raised; A=intensity in millionths, B=forced rcode, Dst=target
+	EvAttackEnd   // failure dial cleared; B=forced rcode, Dst=target
 	// Authoritative side.
 	EvAuthAnswer // authoritative answered; A=rcode, B=qtype
 	// Terminal classification.
