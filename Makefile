@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke transport-smoke campaign-smoke regen-tables size-guard
+.PHONY: all build test vet race bench-smoke check bench-snapshot scale-smoke scale-snapshot trace-snapshot trace-smoke fuzz wheel-snapshot bench-regress adversary-smoke transport-smoke campaign-smoke timeline-smoke report-regress observe-snapshot regen-tables size-guard
 
 all: check
 
@@ -110,6 +110,43 @@ campaign-smoke:
 	$(GO) test -race -v ./internal/spec
 	$(GO) test -race -run '^TestCampaign|^TestMatrixCtx' -v ./internal/experiment
 	$(GO) run ./cmd/dikes -probes 60 campaign examples/specs/staged.json >/dev/null
+
+# Observability gate: the timeline pipeline (collection, exact merge,
+# shard invariance, marks), the OpenMetrics exposition goldens, the
+# progress-telemetry concurrency tests, and the offline diff engine,
+# all under the race detector, plus one tiny end-to-end `dikes
+# timeline` run with CSV/JSON export.
+timeline-smoke:
+	$(GO) test -race -v ./internal/timeline ./internal/regress
+	$(GO) test -race -run 'OpenMetrics|Serve|Progress|Finish' -v ./internal/telemetry
+	$(GO) test -race -run '^TestTimeline|^TestSpecMarks' -v ./internal/experiment
+	tmp=$$(mktemp -d) && \
+	    $(GO) run ./cmd/dikes -probes 120 -shards 2 timeline -exp H \
+	        -bucket 10m -csv $$tmp/tl.csv -json $$tmp/tl.json >/dev/null && \
+	    rm -rf $$tmp
+
+# Report/timeline regression gate: re-runs the committed baseline
+# configurations and diffs the fresh output against testdata/regress/
+# with zero tolerance (both documents are deterministic, so any drift in
+# any direction fails). Exercises `dikes diff`'s non-zero exit in CI.
+# Refresh the baselines with the same commands when behaviour changes
+# deliberately (see testdata/regress/README.md).
+report-regress:
+	tmp=$$(mktemp -d) && \
+	    $(GO) run ./cmd/dikes -probes 300 -shards 4 -exp B,H \
+	        -report $$tmp/report.json ddos >/dev/null && \
+	    $(GO) run ./cmd/dikes diff testdata/regress/ddos_report.json $$tmp/report.json && \
+	    $(GO) run ./cmd/dikes -probes 300 -shards 1 timeline -exp H \
+	        -bucket 10m -json $$tmp/tl.json >/dev/null && \
+	    $(GO) run ./cmd/dikes diff testdata/regress/timeline_H.json $$tmp/tl.json && \
+	    rm -rf $$tmp
+
+# Writes BENCH_observe.json: sharded spec-H runs with timeline
+# collection off and on. The "off" row is the nil-check-only baseline;
+# the "on" row must stay within ~2% of it (the series is fixed-size
+# integer buckets, far off the hot path).
+observe-snapshot:
+	./scripts/bench_snapshot.sh observe
 
 # Regenerates the committed report tables (paper_run*.txt) from
 # examples/specs/ via the campaign runner, verifying -shards 1 and

@@ -712,3 +712,51 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		})
 	}
 }
+
+// --- §17 timeline overhead (tentpole of the observability PR) ---
+
+// runTimelineBench executes one sharded spec-H run (TTL 1800, 90% loss)
+// with the given timeline configuration.
+func runTimelineBench(b *testing.B, tlc *dikes.TimelineConfig) *dikes.Outcome {
+	b.Helper()
+	spec, ok := dikes.SpecByName("H")
+	if !ok {
+		b.Fatal("spec H missing")
+	}
+	out, err := dikes.Run(context.Background(), dikes.DDoSScenario(spec), dikes.RunConfig{
+		Probes: 600, Seed: 42, Shards: 2, ShardProbes: 256, Timeline: tlc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkTimelineOverhead measures the cost of per-bucket series
+// collection on the sharded engine: off (the nil-check-only baseline
+// every production run pays) and on at the default one-minute bucket.
+// The acceptance bar is on-vs-off regression under 2%: observations are
+// one array index plus an integer increment, and the per-cell bins are
+// a few KB, so collection is effectively free next to the simulator.
+func BenchmarkTimelineOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		tlc  *dikes.TimelineConfig
+	}{
+		{"off", nil},
+		{"on", &dikes.TimelineConfig{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var answered int64
+			for i := 0; i < b.N; i++ {
+				out := runTimelineBench(b, c.tlc)
+				if out.Timeline != nil {
+					answered = out.Timeline.Total(dikes.TimelineAnswered)
+				}
+			}
+			b.ReportMetric(float64(answered), "timeline_answered")
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/authoritative"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
 	"repro/internal/udprun"
@@ -48,14 +49,6 @@ func main() {
 	if *loss < 0 || *loss > 1 {
 		log.Fatalf("authd: -loss %v out of range [0,1]", *loss)
 	}
-	if *pprofAddr != "" {
-		addr, err := telemetry.Serve(*pprofAddr)
-		if err != nil {
-			log.Fatalf("authd: pprof listen: %v", err)
-		}
-		log.Printf("authd: telemetry at http://%s/debug/pprof/", addr)
-	}
-
 	var zones []*zone.Zone
 	for _, file := range zoneFiles {
 		f, err := os.Open(file)
@@ -72,6 +65,17 @@ func main() {
 	}
 
 	srv := authoritative.New(zones...)
+	if *pprofAddr != "" {
+		addr, _, err := telemetry.Serve(*pprofAddr, func() metrics.Snapshot {
+			reg := metrics.NewRegistry()
+			srv.CollectMetrics(reg.Scope("authoritative"))
+			return reg.Snapshot()
+		})
+		if err != nil {
+			log.Fatalf("authd: pprof listen: %v", err)
+		}
+		log.Printf("authd: telemetry at http://%s/metrics and /debug/pprof/", addr)
+	}
 	loop := udprun.NewLoop()
 	conn, err := udprun.Listen(*listen, loop)
 	if err != nil {

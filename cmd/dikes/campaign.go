@@ -65,7 +65,15 @@ func runCampaignCmd(ctx context.Context, args []string, shards int, shardsSet bo
 	header("campaign: declarative scenario specs")
 	fmt.Printf("%d run(s) from %d spec file(s)\n\n", len(items), len(paths))
 
-	results, err := dikes.RunCampaign(ctx, items, workers)
+	// Campaign-wide telemetry counts whole runs, not cells: each finished
+	// run ticks once, so -progress shows runs-done/total plus an aggregate
+	// event rate and ETA across the batch.
+	var prog *dikes.Progress
+	if progressOn {
+		prog = dikes.NewProgress(nil, "campaign", len(items), 0)
+	}
+	results, err := dikes.RunCampaignWithProgress(ctx, items, workers, prog)
+	prog.Finish()
 	if err != nil {
 		exitCancelled(err)
 	}

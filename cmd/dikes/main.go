@@ -11,6 +11,10 @@
 //	dikes passive   — §4: Figures 4-5
 //	dikes retries   — §6.2 / Appendix E: Figure 16
 //	dikes campaign  — run declarative scenario-spec files (examples/specs/)
+//	dikes timeline  — per-bucket series over the attack event (tables,
+//	                  CSV/JSON export, answer-rate sparklines)
+//	dikes diff      — compare two run reports / timelines / bench
+//	                  snapshots; non-zero exit on regression
 //	dikes all       — everything above
 //
 // Scale with -probes (the paper used ~9200; the default keeps runs quick).
@@ -47,7 +51,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	progress := flag.Bool("progress", false, "print live run telemetry (cells done, events/s, peak rss, eta) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|transport|passive|retries|implications|check|campaign|trace|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dikes [flags] <caching|ddos|glue|adversary|transport|passive|retries|implications|check|campaign|timeline|trace|diff|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,18 +81,23 @@ func main() {
 		runTraceCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "diff" {
+		// Offline report/timeline/bench comparison: no simulation.
+		runDiffCmd(flag.Args()[1:])
+		return
+	}
 
 	pop := dikes.PopulationConfig{}
 	if *harvest {
 		pop.Harvest = dikes.HarvestFull
 	}
 	if *pprofAddr != "" {
-		addr, err := dikes.ServeTelemetry(*pprofAddr)
+		addr, _, err := dikes.ServeTelemetry(*pprofAddr, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dikes: pprof listen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/debug/pprof/ and /debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics, /debug/pprof/, /debug/vars\n", addr)
 	}
 	if *tracePath != "" {
 		traceOut, traceChromeOut, traceSampleN = *tracePath, *traceChrome, *traceSample
@@ -133,6 +142,8 @@ func main() {
 		runImplications(*seed)
 	case "check":
 		runCheck(ctx, *probes, *seed, *shards, *workers)
+	case "timeline":
+		runTimelineCmd(ctx, flag.Args()[1:], *probes, *seed, *shards, pop)
 	case "campaign":
 		shardsSet := false
 		flag.Visit(func(f *flag.Flag) {

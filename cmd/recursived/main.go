@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dnswire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
 	"repro/internal/telemetry"
@@ -49,14 +50,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *pprofAddr != "" {
-		addr, err := telemetry.Serve(*pprofAddr)
-		if err != nil {
-			log.Fatalf("recursived: pprof listen: %v", err)
-		}
-		log.Printf("recursived: telemetry at http://%s/debug/pprof/", addr)
-	}
-
 	cfg := recursive.Config{
 		Cache: cache.Config{
 			MaxTTL: *maxTTL, MinTTL: *minTTL, Shards: *shards,
@@ -85,6 +78,21 @@ func main() {
 	}
 	res := recursive.NewResolver(udprun.Clock{Loop: loop}, cfg)
 	res.SetConn(conn)
+
+	if *pprofAddr != "" {
+		// Resolver counters are atomics, so the scrape handler may read
+		// them from its own goroutine while the engine loop runs.
+		addr, _, err := telemetry.Serve(*pprofAddr, func() metrics.Snapshot {
+			reg := metrics.NewRegistry()
+			res.CollectMetrics(reg.Scope("resolver"))
+			res.Cache().CollectMetrics(reg.Scope("cache"))
+			return reg.Snapshot()
+		})
+		if err != nil {
+			log.Fatalf("recursived: pprof listen: %v", err)
+		}
+		log.Printf("recursived: telemetry at http://%s/metrics and /debug/pprof/", addr)
+	}
 
 	mode := "iterative"
 	if len(forwards) > 0 {

@@ -51,6 +51,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stub"
 	"repro/internal/telemetry"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/vantage"
 	"repro/internal/zone"
@@ -350,6 +351,9 @@ var (
 	CompileSpecAll = spec.CompileAll
 	// RunCampaign executes campaign items with fan-out + cancellation.
 	RunCampaign = experiment.RunCampaign
+	// RunCampaignWithProgress adds campaign-wide telemetry (one tick per
+	// finished run).
+	RunCampaignWithProgress = experiment.RunCampaignWithProgress
 	// RenderCampaign formats the consolidated cross-scenario report.
 	RenderCampaign = experiment.RenderCampaign
 	// CampaignCSV renders the campaign summary as CSV.
@@ -550,6 +554,27 @@ type (
 	TraceBuffer = trace.Buffer
 	// Progress is the live telemetry tracker of a sharded run.
 	Progress = telemetry.Progress
+	// TimelineConfig sizes per-bucket simulated-time series collection
+	// (RunConfig.Timeline).
+	TimelineConfig = timeline.Config
+	// Timeline is a run's merged per-bucket series (Outcome.Timeline).
+	Timeline = timeline.Timeline
+	// TimelineMark is one attack-phase boundary annotation.
+	TimelineMark = timeline.Mark
+	// TimelineMetric indexes one of the tracked per-bucket series.
+	TimelineMetric = timeline.Metric
+)
+
+// Timeline series indices (see timeline.Metric).
+const (
+	TimelineAnswered        = timeline.Answered
+	TimelineFailed          = timeline.Failed
+	TimelineServFail        = timeline.ServFail
+	TimelineStaleServed     = timeline.StaleServed
+	TimelineCacheHit        = timeline.CacheHit
+	TimelineRetry           = timeline.Retry
+	TimelineTCPFallback     = timeline.TCPFallback
+	TimelineUpstreamTimeout = timeline.UpstreamTimeout
 )
 
 // Tracing and telemetry helpers.
@@ -564,8 +589,12 @@ var (
 	FormatTraceEvent = trace.FormatEvent
 	// NewProgress creates a live progress tracker (stderr when w is nil).
 	NewProgress = telemetry.NewProgress
-	// ServeTelemetry starts the expvar + pprof HTTP endpoint.
+	// ServeTelemetry starts the expvar + pprof + OpenMetrics HTTP
+	// endpoint; it returns (addr, shutdown, error).
 	ServeTelemetry = telemetry.Serve
+	// WriteOpenMetrics renders a metrics snapshot in OpenMetrics text
+	// format.
+	WriteOpenMetrics = telemetry.WriteOpenMetrics
 )
 
 // MustA builds A record data from an IPv4 literal, panicking on bad input.

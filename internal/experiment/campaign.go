@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // CampaignItem is one compiled run of a campaign.
@@ -46,6 +47,15 @@ type CampaignResult struct {
 // cancelled (wrapped ErrCancelled), with the results of the finished
 // runs still filled in.
 func RunCampaign(ctx context.Context, items []CampaignItem, workers int) ([]CampaignResult, error) {
+	return RunCampaignWithProgress(ctx, items, workers, nil)
+}
+
+// RunCampaignWithProgress is RunCampaign with campaign-wide telemetry:
+// prog (one "cell" per compiled run) receives a completion tick after
+// each run finishes, giving runs-done/total and an aggregate ETA across
+// the whole campaign rather than per-run cell progress. nil prog is
+// telemetry off.
+func RunCampaignWithProgress(ctx context.Context, items []CampaignItem, workers int, prog *telemetry.Progress) ([]CampaignResult, error) {
 	results := make([]CampaignResult, len(items))
 	for i := range items {
 		results[i].Item = items[i]
@@ -53,11 +63,21 @@ func RunCampaign(ctx context.Context, items []CampaignItem, workers int) ([]Camp
 	runErr := parallel.ForEachCtx(ctx, workers, len(items), func(i int) {
 		out, err := Run(ctx, items[i].Scenario, items[i].Config)
 		results[i].Outcome, results[i].Err = out, err
+		prog.CellDone(runEvents(out), 0)
 	})
 	if runErr != nil {
 		return results, cancelErr(runErr)
 	}
 	return results, nil
+}
+
+// runEvents extracts a finished run's simulator event total from its
+// report, for campaign-level throughput telemetry (0 when unavailable).
+func runEvents(out *Outcome) int64 {
+	if out == nil || out.Report == nil {
+		return 0
+	}
+	return out.Report.Metrics.Scope("clock").Counter("events_fired")
 }
 
 // status is the summary-table verdict of one run.
@@ -233,6 +253,11 @@ func renderDDoSBlock(b *strings.Builder, res *DDoSResult, worlds *ShardedTestbed
 	fmt.Fprintf(b, "Figure 11 (exp %s): per-probe amplification\n%s", name,
 		RenderAmplification(res))
 	fmt.Fprintf(b, "Figure 12 (exp %s): unique Rn\n%s", name, RenderUniqueRn(res))
+	if res.Timeline != nil {
+		fmt.Fprintf(b, "Timeline (exp %s): per-%s series\n%s", name,
+			res.Timeline.Bucket, res.Timeline.Table())
+		fmt.Fprintf(b, "%s", res.Timeline.Sparkline())
+	}
 	if worlds != nil {
 		ref := worlds.BusiestProbe()
 		fmt.Fprintf(b, "Table 7 (exp %s): per-probe drill-down\n%s", name,

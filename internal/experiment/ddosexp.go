@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -106,6 +109,9 @@ type DDoSResult struct {
 	// Report carries the run's metrics snapshot and the cross-component
 	// accounting invariants (see internal/metrics and DESIGN.md §9).
 	Report *metrics.Report
+	// Timeline is the run's merged per-bucket series (nil unless the run
+	// was configured with RunConfig.Timeline; see internal/timeline).
+	Timeline *timeline.Timeline
 }
 
 // RunDDoS executes one emulated attack experiment.
@@ -124,7 +130,7 @@ func RunDDoS(spec DDoSSpec, probes int, seed int64, pop PopulationConfig) *DDoSR
 // the whole monolithic population or a single cell of a sharded run —
 // and returns it ready for analysis.
 func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig,
-	tr *trace.Config, cell int) *Testbed {
+	tr *trace.Config, tlc *timeline.Config, cell int) *Testbed {
 
 	tb := NewTestbed(TestbedConfig{
 		Probes:      probes,
@@ -135,6 +141,11 @@ func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig,
 		Trace:       tr,
 		TraceCell:   cell,
 	})
+	if tlc != nil {
+		// Every cell derives the same bin layout from (start, horizon,
+		// bucket), which is what makes the cross-cell merge exact.
+		tb.AttachTimeline(timeline.NewCollector(tb.Start, spec.TotalDur+10*time.Minute, *tlc))
+	}
 
 	targets := tb.AuthAddrs
 	if !spec.TargetsAll {
@@ -147,6 +158,34 @@ func runDDoSTestbed(spec DDoSSpec, probes int, seed int64, pop PopulationConfig,
 	tb.Fleet.Schedule(tb.Start, spec.ProbeInterval, 5*time.Minute, rounds)
 	tb.Clk.RunUntil(tb.Start.Add(spec.TotalDur + 10*time.Minute))
 	return tb
+}
+
+// specMarks renders the spec's disruption boundaries as timeline
+// annotations: one mark per phase edge, or the legacy single-window
+// start/end pair. Marks describe the spec, not the run, so every cell
+// (and the merged timeline) carries the same list.
+func specMarks(spec DDoSSpec) []timeline.Mark {
+	var marks []timeline.Mark
+	if len(spec.Phases) > 0 {
+		for _, ph := range spec.Phases {
+			pct := int(ph.Intensity * 100)
+			marks = append(marks, timeline.Mark{At: ph.Start,
+				Label: fmt.Sprintf("%s %d%% start", ph.Mode, pct)})
+			if ph.Duration > 0 {
+				marks = append(marks, timeline.Mark{At: ph.Start + ph.Duration,
+					Label: fmt.Sprintf("%s %d%% end", ph.Mode, pct)})
+			}
+		}
+		sort.SliceStable(marks, func(i, j int) bool { return marks[i].At < marks[j].At })
+		return marks
+	}
+	marks = append(marks, timeline.Mark{At: spec.DDoSStart,
+		Label: fmt.Sprintf("attack start (%d%% loss)", int(spec.Loss*100))})
+	if spec.DDoSDur > 0 {
+		marks = append(marks, timeline.Mark{At: spec.DDoSStart + spec.DDoSDur,
+			Label: "attack end"})
+	}
+	return marks
 }
 
 // scheduleAttack arms the spec's disruption on the targets: the legacy

@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/vantage"
 )
@@ -227,6 +228,7 @@ type LazyResolver struct {
 	cfg  recursive.Config
 	addr netsim.Addr
 	tr   *trace.Buffer
+	tl   *timeline.Collector
 	r    *recursive.Resolver
 }
 
@@ -235,6 +237,9 @@ func (l *LazyResolver) Materialize() {
 	r := recursive.NewResolver(l.clk, l.cfg)
 	if l.tr != nil {
 		r.SetTrace(l.tr)
+	}
+	if l.tl != nil {
+		r.SetTimeline(l.tl)
 	}
 	r.Attach(l.net, l.addr)
 	l.r = r
@@ -251,6 +256,15 @@ func (l *LazyResolver) SetTrace(tr *trace.Buffer) {
 	l.tr = tr
 	if l.r != nil {
 		l.r.SetTrace(tr)
+	}
+}
+
+// SetTimeline points the resolver at the cell's timeline collector, now
+// or at materialization.
+func (l *LazyResolver) SetTimeline(c *timeline.Collector) {
+	l.tl = c
+	if l.r != nil {
+		l.r.SetTimeline(c)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/recursive"
 	"repro/internal/retrymodel"
 	"repro/internal/telemetry"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -72,6 +73,11 @@ type RunConfig struct {
 	// for every Shards/Workers value. DDoS scenarios only; caching and
 	// glue ignore it.
 	Trace *trace.Config
+	// Timeline enables per-bucket simulated-time series collection: each
+	// cell counts into a fixed bin layout derived from the spec horizon,
+	// and the cells exact-merge, so Outcome.Timeline is byte-identical
+	// for every Shards/Workers value. DDoS scenarios only.
+	Timeline *timeline.Config
 	// Progress, when non-nil, receives one CellDone per finished cell
 	// (live run telemetry). Display only — it never affects results.
 	Progress *telemetry.Progress
@@ -137,6 +143,11 @@ type Outcome struct {
 	// set (DDoS scenarios only).
 	Trace *trace.Data
 
+	// Timeline holds the run's merged per-bucket series when
+	// Config.Timeline was set (DDoS scenarios only). Identical bytes for
+	// every shard count.
+	Timeline *timeline.Timeline
+
 	Report *metrics.Report
 }
 
@@ -195,9 +206,10 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		if err := ctx.Err(); err != nil {
 			return out, cancelErr(err)
 		}
-		tb := runDDoSTestbed(spec, cfg.Probes, cfg.Seed, cfg.Population, cfg.Trace, 0)
+		tb := runDDoSTestbed(spec, cfg.Probes, cfg.Seed, cfg.Population, cfg.Trace, cfg.Timeline, 0)
 		out.DDoS = analyzeDDoS(spec, tb, rounds)
 		out.Report = out.DDoS.Report
+		out.Timeline = out.DDoS.Timeline
 		if ct := captureCellTrace(tb, 0); ct != nil {
 			out.Trace = &trace.Data{SampleEvery: cfg.Trace.SampleEvery, Cells: []trace.CellTrace{*ct}}
 		}
@@ -219,7 +231,7 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 		ct   *trace.CellTrace
 	}
 	results, runErr := parallel.MapCtx(ctx, cfg.Shards, cells, func(i int, n int) *cellResult {
-		tb := runDDoSTestbed(spec, n, mixSeed(cfg.Seed, i), cfg.Population, cfg.Trace, i)
+		tb := runDDoSTestbed(spec, n, mixSeed(cfg.Seed, i), cfg.Population, cfg.Trace, cfg.Timeline, i)
 		ac := newDDoSAccum(spec, tb.Start, rounds)
 		ac.absorb(tb)
 		cr := &cellResult{ac: ac, snap: tb.CollectMetrics().Snapshot(),
@@ -271,6 +283,7 @@ func (s ddosScenario) run(ctx context.Context, cfg RunConfig) (*Outcome, error) 
 	out.DDoS = res
 	out.Report = res.Report
 	out.Trace = traced
+	out.Timeline = res.Timeline
 	if runErr != nil {
 		return out, cancelErr(runErr)
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/vantage"
 )
@@ -37,6 +38,7 @@ type ddosAccum struct {
 	uniqueRn    []int           // per-round distinct resolver addresses
 	rnPerProbe  []*stats.Counts // per-round distinct-Rn-per-probe samples
 	queriesPP   []*stats.Counts // per-round AAAA-queries-per-probe samples
+	tl          *timeline.Timeline // nil unless the run collects a timeline
 }
 
 func newDDoSAccum(spec DDoSSpec, start time.Time, rounds int) *ddosAccum {
@@ -68,6 +70,29 @@ func (ac *ddosAccum) absorb(tb *Testbed) {
 	ac.table4.Probes += len(tb.Pop.Probes)
 	ac.table4.VPs += tb.Pop.VPCount()
 	ac.tallyAnswers(answers)
+
+	if tb.Timeline != nil {
+		// Client outcomes are derived VP-side here rather than emitted by
+		// the probes: each answer's event time is its arrival (or the
+		// moment the stub gave up — RTT is the timeout duration then).
+		for _, a := range answers {
+			at := a.SentAt.Add(a.RTT)
+			switch {
+			case a.Timeout:
+				tb.Timeline.ObserveAt(at, timeline.Failed)
+			case a.Ok():
+				tb.Timeline.ObserveAt(at, timeline.Answered)
+			default:
+				tb.Timeline.ObserveAt(at, timeline.ServFail)
+			}
+		}
+		t := tb.Timeline.Finalize()
+		if ac.tl == nil {
+			ac.tl = t
+		} else {
+			ac.tl.Merge(t)
+		}
+	}
 
 	// Per-VP classification (Figure 7). VPs are visited in sorted key
 	// order: the tallies are order-independent, but the trace's classify
@@ -225,6 +250,13 @@ func (ac *ddosAccum) merge(o *ddosAccum) {
 		ac.rnPerProbe[i].Merge(o.rnPerProbe[i])
 		ac.queriesPP[i].Merge(o.queriesPP[i])
 	}
+	if o.tl != nil {
+		if ac.tl == nil {
+			ac.tl = o.tl
+		} else {
+			ac.tl.Merge(o.tl)
+		}
+	}
 }
 
 // finalize renders the accumulated tallies as a DDoSResult (without a
@@ -244,6 +276,10 @@ func (ac *ddosAccum) finalize() *DDoSResult {
 		res.UniqueRn = append(res.UniqueRn, ac.uniqueRn[r])
 		res.RnPerProbe = append(res.RnPerProbe, ac.rnPerProbe[r].Summary())
 		res.QueriesPerProbe = append(res.QueriesPerProbe, ac.queriesPP[r].Summary())
+	}
+	if ac.tl != nil {
+		ac.tl.Marks = specMarks(ac.spec)
+		res.Timeline = ac.tl
 	}
 	return res
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/recursive"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/vantage"
 	"repro/internal/zone"
@@ -111,6 +112,9 @@ type Testbed struct {
 	Fleet     *vantage.Fleet
 	// Trace is the testbed's event buffer; nil unless Cfg.Trace is set.
 	Trace *trace.Buffer
+	// Timeline is the cell's per-bucket series collector; nil unless
+	// AttachTimeline was called.
+	Timeline *timeline.Collector
 
 	serial0 uint16
 	AuthLog []AuthEvent
@@ -165,6 +169,17 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		}
 	}
 	return tb
+}
+
+// AttachTimeline points every resolver in the cell at one shared
+// per-bucket series collector. Call before the clock runs; answers are
+// derived VP-side at analysis time, so only resolver-side metrics flow
+// through here.
+func (tb *Testbed) AttachTimeline(c *timeline.Collector) {
+	tb.Timeline = c
+	for _, r := range tb.Pop.Resolvers {
+		r.SetTimeline(c) // applies now or at lazy materialization
+	}
 }
 
 func itoa(v int) string {

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/timeline"
 )
 
 // forward relays the query to the configured upstream resolvers, trying
@@ -49,6 +50,7 @@ func (t *task) forwardNext() {
 	*t.budget--
 	if t.attempt > 1 {
 		t.r.m.upstreamRetries.Inc()
+		t.r.observe(timeline.Retry)
 	}
 	t.r.send(t, t.servers[idx], true)
 }

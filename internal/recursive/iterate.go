@@ -10,6 +10,7 @@ import (
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -137,6 +138,7 @@ func (t *task) armStaleTimer() {
 			return
 		}
 		t.r.m.staleServes.Inc()
+		t.r.observe(timeline.StaleServed)
 		if tr := t.r.trace; tr != nil {
 			tr.Emit(trace.Event{Type: trace.EvStaleServe,
 				Probe: trace.ProbeFromName(t.name), Name: t.name})
@@ -210,6 +212,7 @@ func (t *task) fail() {
 	if t.r.cfg.ServeStale && !t.r.cfg.NoCache {
 		if v := t.r.cache.GetStale(cache.Key{Name: t.name, Type: t.qtype}, t.shard); v.Hit && !v.Negative {
 			t.r.m.staleServes.Inc()
+			t.r.observe(timeline.StaleServed)
 			if tr := t.r.trace; tr != nil {
 				tr.Emit(trace.Event{Type: trace.EvStaleServe,
 					Probe: trace.ProbeFromName(t.name), Name: t.name, A: 1})
@@ -253,6 +256,7 @@ func (t *task) cacheAnswer() bool {
 				return true
 			}
 			t.r.m.cacheHits.Inc()
+			t.r.observe(timeline.CacheHit)
 			t.r.maybePrefetch(cur, t.qtype, t.shard, v)
 			t.finish(Result{RCode: dnswire.RCodeNoError, Answers: v.Records, FromCache: true})
 			return true
@@ -363,6 +367,7 @@ func (t *task) tryNextServer() {
 	*t.budget--
 	if t.attempt > 1 {
 		t.r.m.upstreamRetries.Inc()
+		t.r.observe(timeline.Retry)
 	}
 
 	t.r.send(t, t.servers[idx], false)
@@ -392,6 +397,8 @@ func (t *task) handleTruncated(server netsim.Addr, fwd, tcp bool) {
 		t.attempt++
 		*t.budget--
 		r.m.upstreamRetries.Inc()
+		r.observe(timeline.Retry)
+		r.observe(timeline.TCPFallback)
 		if tr := r.trace; tr != nil {
 			tr.Emit(trace.Event{Type: trace.EvTCPFallback,
 				Probe: trace.ProbeFromName(t.name), Name: t.name,

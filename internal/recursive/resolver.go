@@ -27,6 +27,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -266,6 +267,7 @@ type Resolver struct {
 	coalesce map[coalesceKey]*clientJob
 	harvests map[string]time.Time // zone -> last NS harvest
 	trace    *trace.Buffer
+	timeline *timeline.Collector
 	m        counters
 
 	// rrScratch and nsScratch are reusable record buffers for the
@@ -293,6 +295,21 @@ type Resolver struct {
 func (r *Resolver) SetTrace(tr *trace.Buffer) {
 	r.trace = tr
 	r.cache.SetTrace(tr)
+}
+
+// SetTimeline points the resolver at a per-cell timeline collector (nil
+// disables). Unlike trace buffers there is one collector per cell, shared
+// by every resolver in it; that is safe because a cell is single-threaded.
+func (r *Resolver) SetTimeline(c *timeline.Collector) {
+	r.timeline = c
+}
+
+// observe counts one timeline event at the current simulated time; a
+// no-op when timeline collection is off.
+func (r *Resolver) observe(m timeline.Metric) {
+	if r.timeline != nil {
+		r.timeline.ObserveAt(r.clk.Now(), m)
+	}
 }
 
 type coalesceKey struct {
@@ -561,6 +578,7 @@ func outqueryTimeout(arg any) {
 	}
 	delete(r.inflight, oq.id)
 	r.m.timeouts.Inc()
+	r.observe(timeline.UpstreamTimeout)
 	r.srttPenalty(server)
 	if tr := r.trace; tr != nil {
 		tr.Emit(trace.Event{Type: trace.EvUpstreamTimeout,

@@ -1,0 +1,289 @@
+// Package regress compares two observability documents — run reports
+// (metrics.WriteReportsJSON), timelines (timeline JSON), or bench
+// snapshots (cmd/benchsnap) — metric by metric, with per-metric
+// tolerances. It is the engine behind `dikes diff` and the CI
+// report-regression gate: flatten both sides to sorted key→value maps,
+// diff, and report every change outside tolerance.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Kind is the detected document format.
+type Kind string
+
+const (
+	KindReports  Kind = "reports"
+	KindTimeline Kind = "timeline"
+	KindBench    Kind = "bench"
+)
+
+// Doc is one parsed document flattened to metric keys.
+type Doc struct {
+	Kind   Kind
+	Values map[string]float64
+}
+
+// Delta is one metric's comparison verdict.
+type Delta struct {
+	Key      string
+	Old, New float64
+	// Missing marks keys present on only one side (Old or New is NaN).
+	Missing bool
+	// Regressed marks deltas outside tolerance.
+	Regressed bool
+}
+
+// reportsDoc mirrors metrics.WriteReportsJSON without importing its
+// types: only the fields the diff needs.
+type reportsDoc struct {
+	Reports []struct {
+		Name    string `json:"name"`
+		Metrics struct {
+			Scopes []struct {
+				Name     string           `json:"name"`
+				Counters map[string]int64 `json:"counters"`
+				Gauges   map[string]int64 `json:"gauges"`
+			} `json:"scopes"`
+		} `json:"metrics"`
+		Invariants []struct {
+			Name string `json:"name"`
+			OK   bool   `json:"ok"`
+		} `json:"invariants"`
+	} `json:"reports"`
+}
+
+// timelineDoc mirrors timeline.Timeline's JSON shape.
+type timelineDoc struct {
+	Bucket  int64     `json:"bucket"`
+	Metrics []string  `json:"metrics"`
+	Bins    [][]int64 `json:"bins"`
+}
+
+// benchDoc mirrors cmd/benchsnap's snapshot shape.
+type benchDoc map[string]struct {
+	NsPerOp     *float64           `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// Load reads and flattens one document, auto-detecting its format.
+func Load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse flattens one document, auto-detecting its format: an object
+// with "reports" is a run-report bundle, one with "bins" and "metrics"
+// is a timeline, and any other object of benchmark entries is a bench
+// snapshot.
+func Parse(data []byte) (*Doc, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("not a JSON object: %w", err)
+	}
+	switch {
+	case probe["reports"] != nil:
+		var d reportsDoc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("reports document: %w", err)
+		}
+		return flattenReports(d), nil
+	case probe["bins"] != nil && probe["metrics"] != nil:
+		var d timelineDoc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("timeline document: %w", err)
+		}
+		return flattenTimeline(d), nil
+	default:
+		var d benchDoc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("bench snapshot: %w", err)
+		}
+		return flattenBench(d), nil
+	}
+}
+
+func flattenReports(d reportsDoc) *Doc {
+	v := make(map[string]float64)
+	for _, r := range d.Reports {
+		for _, sc := range r.Metrics.Scopes {
+			for name, val := range sc.Counters {
+				v[r.Name+"."+sc.Name+"."+name] = float64(val)
+			}
+			for name, val := range sc.Gauges {
+				v[r.Name+"."+sc.Name+"."+name] = float64(val)
+			}
+		}
+		for _, inv := range r.Invariants {
+			ok := 0.0
+			if inv.OK {
+				ok = 1.0
+			}
+			v[r.Name+".invariant."+inv.Name] = ok
+		}
+	}
+	return &Doc{Kind: KindReports, Values: v}
+}
+
+func flattenTimeline(d timelineDoc) *Doc {
+	v := make(map[string]float64)
+	v["bucket_ns"] = float64(d.Bucket)
+	v["bins"] = float64(len(d.Bins))
+	for i, row := range d.Bins {
+		for j, count := range row {
+			if count == 0 {
+				continue // dense zero rows would swamp the key space
+			}
+			name := "m" + itoa(j)
+			if j < len(d.Metrics) {
+				name = d.Metrics[j]
+			}
+			v[fmt.Sprintf("bin%04d.%s", i, name)] = float64(count)
+		}
+	}
+	return &Doc{Kind: KindTimeline, Values: v}
+}
+
+func flattenBench(d benchDoc) *Doc {
+	v := make(map[string]float64)
+	for name, r := range d {
+		if r.NsPerOp != nil {
+			v[name+".ns_per_op"] = *r.NsPerOp
+		}
+		if r.BytesPerOp != nil {
+			v[name+".bytes_per_op"] = *r.BytesPerOp
+		}
+		if r.AllocsPerOp != nil {
+			v[name+".allocs_per_op"] = *r.AllocsPerOp
+		}
+		for unit, val := range r.Metrics {
+			v[name+"."+unit] = val
+		}
+	}
+	return &Doc{Kind: KindBench, Values: v}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Options tunes a comparison.
+type Options struct {
+	// Tolerance is the allowed relative change (e.g. 0.02 = 2%) before a
+	// delta counts as a regression. For KindBench only increases count
+	// (bigger ns/op is worse, smaller is an improvement); for reports and
+	// timelines any out-of-tolerance change in either direction counts —
+	// those documents are deterministic, so the default 0 means
+	// "identical".
+	Tolerance float64
+	// PerKey overrides Tolerance for keys containing the map key as a
+	// substring; the longest matching pattern wins.
+	PerKey map[string]float64
+}
+
+// tolFor picks the tolerance for one key.
+func (o Options) tolFor(key string) float64 {
+	tol, best := o.Tolerance, -1
+	for pat, t := range o.PerKey {
+		if strings.Contains(key, pat) && len(pat) > best {
+			tol, best = t, len(pat)
+		}
+	}
+	return tol
+}
+
+// Compare diffs old against new. The returned deltas list every changed
+// or one-sided key, sorted; regressions are flagged per Options.
+func Compare(oldDoc, newDoc *Doc, opts Options) []Delta {
+	increaseOnly := oldDoc.Kind == KindBench && newDoc.Kind == KindBench
+	keys := make(map[string]bool, len(oldDoc.Values)+len(newDoc.Values))
+	for k := range oldDoc.Values {
+		keys[k] = true
+	}
+	for k := range newDoc.Values {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var deltas []Delta
+	for _, k := range sorted {
+		ov, oOK := oldDoc.Values[k]
+		nv, nOK := newDoc.Values[k]
+		switch {
+		case !oOK:
+			deltas = append(deltas, Delta{Key: k, Old: math.NaN(), New: nv, Missing: true})
+		case !nOK:
+			deltas = append(deltas, Delta{Key: k, Old: ov, New: math.NaN(), Missing: true, Regressed: true})
+		case ov != nv:
+			d := Delta{Key: k, Old: ov, New: nv}
+			change := relChange(ov, nv)
+			if increaseOnly {
+				d.Regressed = change > opts.tolFor(k)
+			} else {
+				d.Regressed = math.Abs(change) > opts.tolFor(k)
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas
+}
+
+// relChange is (new-old)/old, with the zero-baseline edge defined as
+// total change.
+func relChange(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (nv - ov) / math.Abs(ov)
+}
+
+// AnyRegressed reports whether the diff contains a regression.
+func AnyRegressed(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Render prints the deltas as an aligned table; regressions are flagged
+// with "REGRESSED", new keys with "new", vanished keys with "missing".
+func Render(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "no differences\n"
+	}
+	var b strings.Builder
+	for _, d := range deltas {
+		switch {
+		case d.Missing && math.IsNaN(d.New):
+			fmt.Fprintf(&b, "%-60s %14g %14s  missing REGRESSED\n", d.Key, d.Old, "-")
+		case d.Missing:
+			fmt.Fprintf(&b, "%-60s %14s %14g  new\n", d.Key, "-", d.New)
+		default:
+			flag := ""
+			if d.Regressed {
+				flag = "  REGRESSED"
+			}
+			fmt.Fprintf(&b, "%-60s %14g %14g  %+.1f%%%s\n",
+				d.Key, d.Old, d.New, 100*relChange(d.Old, d.New), flag)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+)
+
+const reportsJSON = `{"reports":[{"name":"ddos-H","labels":{"seed":"42"},
+ "metrics":{"scopes":[
+  {"name":"resolver","counters":{"cache_hits":100,"timeouts":5},"gauges":{"inflight":0}},
+  {"name":"clock","counters":{"events_fired":5000}}]},
+ "invariants":[{"name":"answers_balance","ok":true,"detail":""}]}]}`
+
+const timelineJSON = `{"bucket":60000000000,"metrics":["answered","failed"],
+ "bins":[[10,0],[8,2],[0,0]],"marks":[{"at":60000000000,"label":"attack start"}]}`
+
+const benchJSON = `{"BenchmarkRun/off":{"ns_per_op":1000,"allocs_per_op":50},
+ "BenchmarkRun/on":{"ns_per_op":1020,"metrics":{"events":12345}}}`
+
+func TestParseDetectsFormats(t *testing.T) {
+	for _, tc := range []struct {
+		data string
+		kind Kind
+		key  string
+		want float64
+	}{
+		{reportsJSON, KindReports, "ddos-H.resolver.cache_hits", 100},
+		{reportsJSON, KindReports, "ddos-H.invariant.answers_balance", 1},
+		{timelineJSON, KindTimeline, "bin0001.failed", 2},
+		{timelineJSON, KindTimeline, "bins", 3},
+		{benchJSON, KindBench, "BenchmarkRun/off.ns_per_op", 1000},
+		{benchJSON, KindBench, "BenchmarkRun/on.events", 12345},
+	} {
+		doc, err := Parse([]byte(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if doc.Kind != tc.kind {
+			t.Errorf("kind = %s, want %s", doc.Kind, tc.kind)
+		}
+		if got := doc.Values[tc.key]; got != tc.want {
+			t.Errorf("%s[%s] = %g, want %g", tc.kind, tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestCompareExactAndMissing(t *testing.T) {
+	a, _ := Parse([]byte(reportsJSON))
+	b, _ := Parse([]byte(reportsJSON))
+	if deltas := Compare(a, b, Options{}); len(deltas) != 0 {
+		t.Errorf("identical docs produced deltas: %+v", deltas)
+	}
+
+	changed := strings.Replace(reportsJSON, `"cache_hits":100`, `"cache_hits":90`, 1)
+	c, _ := Parse([]byte(changed))
+	deltas := Compare(a, c, Options{})
+	if !AnyRegressed(deltas) {
+		t.Fatal("10% drop with zero tolerance not flagged")
+	}
+	// A decrease is still a regression for deterministic reports (any
+	// direction), but inside tolerance it passes.
+	if deltas := Compare(a, c, Options{Tolerance: 0.2}); AnyRegressed(deltas) {
+		t.Errorf("within-tolerance change flagged: %+v", deltas)
+	}
+
+	// A key that vanished is always a regression.
+	gone := strings.Replace(reportsJSON, `"timeouts":5`, `"other":5`, 1)
+	g, _ := Parse([]byte(gone))
+	deltas = Compare(a, g, Options{Tolerance: 100})
+	if !AnyRegressed(deltas) {
+		t.Error("missing key not flagged")
+	}
+}
+
+func TestCompareBenchIncreaseOnly(t *testing.T) {
+	a, _ := Parse([]byte(benchJSON))
+	faster := strings.Replace(benchJSON, `"ns_per_op":1000`, `"ns_per_op":500`, 1)
+	f, _ := Parse([]byte(faster))
+	if deltas := Compare(a, f, Options{Tolerance: 0.02}); AnyRegressed(deltas) {
+		t.Errorf("a speedup was flagged as regression: %+v", deltas)
+	}
+	slower := strings.Replace(benchJSON, `"ns_per_op":1000`, `"ns_per_op":1500`, 1)
+	s, _ := Parse([]byte(slower))
+	if deltas := Compare(a, s, Options{Tolerance: 0.02}); !AnyRegressed(deltas) {
+		t.Error("a 50% slowdown passed a 2% gate")
+	}
+}
+
+func TestPerKeyTolerance(t *testing.T) {
+	a, _ := Parse([]byte(benchJSON))
+	slower := strings.Replace(benchJSON, `"ns_per_op":1000`, `"ns_per_op":1100`, 1)
+	s, _ := Parse([]byte(slower))
+	opts := Options{Tolerance: 0.02, PerKey: map[string]float64{"ns_per_op": 0.5}}
+	if deltas := Compare(a, s, opts); AnyRegressed(deltas) {
+		t.Errorf("per-key override not applied: %+v", deltas)
+	}
+}
+
+func TestRender(t *testing.T) {
+	a, _ := Parse([]byte(reportsJSON))
+	changed := strings.Replace(reportsJSON, `"cache_hits":100`, `"cache_hits":90`, 1)
+	c, _ := Parse([]byte(changed))
+	out := Render(Compare(a, c, Options{}))
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "cache_hits") {
+		t.Errorf("render:\n%s", out)
+	}
+	if out := Render(nil); out != "no differences\n" {
+		t.Errorf("empty render = %q", out)
+	}
+}

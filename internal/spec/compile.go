@@ -6,6 +6,7 @@ import (
 	"repro/internal/ddos"
 	"repro/internal/experiment"
 	"repro/internal/recursive"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,9 @@ func Compile(s *Spec) (experiment.Scenario, experiment.RunConfig, error) {
 		return nil, zero, err
 	}
 	cfg.Population = pop
+	if o := s.Observability; o != nil && o.Timeline {
+		cfg.Timeline = &timeline.Config{Bucket: o.Bucket.D()}
+	}
 
 	switch s.Family {
 	case "caching":

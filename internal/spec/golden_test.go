@@ -102,6 +102,9 @@ func renderConfig(cfg experiment.RunConfig) string {
 	if cfg.Trace != nil {
 		fmt.Fprintf(&b, "  trace: %+v\n", *cfg.Trace)
 	}
+	if cfg.Timeline != nil {
+		fmt.Fprintf(&b, "  timeline: %+v\n", *cfg.Timeline)
+	}
 	return b.String()
 }
 

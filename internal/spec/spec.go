@@ -45,12 +45,13 @@ type Spec struct {
 	// and disruption by hand.
 	Paper PaperList `json:"paper,omitempty"`
 
-	Engine     *EngineSection     `json:"engine,omitempty"`
-	Population *PopulationSection `json:"population,omitempty"`
-	Workload   *WorkloadSection   `json:"workload,omitempty"`
-	Disruption []PhaseSection     `json:"disruption,omitempty"`
-	Transport  *TransportSection  `json:"transport,omitempty"`
-	Adversary  *AdversarySection  `json:"adversary,omitempty"`
+	Engine        *EngineSection        `json:"engine,omitempty"`
+	Population    *PopulationSection    `json:"population,omitempty"`
+	Workload      *WorkloadSection      `json:"workload,omitempty"`
+	Disruption    []PhaseSection        `json:"disruption,omitempty"`
+	Transport     *TransportSection     `json:"transport,omitempty"`
+	Adversary     *AdversarySection     `json:"adversary,omitempty"`
+	Observability *ObservabilitySection `json:"observability,omitempty"`
 }
 
 // EngineSection carries the simulation-engine knobs shared by every
@@ -136,6 +137,17 @@ type TransportSection struct {
 	Flood *Axis `json:"flood,omitempty"`
 	// TCPLoss overrides the TCP-plane loss (default flood/2).
 	TCPLoss float64 `json:"tcp_loss,omitempty"`
+}
+
+// ObservabilitySection arms run-output instrumentation that never
+// changes results — currently the per-bucket simulated-time timeline.
+type ObservabilitySection struct {
+	// Timeline collects the per-bucket answered/failed/stale/... series
+	// (see internal/timeline) for every run the spec expands to.
+	Timeline bool `json:"timeline,omitempty"`
+	// Bucket is the bin width (default "1m", the paper's figure
+	// resolution).
+	Bucket Duration `json:"bucket,omitempty"`
 }
 
 // AdversarySection gathers the adversarial families' knobs; only the

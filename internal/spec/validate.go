@@ -9,12 +9,12 @@ import (
 // familyRule says which optional sections a family accepts (engine is
 // always legal).
 type familyRule struct {
-	population, workload, disruption, transport, adversary, paper bool
+	population, workload, disruption, transport, adversary, paper, observability bool
 }
 
 var families = map[string]familyRule{
 	"caching":      {population: true, workload: true},
-	"ddos":         {population: true, workload: true, disruption: true, paper: true},
+	"ddos":         {population: true, workload: true, disruption: true, paper: true, observability: true},
 	"glue":         {},
 	"check":        {},
 	"nxns":         {population: true, adversary: true},
@@ -62,6 +62,11 @@ func Validate(s *Spec) error {
 		return bad("adversary")
 	case s.Paper != nil && !rule.paper:
 		return bad("paper")
+	case s.Observability != nil && !rule.observability:
+		return bad("observability")
+	}
+	if o := s.Observability; o != nil && o.Bucket.D() < 0 {
+		return fmt.Errorf("spec %q: observability.bucket must be positive, got %v", s.Name, o.Bucket.D())
 	}
 	if err := validateEngine(s); err != nil {
 		return err

@@ -8,6 +8,7 @@ package telemetry
 
 import (
 	"bufio"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -19,20 +20,26 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// Serve starts an HTTP listener at addr exposing /debug/vars (expvar)
-// and /debug/pprof/ on a private mux. It returns the bound address
-// (useful with ":0") and never blocks. The listener stays up for the
-// process lifetime; there is deliberately no Stop — the endpoint is a
-// diagnostic tap, not part of the run.
-func Serve(addr string) (string, error) {
+// Serve starts an HTTP listener at addr exposing /debug/vars (expvar),
+// /debug/pprof/, and an OpenMetrics /metrics endpoint on a private mux.
+// src, when non-nil, supplies the registry snapshot /metrics renders
+// (live Progress gauges are appended either way). It returns the bound
+// address (useful with ":0") and a shutdown func that closes the
+// listener, and never blocks. CLI callers typically discard the shutdown
+// func — the endpoint is a diagnostic tap that may live for the process
+// lifetime — while tests use it to release the port.
+func Serve(addr string, src func() metrics.Snapshot) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", Handler(src))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -40,7 +47,17 @@ func Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	shutdown := func() error {
+		// Close the raw listener too: srv.Close only knows about it once
+		// the Serve goroutine has registered it, and shutdown may win
+		// that race.
+		err := srv.Close()
+		if cerr := ln.Close(); err == nil && cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr
+		}
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // Snapshot is one observation of a run in flight.
@@ -133,6 +150,16 @@ func (r *progressRef) set(p *Progress) {
 	r.mu.Unlock()
 }
 
+// clear drops the ref, but only if it still points at p — a newer run's
+// Progress must not be clobbered by a stale Finish.
+func (r *progressRef) clear(p *Progress) {
+	r.mu.Lock()
+	if r.p == p {
+		r.p = nil
+	}
+	r.mu.Unlock()
+}
+
 func (r *progressRef) snapshotAny() any {
 	r.mu.Lock()
 	p := r.p
@@ -141,6 +168,18 @@ func (r *progressRef) snapshotAny() any {
 		return nil
 	}
 	return p.Snapshot()
+}
+
+// currentSnapshot returns the in-flight run's snapshot, false when no
+// run is live (used by the /metrics progress gauges).
+func currentSnapshot() (Snapshot, bool) {
+	current.mu.Lock()
+	p := current.p
+	current.mu.Unlock()
+	if p == nil {
+		return Snapshot{}, false
+	}
+	return p.Snapshot(), true
 }
 
 // CellDone records one finished cell: its simulator event count and the
@@ -169,7 +208,10 @@ func (p *Progress) CellDone(events int64, simHorizon time.Duration) {
 	}
 }
 
-// Finish prints the final snapshot unconditionally.
+// Finish prints the final snapshot unconditionally and retires the run
+// from the expvar/metrics endpoints: a scrape between runs must report
+// "no run in flight", not the previous run's last snapshot frozen in
+// time.
 func (p *Progress) Finish() {
 	if p == nil {
 		return
@@ -182,6 +224,7 @@ func (p *Progress) Finish() {
 	p.finished = true
 	snap := p.snapshotLocked(time.Now())
 	p.mu.Unlock()
+	current.clear(p)
 	fmt.Fprintf(p.w, "%s: done: %s\n", p.label, snap)
 }
 

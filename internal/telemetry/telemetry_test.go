@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -60,13 +61,14 @@ func TestSnapshotString(t *testing.T) {
 }
 
 func TestServeExposesVarsAndPprof(t *testing.T) {
-	addr, err := Serve("127.0.0.1:0")
+	addr, shutdown, err := Serve("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer shutdown()
 	NewProgress(io.Discard, "serve-test", 1, time.Hour).CellDone(7, time.Second)
 
-	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/metrics"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -79,7 +81,85 @@ func TestServeExposesVarsAndPprof(t *testing.T) {
 		if path == "/debug/vars" && !strings.Contains(string(body), "dikes_progress") {
 			t.Errorf("/debug/vars missing the dikes_progress expvar")
 		}
+		if path == "/metrics" {
+			if !strings.HasSuffix(string(body), "# EOF\n") {
+				t.Errorf("/metrics missing # EOF terminator:\n%s", body)
+			}
+			if !strings.Contains(string(body), "dikes_progress_cells_done") {
+				t.Errorf("/metrics missing live progress gauges:\n%s", body)
+			}
+			if got := resp.Header.Get("Content-Type"); got != ContentType {
+				t.Errorf("/metrics Content-Type = %q", got)
+			}
+		}
 	}
+}
+
+func TestServeShutdownReleasesListener(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port must be rebindable immediately after shutdown.
+	addr2, shutdown2, err := Serve(addr, nil)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	defer shutdown2()
+	if addr2 != addr {
+		t.Errorf("rebound addr = %s, want %s", addr2, addr)
+	}
+}
+
+// TestFinishClearsCurrent is the regression test for the stale
+// dikes_progress expvar: after Finish, a scrape must see "no run in
+// flight" (JSON null), not the finished run's snapshot.
+func TestFinishClearsCurrent(t *testing.T) {
+	p := NewProgress(io.Discard, "stale-test", 1, time.Hour)
+	p.CellDone(7, time.Second)
+	if got := current.snapshotAny(); got == nil {
+		t.Fatal("expvar empty while the run is live")
+	}
+	p.Finish()
+	if got := current.snapshotAny(); got != nil {
+		t.Errorf("expvar still reports a snapshot after Finish: %+v", got)
+	}
+	if _, ok := currentSnapshot(); ok {
+		t.Error("currentSnapshot still live after Finish")
+	}
+
+	// A newer run's ref must survive an older run's late Finish.
+	old := NewProgress(io.Discard, "old", 1, time.Hour)
+	newer := NewProgress(io.Discard, "new", 1, time.Hour)
+	old.Finish()
+	if got := current.snapshotAny(); got == nil {
+		t.Error("stale Finish clobbered the live run's ref")
+	}
+	newer.Finish()
+}
+
+// TestProgressRace hammers CellDone/Snapshot/scrape concurrently; run
+// with -race to verify the locking (satellite of the worker-pool wiring).
+func TestProgressRace(t *testing.T) {
+	p := NewProgress(io.Discard, "race", 64, time.Nanosecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				p.CellDone(10, time.Duration(i)*time.Second)
+				_ = p.Snapshot()
+				_ = current.snapshotAny()
+				_, _ = currentSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
 }
 
 func TestPeakRSSMB(t *testing.T) {

@@ -1,0 +1,132 @@
+package timeline
+
+// Text renderers: the per-bucket table and CSV the `dikes timeline`
+// subcommand prints, plus an ASCII sparkline of the answer-rate curve —
+// the shape of the paper's Figures 6/8/14, one glyph per bucket.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table renders the series as an aligned text table, one row per bucket
+// with a non-zero count (fully idle buckets are skipped — a 190-minute
+// run at 1-minute buckets is mostly empty rows), with the marks as
+// in-band annotation lines.
+func (t *Timeline) Table() string {
+	var b strings.Builder
+	widths := make([]int, len(t.Metrics))
+	fmt.Fprintf(&b, "%8s", "minute")
+	for j, name := range t.Metrics {
+		widths[j] = len(name)
+		if widths[j] < 9 {
+			widths[j] = 9
+		}
+		fmt.Fprintf(&b, " %*s", widths[j], name)
+	}
+	b.WriteByte('\n')
+	nextMark := 0
+	for i := range t.Bins {
+		off := time.Duration(i) * t.Bucket
+		for nextMark < len(t.Marks) && t.Marks[nextMark].At <= off {
+			fmt.Fprintf(&b, "%8s -- %s (t=%v)\n", "", t.Marks[nextMark].Label, t.Marks[nextMark].At)
+			nextMark++
+		}
+		if rowEmpty(t.Bins[i]) {
+			continue
+		}
+		fmt.Fprintf(&b, "%8.0f", off.Minutes())
+		for j := range t.Metrics {
+			fmt.Fprintf(&b, " %*d", widths[j], t.Bins[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for ; nextMark < len(t.Marks); nextMark++ {
+		fmt.Fprintf(&b, "%8s -- %s (t=%v)\n", "", t.Marks[nextMark].Label, t.Marks[nextMark].At)
+	}
+	return b.String()
+}
+
+func rowEmpty(row []int64) bool {
+	for _, v := range row {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CSV renders every bucket (including empty ones — downstream plotting
+// wants a dense time axis) as comma-separated rows.
+func (t *Timeline) CSV() string {
+	var b strings.Builder
+	b.WriteString("minute")
+	for _, name := range t.Metrics {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for i := range t.Bins {
+		fmt.Fprintf(&b, "%g", (time.Duration(i) * t.Bucket).Minutes())
+		for j := range t.Metrics {
+			fmt.Fprintf(&b, ",%d", t.Bins[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteJSON writes the timeline as indented JSON.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// sparkGlyphs are the eight answer-rate levels, lowest to highest.
+var sparkGlyphs = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// Sparkline renders the answer-rate curve one glyph per bucket ('█' =
+// every client query answered, '▁' = none, '.' = an idle bucket), with a
+// second line carrying '^' markers under the attack-phase boundaries.
+// This is the paper's answer-rate-over-event figure as one terminal row.
+func (t *Timeline) Sparkline() string {
+	var curve, marks strings.Builder
+	markAt := make(map[int]bool, len(t.Marks))
+	for _, m := range t.Marks {
+		i := int(m.At / t.Bucket)
+		if i >= 0 && i < len(t.Bins) {
+			markAt[i] = true
+		}
+	}
+	anyMark := false
+	for i := range t.Bins {
+		rate, ok := t.AnswerRate(i)
+		if !ok {
+			curve.WriteByte('.')
+		} else {
+			lvl := int(rate * float64(len(sparkGlyphs)))
+			if lvl >= len(sparkGlyphs) {
+				lvl = len(sparkGlyphs) - 1
+			}
+			curve.WriteRune(sparkGlyphs[lvl])
+		}
+		if markAt[i] {
+			marks.WriteByte('^')
+			anyMark = true
+		} else {
+			marks.WriteByte(' ')
+		}
+	}
+	out := "answer rate |" + curve.String() + "|\n"
+	if anyMark {
+		out += "             " + strings.TrimRight(marks.String(), " ") + "\n"
+		for _, m := range t.Marks {
+			out += fmt.Sprintf("             ^ t=%v %s\n", m.At, m.Label)
+		}
+	}
+	return out
+}

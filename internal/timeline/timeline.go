@@ -1,0 +1,211 @@
+// Package timeline collects fixed simulated-time-bucket series over a
+// run: per-bucket counts of client answers, failures, SERVFAILs, stale
+// serves, cache hits, upstream retries, TCP fallbacks, and upstream
+// timeouts, annotated with the attack-phase boundaries of the run's
+// disruption spec. The paper's headline figures are exactly such series
+// — answer rate per minute across the attack event — and whole-run
+// aggregates cannot regenerate them.
+//
+// Collection is per cell: each cell of a sharded run owns one Collector
+// with a bin layout derived only from (testbed start, run horizon,
+// bucket width), never from the data, so every cell's Timeline has the
+// same shape and the cross-cell Merge is an element-wise integer sum —
+// commutative, associative, and therefore byte-identical for any shard
+// count, like every other accumulator in internal/experiment.
+package timeline
+
+import (
+	"time"
+)
+
+// Metric is one tracked per-bucket series.
+type Metric int
+
+const (
+	// Answered counts VP queries answered with valid data (vantage
+	// Answer.Ok()), binned at the simulated answer arrival time.
+	Answered Metric = iota
+	// Failed counts VP queries that timed out (no answer), binned at the
+	// time the vantage point gave up.
+	Failed
+	// ServFail counts VP queries answered but not usable (SERVFAIL or
+	// discarded data).
+	ServFail
+	// StaleServed counts resolver answers served from expired cache
+	// entries (the §5.3 serve-stale mitigation firing).
+	StaleServed
+	// CacheHit counts resolver client answers served from fresh cache.
+	CacheHit
+	// Retry counts upstream retransmissions (the §6.2 retry
+	// amplification, over time).
+	Retry
+	// TCPFallback counts TC=1-triggered TCP retries (the DoTCP family's
+	// responsiveness signal).
+	TCPFallback
+	// UpstreamTimeout counts upstream queries that timed out at the
+	// resolver.
+	UpstreamTimeout
+
+	// NumMetrics is the series count; bins are [NumMetrics]int64 rows.
+	NumMetrics
+)
+
+// metricNames are the stable exposition names, indexed by Metric.
+var metricNames = [NumMetrics]string{
+	"answered", "failed", "servfail", "stale_served",
+	"cache_hit", "retries", "tcp_fallback", "upstream_timeouts",
+}
+
+// Name returns the metric's stable exposition name.
+func (m Metric) Name() string {
+	if m < 0 || m >= NumMetrics {
+		return "unknown"
+	}
+	return metricNames[m]
+}
+
+// MetricNames returns the exposition names in Metric order.
+func MetricNames() []string {
+	out := make([]string, NumMetrics)
+	copy(out, metricNames[:])
+	return out
+}
+
+// DefaultBucket is the paper's figure resolution.
+const DefaultBucket = time.Minute
+
+// Config sizes a run's timeline collection.
+type Config struct {
+	// Bucket is the simulated-time bin width (default one minute, the
+	// paper's figure resolution).
+	Bucket time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bucket <= 0 {
+		c.Bucket = DefaultBucket
+	}
+	return c
+}
+
+// Collector accumulates per-bucket counts for one cell. It is used from
+// the cell's single simulator goroutine, so plain integers suffice. The
+// bin count is fixed at construction from the run horizon: every cell of
+// a run allocates the same shape, which is what makes the merged series
+// independent of how the population was cut into cells.
+type Collector struct {
+	start  time.Time
+	bucket time.Duration
+	bins   [][NumMetrics]int64
+}
+
+// NewCollector builds a collector covering [start, start+horizon] in
+// cfg.Bucket-wide bins. Observations outside the window clamp to the
+// first/last bin, so a late answer can never grow the series shape.
+func NewCollector(start time.Time, horizon time.Duration, cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	n := int(horizon/cfg.Bucket) + 1
+	if n < 1 {
+		n = 1
+	}
+	return &Collector{
+		start:  start,
+		bucket: cfg.Bucket,
+		bins:   make([][NumMetrics]int64, n),
+	}
+}
+
+// ObserveAt counts one event of metric m at simulated time at. Safe on a
+// nil collector (timeline off).
+func (c *Collector) ObserveAt(at time.Time, m Metric) {
+	if c == nil {
+		return
+	}
+	i := int(at.Sub(c.start) / c.bucket)
+	if i < 0 {
+		i = 0
+	} else if i >= len(c.bins) {
+		i = len(c.bins) - 1
+	}
+	c.bins[i][m]++
+}
+
+// Finalize renders the collector as a mergeable Timeline.
+func (c *Collector) Finalize() *Timeline {
+	t := &Timeline{
+		Bucket:  c.bucket,
+		Metrics: MetricNames(),
+		Bins:    make([][]int64, len(c.bins)),
+	}
+	for i := range c.bins {
+		row := make([]int64, NumMetrics)
+		copy(row, c.bins[i][:])
+		t.Bins[i] = row
+	}
+	return t
+}
+
+// Mark is one attack-phase boundary annotation, at an offset from the
+// run start.
+type Mark struct {
+	At    time.Duration `json:"at"`
+	Label string        `json:"label"`
+}
+
+// Timeline is one run's merged per-bucket series. Bins is indexed
+// [bucket][metric] with metrics in Metric order (the Metrics field names
+// them for consumers that only see the JSON). Marks carry the disruption
+// boundaries; they describe the spec, not the data, so Merge leaves them
+// alone.
+type Timeline struct {
+	Bucket  time.Duration `json:"bucket"`
+	Metrics []string      `json:"metrics"`
+	Bins    [][]int64     `json:"bins"`
+	Marks   []Mark        `json:"marks,omitempty"`
+}
+
+// Merge folds another cell's timeline into t, element-wise. Cells of one
+// run share bucket width and bin count by construction; a shape mismatch
+// is a programming error and panics like a mismatched RoundSeries merge
+// would.
+func (t *Timeline) Merge(o *Timeline) {
+	if o == nil {
+		return
+	}
+	if t.Bucket != o.Bucket || len(t.Bins) != len(o.Bins) {
+		panic("timeline: merging timelines of different shapes")
+	}
+	for i := range t.Bins {
+		for j := range t.Bins[i] {
+			t.Bins[i][j] += o.Bins[i][j]
+		}
+	}
+}
+
+// Get returns the count of metric m in bucket i (0 when out of range).
+func (t *Timeline) Get(i int, m Metric) int64 {
+	if i < 0 || i >= len(t.Bins) || int(m) >= len(t.Bins[i]) {
+		return 0
+	}
+	return t.Bins[i][m]
+}
+
+// Total sums metric m over every bucket.
+func (t *Timeline) Total(m Metric) int64 {
+	var sum int64
+	for i := range t.Bins {
+		sum += t.Get(i, m)
+	}
+	return sum
+}
+
+// AnswerRate returns answered/(answered+failed+servfail) for bucket i,
+// and false when the bucket saw no client outcomes at all.
+func (t *Timeline) AnswerRate(i int) (float64, bool) {
+	a := t.Get(i, Answered)
+	total := a + t.Get(i, Failed) + t.Get(i, ServFail)
+	if total == 0 {
+		return 0, false
+	}
+	return float64(a) / float64(total), true
+}

@@ -7,6 +7,8 @@
 #                                             -> BENCH_scale.json
 #   scripts/bench_snapshot.sh trace [benchtime]  tracing overhead
 #                                             -> BENCH_trace.json
+#   scripts/bench_snapshot.sh observe [benchtime]  timeline overhead
+#                                             -> BENCH_observe.json
 #   scripts/bench_snapshot.sh wheel [benchtime]  timing-wheel engine gate
 #                                             -> BENCH_wheel.json
 #
@@ -71,6 +73,16 @@ if [ "${1:-}" = "trace" ]; then
         go run ./cmd/benchsnap > BENCH_trace.json
     echo "wrote BENCH_trace.json:"
     cat BENCH_trace.json
+    exit 0
+fi
+
+if [ "${1:-}" = "observe" ]; then
+    benchtime="${2:-3x}"
+    go test -run '^$' -bench '^BenchmarkTimelineOverhead$' \
+        -benchmem -benchtime "$benchtime" -timeout 0 . |
+        go run ./cmd/benchsnap > BENCH_observe.json
+    echo "wrote BENCH_observe.json:"
+    cat BENCH_observe.json
     exit 0
 fi
 

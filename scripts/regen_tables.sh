@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerate the committed report tables (paper_run.txt,
-# paper_run_adversary.txt, paper_run_transport.txt) from the declarative
-# scenario specs in examples/specs/ via the campaign runner.
+# paper_run_adversary.txt, paper_run_transport.txt,
+# paper_run_timeline.txt) from the declarative scenario specs in
+# examples/specs/ via the campaign runner.
 #
 # Each campaign is run twice — at -shards 1 and -shards 4 — and the two
 # outputs are diffed (minus the wall-time line) to enforce the engine's
@@ -27,7 +28,7 @@ regen() {
     diff "$dir/s1.txt" "$dir/s4.txt" >&2
 
     {
-        echo "# dikes campaign — committed report tables (PR 9)"
+        echo "# dikes campaign — committed report tables"
         echo "#"
         echo "# Invocation: go run ./cmd/dikes campaign $specs"
         echo "# Output below is byte-identical with -shards 4 (verified by diff,"
@@ -50,3 +51,7 @@ regen paper_run.txt examples/specs/paper \
 # standardised on the sharded path (-shards >= 1)."
 regen paper_run_adversary.txt examples/specs/adversary ""
 regen paper_run_transport.txt examples/specs/transport.json ""
+regen paper_run_timeline.txt examples/specs/timeline.json \
+    "Per-bucket simulated-time series (observability.timeline): answer/
+# failure/stale-serve/retry counts across the attack event, annotated
+# with the phase boundaries. The sparkline is the answer-rate series."
